@@ -1,0 +1,376 @@
+// Package repro's root benchmarks regenerate the paper's tables and
+// figures under `go test -bench`, one benchmark per artifact:
+//
+//	BenchmarkFig6Fragments    — Fig. 6 compiler-behavior matrix
+//	BenchmarkFig7StaticArrays — Fig. 7 contraction counts
+//	BenchmarkFig8ProblemSize  — Fig. 8 memory scaling
+//	BenchmarkFigure9T3E       — Fig. 9 ladder on the Cray T3E model
+//	BenchmarkFigure10SP2      — Fig. 10 ladder on the IBM SP-2 model
+//	BenchmarkFigure11Paragon  — Fig. 11 ladder on the Intel Paragon model
+//	BenchmarkSec55CommVsFusion— §5.5 favor-fusion vs favor-comm
+//
+// plus engine micro-benchmarks (compilation, fusion, VM throughput).
+// Each figure benchmark reports paper-shape metrics via b.ReportMetric
+// so `go test -bench=. -benchmem` output doubles as a results table.
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/air"
+	"repro/internal/asdg"
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/dep"
+	"repro/internal/driver"
+	"repro/internal/harness"
+	"repro/internal/machine"
+	"repro/internal/programs"
+	"repro/internal/vm"
+)
+
+// benchSize keeps -bench runs quick; cmd/experiments uses full sizes.
+const benchSize = 0.5
+
+func BenchmarkFig6Fragments(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.RunFig6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		marks := res.Marks("ZPL 1.13 (this paper)")
+		b.ReportMetric(float64(len(marks)), "zpl-proper-fragments")
+	}
+}
+
+func BenchmarkFig7StaticArrays(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.RunFig7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		contracted := 0
+		total := 0
+		for _, r := range rows {
+			contracted += r.Before - r.After
+			total += r.Before
+		}
+		b.ReportMetric(100*float64(contracted)/float64(total), "pct-contracted")
+	}
+}
+
+func BenchmarkFig8ProblemSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.RunFig8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Report tomcatv's volume growth as the representative metric.
+		for _, r := range rows {
+			if r.Benchmark == "tomcatv" {
+				b.ReportMetric(r.VolPct, "tomcatv-vol-growth-pct")
+			}
+		}
+	}
+}
+
+func perfStudy(b *testing.B) *harness.PerfResult {
+	b.Helper()
+	res, err := harness.RunPerfStudy(harness.StudyOptions{
+		SizeFactor: benchSize,
+		Procs:      []int{1, 16, 64},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+func reportLadder(b *testing.B, res *harness.PerfResult, mach string) {
+	var sum float64
+	var n int
+	for _, pt := range res.Points {
+		if pt.Level == core.C2 {
+			sum += pt.Improvement[mach]
+			n++
+		}
+	}
+	if n > 0 {
+		b.ReportMetric(sum/float64(n), "mean-c2-improvement-pct")
+	}
+}
+
+func BenchmarkFigure9T3E(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := perfStudy(b)
+		reportLadder(b, res, "Cray T3E")
+	}
+}
+
+func BenchmarkFigure10SP2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := perfStudy(b)
+		reportLadder(b, res, "IBM SP-2")
+	}
+}
+
+func BenchmarkFigure11Paragon(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := perfStudy(b)
+		reportLadder(b, res, "Intel Paragon")
+	}
+}
+
+func BenchmarkSec55CommVsFusion(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.RunSec55(16, benchSize)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var worst float64
+		for _, r := range rows {
+			for _, s := range r.Slowdown {
+				if s > worst {
+					worst = s
+				}
+			}
+		}
+		b.ReportMetric(worst, "worst-favor-comm-slowdown-pct")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Engine micro-benchmarks
+
+func BenchmarkCompileTomcatv(b *testing.B) {
+	bench, _ := programs.ByName("tomcatv")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := driver.Compile(bench.Source, driver.Options{Level: core.C2F3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFusionForContraction(b *testing.B) {
+	bench, _ := programs.ByName("sp")
+	c, err := driver.Compile(bench.Source, driver.Options{Level: core.Baseline})
+	if err != nil {
+		b.Fatal(err)
+	}
+	blocks := c.AIR.AllBlocks()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, blk := range blocks {
+			g := asdg.Build(blk.Stmts)
+			core.FusionForContraction(g, nil, core.AllArrays(g))
+		}
+	}
+}
+
+func BenchmarkVMStencil(b *testing.B) {
+	bench, _ := programs.ByName("simple")
+	c, err := driver.Compile(bench.Source, driver.Options{
+		Level: core.C2F3, Configs: map[string]int64{"n": 64},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := vm.Run(c.LIR, vm.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVMTraced(b *testing.B) {
+	bench, _ := programs.ByName("simple")
+	co := comm.DefaultOptions(16)
+	c, err := driver.Compile(bench.Source, driver.Options{
+		Level: core.C2F3, Configs: map[string]int64{"n": 64}, Comm: &co,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := machine.NewCostTracer(machine.T3E(), 16)
+		if _, _, err := vm.Run(c.LIR, vm.Options{Tracer: tr}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationRealign quantifies the temporary-realignment pass
+// (DESIGN.md ablation): fragment 8 with and without it.
+func BenchmarkAblationRealign(b *testing.B) {
+	fr := programs.Fragments()[7]
+	with := core.ZPLEmulation()
+	without := with
+	without.Realign = false
+	for i := 0; i < b.N; i++ {
+		_, planW, err := harness.CompileEmulated(fr.Source, with, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, planWo, err := harness.CompileEmulated(fr.Source, without, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(planW.Contracted)), "contracted-with-realign")
+		b.ReportMetric(float64(len(planWo.Contracted)), "contracted-without")
+	}
+}
+
+// BenchmarkAblationKillAwareDeps quantifies the §4.1 live-range
+// footnote: without kill-aware dependence computation, dependences
+// span redefinitions. On both the paper benchmarks and a seeded
+// random corpus the greedy algorithm happens to reach the same
+// contraction decisions either way (the phantom dependences carry
+// vectors that the fused clusters could absorb); the precision shows
+// up as dependence-graph size, which bounds every O(e) pass of Fig. 3.
+func BenchmarkAblationKillAwareDeps(b *testing.B) {
+	srcs := make([]string, 0, 24)
+	for seed := int64(0); seed < 24; seed++ {
+		srcs = append(srcs, randomRedefProgram(rand.New(rand.NewSource(seed))))
+	}
+	for i := 0; i < b.N; i++ {
+		precise, naive := 0, 0
+		edgesPrecise, edgesNaive := 0, 0
+		for _, src := range srcs {
+			c, err := driver.Compile(src, driver.Options{Level: core.Baseline})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, blk := range c.AIR.AllBlocks() {
+				g := asdg.Build(blk.Stmts)
+				_, cp := core.FusionForContraction(g, nil, core.AllArrays(g))
+				precise += len(cp)
+				edgesPrecise += len(g.Edges)
+				gn := asdg.BuildWith(blk.Stmts, dep.ComputeNaive)
+				_, cn := core.FusionForContraction(gn, nil, core.AllArrays(gn))
+				naive += len(cn)
+				edgesNaive += len(gn.Edges)
+			}
+		}
+		b.ReportMetric(float64(precise), "contractions-kill-aware")
+		b.ReportMetric(float64(naive), "contractions-naive")
+		b.ReportMetric(float64(edgesPrecise), "dep-edges-kill-aware")
+		b.ReportMetric(float64(edgesNaive), "dep-edges-naive")
+	}
+}
+
+// randomRedefProgram emits straight-line blocks that redefine arrays
+// and read them at varying offsets — the pattern where kill-awareness
+// changes the dependence graph.
+func randomRedefProgram(r *rand.Rand) string {
+	var sb strings.Builder
+	sb.WriteString("program redef;\nconfig n : integer = 12;\nregion R = [1..n, 1..n];\nregion I = [2..n-1, 2..n-1];\n")
+	names := []string{"A", "B", "C", "D", "E"}
+	sb.WriteString("var A, B, C, D, E : [R] double;\nvar s : double;\nproc main()\nbegin\n")
+	for _, nm := range names {
+		fmt.Fprintf(&sb, "  [R] %s := index1 * 0.5 + index2;\n", nm)
+	}
+	sb.WriteString("  for it := 1 to 1 do\n")
+	for i := 0; i < 10; i++ {
+		tgt := names[r.Intn(len(names))]
+		src := names[r.Intn(len(names))]
+		for src == tgt {
+			src = names[r.Intn(len(names))]
+		}
+		reg := "R"
+		off := ""
+		if r.Intn(2) == 0 {
+			reg = "I"
+			off = fmt.Sprintf("@(%d,%d)", r.Intn(3)-1, r.Intn(3)-1)
+			if off == "@(0,0)" {
+				off = ""
+			}
+		}
+		fmt.Fprintf(&sb, "    [%s] %s := %s%s * 0.5;\n", reg, tgt, src, off)
+	}
+	sb.WriteString("  end;\n  s := +<< [R] A + B + C + D + E;\n  writeln(s);\nend;\n")
+	return sb.String()
+}
+
+// BenchmarkAblationInterprocSummaries quantifies call-effect
+// summaries: with them stripped (calls as full barriers), fusion
+// across calls disappears.
+func BenchmarkAblationInterprocSummaries(b *testing.B) {
+	src := `
+program ablate;
+region R = [1..32];
+var A, T, B, U, C : [R] double;
+var z : double;
+proc pure(x : double) : double
+begin
+  return x * 2.0;
+end;
+proc main()
+begin
+  [R] A := 1.0;
+  [R] T := A + 1.0;
+  z := pure(3.0);
+  [R] B := T + A;
+  z := pure(z);
+  [R] U := B * 2.0;
+  [R] C := U + B;
+end;
+`
+	for i := 0; i < b.N; i++ {
+		with, err := driver.Compile(src, driver.Options{Level: core.C2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		without, err := driver.Compile(src, driver.Options{Level: core.C2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Strip summaries, replan.
+		for _, blk := range without.AIR.AllBlocks() {
+			for _, s := range blk.Stmts {
+				if cs, ok := s.(*air.CallStmt); ok {
+					cs.Effects = nil
+				}
+			}
+		}
+		for name := range without.AIR.Arrays {
+			without.AIR.Arrays[name].Contracted = false
+		}
+		plan := core.Apply(without.AIR, core.C2)
+		b.ReportMetric(float64(len(with.Plan.Contracted)), "contractions-with-summaries")
+		b.ReportMetric(float64(len(plan.Contracted)), "contractions-without")
+	}
+}
+
+// BenchmarkAblationScalarReplacement quantifies the §6 related-work
+// technique on the benchmarks: accesses removed by loading repeated
+// per-iteration reads once.
+func BenchmarkAblationScalarReplacement(b *testing.B) {
+	bench, _ := programs.ByName("tomcatv")
+	cfg := map[string]int64{"n": 48}
+	for i := 0; i < b.N; i++ {
+		tally := func(sr bool) float64 {
+			c, err := driver.Compile(bench.Source, driver.Options{
+				Level: core.C2F3, Configs: cfg, ScalarReplace: sr,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			tr := machine.NewCostTracer(machine.T3E(), 1)
+			if _, _, err := vm.Run(c.LIR, vm.Options{Tracer: tr}); err != nil {
+				b.Fatal(err)
+			}
+			return float64(tr.AccessCount)
+		}
+		plain := tally(false)
+		srep := tally(true)
+		b.ReportMetric(plain, "accesses-plain")
+		b.ReportMetric(srep, "accesses-scalar-replaced")
+		b.ReportMetric((plain/srep-1)*100, "pct-accesses-saved")
+	}
+}

@@ -1,0 +1,252 @@
+// End-to-end tests of the command-line tools: build each binary with
+// the host toolchain and drive it over the testdata programs.
+package repro
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// transcriptsClose compares outputs token-wise with a floating-point
+// tolerance (distributed reductions reorder the accumulation).
+func transcriptsClose(a, b string) bool {
+	ta, tb := strings.Fields(a), strings.Fields(b)
+	if len(ta) != len(tb) {
+		return false
+	}
+	for i := range ta {
+		if ta[i] == tb[i] {
+			continue
+		}
+		fa, errA := strconv.ParseFloat(ta[i], 64)
+		fb, errB := strconv.ParseFloat(tb[i], 64)
+		if errA != nil || errB != nil {
+			return false
+		}
+		diff := math.Abs(fa - fb)
+		scale := math.Max(math.Abs(fa), math.Abs(fb))
+		if diff > 1e-9*math.Max(scale, 1) {
+			return false
+		}
+	}
+	return true
+}
+
+var (
+	buildOnce sync.Once
+	binDir    string
+	buildErr  error
+)
+
+// buildTools compiles the three CLIs once per test run.
+func buildTools(t *testing.T) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("invokes the go toolchain")
+	}
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "zpl-bins")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		binDir = dir
+		for _, tool := range []string{"zplc", "zplrun", "experiments"} {
+			cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "./cmd/"+tool)
+			var errb bytes.Buffer
+			cmd.Stderr = &errb
+			if err := cmd.Run(); err != nil {
+				buildErr = err
+				return
+			}
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("building tools: %v", buildErr)
+	}
+	return binDir
+}
+
+func runTool(t *testing.T, tool string, args ...string) (string, string, error) {
+	t.Helper()
+	dir := buildTools(t)
+	cmd := exec.Command(filepath.Join(dir, tool), args...)
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	err := cmd.Run()
+	return out.String(), errb.String(), err
+}
+
+func TestZplcPlan(t *testing.T) {
+	out, _, err := runTool(t, "zplc", "-O", "c2", "-emit", "plan", "testdata/quickstart.za")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"program quickstart at c2", "contracted: 3", "loop nests after fusion: 2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plan output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestZplcEmitForms(t *testing.T) {
+	for form, marker := range map[string]string{
+		"ast": "program quickstart;",
+		"air": "array B :",
+		"c":   "/* program quickstart (scalarized) */",
+		"go":  "package main",
+	} {
+		out, _, err := runTool(t, "zplc", "-O", "c2+f3", "-emit", form, "testdata/quickstart.za")
+		if err != nil {
+			t.Fatalf("-emit %s: %v", form, err)
+		}
+		if !strings.Contains(out, marker) {
+			t.Errorf("-emit %s missing %q", form, marker)
+		}
+	}
+}
+
+func TestZplcConfigOverride(t *testing.T) {
+	out, _, err := runTool(t, "zplc", "-emit", "c", "-config", "n=16", "testdata/quickstart.za")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "i1 <= 16") {
+		t.Errorf("config override ignored:\n%s", out)
+	}
+}
+
+func TestZplcDistributedPlan(t *testing.T) {
+	out, _, err := runTool(t, "zplc", "-p", "4", "-O", "c2+f3", "testdata/heat.za")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "communication:") {
+		t.Errorf("no communication summary:\n%s", out)
+	}
+}
+
+func TestZplcErrors(t *testing.T) {
+	if _, _, err := runTool(t, "zplc", "nonexistent.za"); err == nil {
+		t.Error("missing file accepted")
+	}
+	if _, _, err := runTool(t, "zplc", "-O", "bogus", "testdata/heat.za"); err == nil {
+		t.Error("bad level accepted")
+	}
+}
+
+func TestZplrunExecutes(t *testing.T) {
+	base, _, err := runTool(t, "zplrun", "-O", "baseline", "testdata/heat.za")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, _, err := runTool(t, "zplrun", "-O", "c2+f3", "testdata/heat.za")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base != opt || !strings.Contains(base, "heat =") {
+		t.Errorf("outputs differ or missing: %q vs %q", base, opt)
+	}
+}
+
+func TestZplrunMachineModel(t *testing.T) {
+	_, stderr, err := runTool(t, "zplrun", "-bench", "ep",
+		"-config", "n=1024", "-machine", "t3e", "-O", "c2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Cray T3E", "cycles", "miss"} {
+		if !strings.Contains(stderr, want) {
+			t.Errorf("machine report missing %q:\n%s", want, stderr)
+		}
+	}
+}
+
+func TestExperimentsFig6(t *testing.T) {
+	out, _, err := runTool(t, "experiments", "-run", "fig6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "ZPL 1.13 (this paper)") {
+		t.Errorf("fig6 table malformed:\n%s", out)
+	}
+}
+
+func TestZplcFig2Example(t *testing.T) {
+	// The Figure 2 program: the engine must find the (-2,-1)-style
+	// reversed loop structure when fusing statements 1 and 3.
+	out, _, err := runTool(t, "zplc", "-O", "c2+f4", "-emit", "plan", "testdata/fig2.za")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "loop structure") {
+		t.Errorf("no loop structures reported:\n%s", out)
+	}
+}
+
+func TestZplrunDistributed(t *testing.T) {
+	seq, _, err := runTool(t, "zplrun", "-bench", "fibro", "-config", "n=16", "-O", "c2+f3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, _, err := runTool(t, "zplrun", "-bench", "fibro", "-config", "n=16",
+		"-O", "c2+f3", "-p", "4", "-dist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !transcriptsClose(seq, dist) {
+		t.Errorf("distributed CLI output %q != sequential %q", dist, seq)
+	}
+	if _, _, err := runTool(t, "zplrun", "-bench", "fibro", "-dist"); err == nil {
+		t.Error("-dist without -p accepted")
+	}
+}
+
+// TestZplcFig2ASDG checks the Fig. 2(d) dependence graph end to end:
+// the exact (variable, unconstrained distance vector, kind) labels the
+// paper derives.
+func TestZplcFig2ASDG(t *testing.T) {
+	out, _, err := runTool(t, "zplc", "-O", "baseline", "-emit", "asdg", "testdata/fig2.za")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"(A, (0,1), flow)",
+		"(A, (1,-1), flow)",
+		"(B, (-1,0), anti)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ASDG missing the paper's label %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestZplrunPartialReductions(t *testing.T) {
+	out, _, err := runTool(t, "zplrun", "-O", "c2+f3", "testdata/rowsums.za")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// n=8: rows sum to 80i+36, total = 80*36+288 = 3168;
+	// column max = 80+j, total = 8*80 + 36 = 676.
+	if !strings.Contains(out, "3168") || !strings.Contains(out, "676") {
+		t.Errorf("partial reduction totals wrong: %q", out)
+	}
+}
+
+func TestZplcScalarReplacement(t *testing.T) {
+	out, _, err := runTool(t, "zplc", "-O", "c2+f3", "-scalarrep", "-emit", "c", "testdata/heat.za")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "scalar replacement") {
+		t.Errorf("no scalar replacement installed:\n%s", out)
+	}
+}

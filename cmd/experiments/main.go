@@ -1,0 +1,112 @@
+// Command experiments regenerates every table and figure of the
+// paper's evaluation (§5).
+//
+// Usage:
+//
+//	experiments [-run id] [-size f] [-out dir]
+//
+//	-run id    which experiment: fig6, fig7, fig8, fig9, fig10, fig11,
+//	           sec55, origin (latency sensitivity), or all (default all)
+//	-size f    problem-size factor for the runtime studies (default 1.0)
+//	-out dir   also write each table to dir/<id>.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment to run")
+	size := flag.Float64("size", 1.0, "problem-size factor for runtime studies")
+	out := flag.String("out", "", "directory to write tables into")
+	flag.Parse()
+
+	want := func(id string) bool { return *run == "all" || *run == id }
+	emit := func(id, text string) {
+		fmt.Println(text)
+		if *out != "" {
+			if err := os.MkdirAll(*out, 0o755); err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(*out, id+".txt"), []byte(text), 0o644); err != nil {
+				fatal(err)
+			}
+		}
+	}
+
+	if want("fig6") {
+		res, err := harness.RunFig6()
+		if err != nil {
+			fatal(err)
+		}
+		emit("fig6", res.Format())
+	}
+	if want("fig7") {
+		rows, err := harness.RunFig7()
+		if err != nil {
+			fatal(err)
+		}
+		emit("fig7", harness.FormatFig7(rows))
+	}
+	if want("fig8") {
+		rows, err := harness.RunFig8()
+		if err != nil {
+			fatal(err)
+		}
+		emit("fig8", harness.FormatFig8(rows))
+	}
+
+	needPerf := want("fig9") || want("fig10") || want("fig11")
+	if needPerf {
+		fmt.Fprintln(os.Stderr, "experiments: running the transformation ladder (6 benchmarks × 8 levels × 4 processor counts)...")
+		res, err := harness.RunPerfStudy(harness.StudyOptions{SizeFactor: *size})
+		if err != nil {
+			fatal(err)
+		}
+		if want("fig9") {
+			emit("fig9", res.FormatMachine("Cray T3E", "Figure 9")+
+				"\n"+res.FormatMachineBars("Cray T3E", 16, 40))
+		}
+		if want("fig10") {
+			emit("fig10", res.FormatMachine("IBM SP-2", "Figure 10")+
+				"\n"+res.FormatMachineBars("IBM SP-2", 16, 40))
+		}
+		if want("fig11") {
+			emit("fig11", res.FormatMachine("Intel Paragon", "Figure 11")+
+				"\n"+res.FormatMachineBars("Intel Paragon", 16, 40))
+		}
+		median, max := res.Headline()
+		emit("headline", fmt.Sprintf(
+			"Headline (§1): c2 improvement over baseline across benchmarks,\nmachines and processor counts: median %.1f%%, maximum %.1f%%\n(paper: \"typically greater than 20%% and sometimes up to 400%%\")\n",
+			median, max))
+	}
+
+	if want("sec55") {
+		const procs = 16
+		rows, err := harness.RunSec55(procs, *size)
+		if err != nil {
+			fatal(err)
+		}
+		emit("sec55", harness.FormatSec55(rows, procs))
+	}
+
+	if want("origin") {
+		const procs = 16
+		alphas := []float64{4800, 2400, 1200, 600, 300, 150}
+		pts, err := harness.RunLatencySensitivity("tomcatv", procs, alphas)
+		if err != nil {
+			fatal(err)
+		}
+		emit("origin", harness.FormatLatency("tomcatv", procs, pts))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

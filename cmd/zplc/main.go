@@ -1,0 +1,160 @@
+// Command zplc compiles a ZA array-language program and prints the
+// requested intermediate form, the fusion/contraction decisions, or
+// generated pseudo-C.
+//
+// Usage:
+//
+//	zplc [flags] file.za
+//
+//	-O level      optimization level: baseline, f1, c1, f2, f3, c2,
+//	              c2+f3, c2+f4 (default c2+f3)
+//	-emit form    ast | air | asdg | plan | c | go (default plan)
+//	-config k=v   override a config constant (repeatable)
+//	-p n          compile for n processors (inserts communication)
+//	-comm strat   favor-fusion | favor-comm (with -p > 1)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/air"
+	"repro/internal/ast"
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/driver"
+	"repro/internal/gogen"
+	"repro/internal/lir"
+	"repro/internal/parser"
+	"repro/internal/source"
+)
+
+type configFlags map[string]int64
+
+func (c configFlags) String() string { return fmt.Sprintf("%v", map[string]int64(c)) }
+
+func (c configFlags) Set(s string) error {
+	k, v, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("want key=value, got %q", s)
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return err
+	}
+	c[k] = n
+	return nil
+}
+
+func main() {
+	level := flag.String("O", "c2+f3", "optimization level")
+	emit := flag.String("emit", "plan", "output form: ast | air | asdg | plan | c | go")
+	procs := flag.Int("p", 1, "processor count (inserts communication when > 1)")
+	scalarRep := flag.Bool("scalarrep", false, "install scalar replacement in the loop nests")
+	strat := flag.String("comm", "favor-fusion", "communication strategy: favor-fusion | favor-comm")
+	configs := configFlags{}
+	flag.Var(configs, "config", "override a config constant, key=value (repeatable)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: zplc [flags] file.za")
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+
+	lvl, err := core.ParseLevel(*level)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *emit == "ast" {
+		var errs source.ErrorList
+		errs.File = flag.Arg(0)
+		prog := parser.Parse(string(src), &errs)
+		if errs.HasErrors() {
+			fatal(errs.Err())
+		}
+		fmt.Print(ast.Format(prog))
+		return
+	}
+
+	opt := driver.Options{Level: lvl, Configs: configs, ScalarReplace: *scalarRep}
+	if *procs > 1 {
+		co := comm.DefaultOptions(*procs)
+		if *strat == "favor-comm" {
+			co.Strategy = comm.FavorComm
+		}
+		opt.Comm = &co
+	}
+	c, err := driver.Compile(string(src), opt)
+	if err != nil {
+		fatal(err)
+	}
+
+	switch *emit {
+	case "air":
+		fmt.Print(air.Print(c.AIR))
+	case "asdg":
+		// The dependence-graph view of Fig. 2(d): vertices, edges,
+		// and (variable, unconstrained distance vector, kind) labels.
+		for _, bp := range c.Plan.Blocks {
+			if bp.Graph.N() == 0 {
+				continue
+			}
+			fmt.Printf("block %d:\n%s\n", bp.Block.ID, bp.Graph)
+		}
+	case "c":
+		fmt.Print(lir.EmitC(c.LIR))
+	case "go":
+		src, err := gogen.Emit(c.LIR)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(src)
+	case "plan":
+		printPlan(c)
+	default:
+		fatal(fmt.Errorf("unknown -emit form %q", *emit))
+	}
+}
+
+func printPlan(c *driver.Compilation) {
+	fmt.Printf("program %s at %s\n", c.AIR.Name, c.Plan.Level)
+	counts := core.CountStaticArrays(c.AIR, c.Plan)
+	fmt.Printf("static arrays: %d (%d compiler, %d user); contracted: %d\n",
+		counts.Before(), counts.TotalCompiler, counts.TotalUser,
+		counts.ContractedCompiler+counts.ContractedUser)
+	fmt.Printf("loop nests after fusion: %d\n\n", c.LIR.CountNests())
+	for _, bp := range c.Plan.Blocks {
+		if bp.Graph.N() == 0 {
+			continue
+		}
+		fmt.Printf("block %d: partition %s\n", bp.Block.ID, bp.Part)
+		if len(bp.Contracted) > 0 {
+			fmt.Printf("  contracted: %s\n", strings.Join(bp.Contracted, ", "))
+		}
+		for _, cl := range bp.Part.TopoClusters() {
+			if ls, ok := bp.Part.LoopStructureFor(cl); ok && ls != nil {
+				if len(bp.Part.Members(cl)) > 1 {
+					fmt.Printf("  cluster %d: loop structure %s\n", cl, ls)
+				}
+			}
+		}
+	}
+	if c.Comm != nil {
+		fmt.Printf("\ncommunication: %d inserted, %d eliminated, %d combined, %d pipelined\n",
+			c.Comm.Inserted, c.Comm.Eliminated, c.Comm.Combined, c.Comm.Pipelined)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "zplc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,152 @@
+// Command zplrun compiles and executes a ZA program, optionally
+// simulating it on one of the paper's machine models.
+//
+// Usage:
+//
+//	zplrun [flags] file.za
+//
+//	-O level      optimization level (default c2+f3)
+//	-config k=v   override a config constant (repeatable)
+//	-p n          simulate n processors (communication inserted)
+//	-dist         execute on the distributed interpreter (real block
+//	              decomposition and ghost exchanges) instead of the
+//	              sequential VM; requires -p > 1
+//	-machine m    t3e | sp2 | paragon: print modeled cycles/time
+//	-bench name   run a built-in benchmark instead of a file:
+//	              ep, frac, sp, tomcatv, simple, fibro
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/distvm"
+	"repro/internal/driver"
+	"repro/internal/machine"
+	"repro/internal/programs"
+	"repro/internal/vm"
+)
+
+type configFlags map[string]int64
+
+func (c configFlags) String() string { return fmt.Sprintf("%v", map[string]int64(c)) }
+
+func (c configFlags) Set(s string) error {
+	k, v, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("want key=value, got %q", s)
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return err
+	}
+	c[k] = n
+	return nil
+}
+
+func main() {
+	level := flag.String("O", "c2+f3", "optimization level")
+	procs := flag.Int("p", 1, "processor count")
+	distributed := flag.Bool("dist", false, "run on the distributed interpreter")
+	mach := flag.String("machine", "", "machine model: t3e | sp2 | paragon")
+	bench := flag.String("bench", "", "built-in benchmark name")
+	configs := configFlags{}
+	flag.Var(configs, "config", "override a config constant, key=value")
+	flag.Parse()
+
+	var src string
+	switch {
+	case *bench != "":
+		b, ok := programs.ByName(*bench)
+		if !ok {
+			fatal(fmt.Errorf("unknown benchmark %q", *bench))
+		}
+		src = b.Source
+	case flag.NArg() == 1:
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		src = string(data)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: zplrun [flags] file.za")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	lvl, err := core.ParseLevel(*level)
+	if err != nil {
+		fatal(err)
+	}
+	opt := driver.Options{Level: lvl, Configs: configs}
+	if *procs > 1 {
+		co := comm.DefaultOptions(*procs)
+		opt.Comm = &co
+	}
+	c, err := driver.Compile(src, opt)
+	if err != nil {
+		fatal(err)
+	}
+
+	var model *machine.Model
+	switch *mach {
+	case "":
+	case "t3e":
+		m := machine.T3E()
+		model = &m
+	case "sp2":
+		m := machine.SP2()
+		model = &m
+	case "paragon":
+		m := machine.Paragon()
+		model = &m
+	default:
+		fatal(fmt.Errorf("unknown machine %q", *mach))
+	}
+
+	if *distributed {
+		if *procs < 2 {
+			fatal(fmt.Errorf("-dist requires -p > 1"))
+		}
+		dm, err := distvm.Run(c.LIR, distvm.Options{Procs: *procs, Out: os.Stdout})
+		if err != nil {
+			fatal(err)
+		}
+		if err := dm.ScalarsConsistent(); err != nil {
+			fatal(fmt.Errorf("replicated-scalar invariant violated: %w", err))
+		}
+		fmt.Fprintf(os.Stderr, "zplrun: distributed execution on %d processors complete\n", *procs)
+		return
+	}
+
+	vopt := vm.Options{Out: os.Stdout}
+	var tracer *machine.CostTracer
+	if model != nil {
+		tracer = machine.NewCostTracer(*model, *procs)
+		vopt.Tracer = tracer
+	}
+	m, res, err := c.Run(vopt)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "zplrun: %d element-statements, %d bytes of arrays\n",
+		res.Steps, m.MemoryFootprint())
+	if tracer != nil {
+		fmt.Fprintf(os.Stderr, "zplrun: %s (p=%d): %.0f cycles (%.2f ms modeled), %.0f comm cycles\n",
+			model.Name, *procs, tracer.Cycles, tracer.Seconds()*1000, tracer.CommCycles)
+		for i, cache := range tracer.Hierarchy().Levels {
+			fmt.Fprintf(os.Stderr, "zplrun:   %s: %d accesses, %.2f%% miss\n",
+				model.Caches[i].Name, cache.Accesses, cache.MissRate()*100)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "zplrun:", err)
+	os.Exit(1)
+}

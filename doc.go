@@ -1,0 +1,11 @@
+// Package repro reproduces "The Implementation and Evaluation of
+// Fusion and Contraction in Array Languages" (Lewis, Lin & Snyder,
+// PLDI 1998): array-level statement fusion and array contraction for a
+// ZPL-core array language, with the paper's full evaluation.
+//
+// Start with README.md for orientation, DESIGN.md for the system
+// inventory, and EXPERIMENTS.md for paper-versus-measured results.
+// The public surface lives under internal/ (this module is the
+// application); the binaries are cmd/zplc, cmd/zplrun, and
+// cmd/experiments, and runnable walkthroughs live in examples/.
+package repro

@@ -1,0 +1,111 @@
+// Native: compile the heat benchmark to real Go machine code through
+// the gogen back end — once at baseline, once at c2 — build both with
+// the host toolchain, and time them on the actual CPU. The speedup you
+// see here is the paper's effect on your own cache hierarchy, not a
+// model.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/driver"
+	"repro/internal/gogen"
+)
+
+const heat = `
+program heat;
+
+config n : integer = 512;
+config steps : integer = 60;
+
+region R = [1..n, 1..n];
+region I = [2..n-1, 2..n-1];
+
+direction up = (-1, 0); down = (1, 0); left = (0, -1); right = (0, 1);
+
+var T : [R] double;
+var DX, DY, LAP, Q : [R] double;    -- temporaries (contract at c2)
+var heatsum : double;
+
+proc main()
+begin
+  [R] T := sin(0.01 * index1) * cos(0.01 * index2) * 100.0;
+  for s := 1 to steps do
+    [I] DX := T@right - 2.0 * T + T@left;
+    [I] DY := T@down - 2.0 * T + T@up;
+    [I] LAP := DX + DY;
+    [I] Q := 0.1 * LAP;
+    [I] T := T + Q;
+    heatsum := +<< [I] T;
+  end;
+  writeln("heat =", heatsum);
+end;
+`
+
+func main() {
+	dir, err := os.MkdirTemp("", "za-native")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	build := func(level core.Level) string {
+		c, err := driver.Compile(heat, driver.Options{Level: level})
+		if err != nil {
+			log.Fatal(err)
+		}
+		src, err := gogen.Emit(c.LIR)
+		if err != nil {
+			log.Fatal(err)
+		}
+		srcPath := filepath.Join(dir, level.String()+".go")
+		binPath := filepath.Join(dir, level.String()+".bin")
+		if err := os.WriteFile(srcPath, []byte(src), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		cmd := exec.Command("go", "build", "-o", binPath, srcPath)
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			log.Fatalf("go build: %v", err)
+		}
+		counts := core.CountStaticArrays(c.AIR, c.Plan)
+		fmt.Printf("%-9s: %d arrays allocated, %d loop nests\n",
+			level, counts.After(), c.LIR.CountNests())
+		return binPath
+	}
+
+	run := func(bin string) (time.Duration, string) {
+		best := time.Duration(0)
+		var out []byte
+		for trial := 0; trial < 3; trial++ {
+			start := time.Now()
+			b, err := exec.Command(bin).Output()
+			elapsed := time.Since(start)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if best == 0 || elapsed < best {
+				best = elapsed
+			}
+			out = b
+		}
+		return best, string(out)
+	}
+
+	fmt.Println("heat 512x512, 60 steps, compiled to native code via gogen")
+	baseBin := build(core.Baseline)
+	optBin := build(core.C2F3)
+
+	baseT, baseOut := run(baseBin)
+	optT, optOut := run(optBin)
+	fmt.Printf("\nbaseline: %v   %s", baseT, baseOut)
+	fmt.Printf("c2+f3:    %v   %s", optT, optOut)
+	fmt.Printf("\nnative speedup from array-level fusion + contraction: %+.1f%%\n",
+		(float64(baseT)/float64(optT)-1)*100)
+}

@@ -1,0 +1,68 @@
+// Quickstart: compile a tiny ZA program twice — without and with
+// array-level fusion and contraction — run both on the VM, and show
+// that contraction removed the temporary arrays while preserving the
+// computed result.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/driver"
+	"repro/internal/lir"
+	"repro/internal/vm"
+)
+
+const program = `
+program quickstart;
+
+config n : integer = 128;
+
+region R = [1..n, 1..n];
+
+direction north = (-1, 0); east = (0, 1);
+
+var A, D : [R] double;
+var B, C : [R] double;     -- temporaries: contraction removes them
+                           -- (and D too: its only use is the reduction)
+var s : double;
+
+proc main()
+begin
+  [R] A := index1 * 0.25 + index2 * 0.5;
+  [R] B := A@north + A@east;    -- B and C live only inside this block
+  [R] C := B * B;
+  [R] D := C + A;
+  s := +<< [R] D;
+  writeln("sum =", s);
+end;
+`
+
+func main() {
+	for _, level := range []core.Level{core.Baseline, core.C2} {
+		c, err := driver.Compile(program, driver.Options{Level: level})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("=== %s ===\n", level)
+		counts := core.CountStaticArrays(c.AIR, c.Plan)
+		fmt.Printf("arrays: %d declared, %d contracted, %d loop nests\n",
+			counts.Before(), counts.Before()-counts.After(), c.LIR.CountNests())
+
+		machine, _, err := c.Run(vm.Options{Out: os.Stdout})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("array memory: %d KB\n\n", machine.MemoryFootprint()>>10)
+	}
+
+	// Show the generated pseudo-C for the optimized version.
+	c, err := driver.Compile(program, driver.Options{Level: core.C2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== pseudo-C at c2 ===")
+	fmt.Print(lir.EmitC(c.LIR))
+}

@@ -1,0 +1,89 @@
+package air
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Print renders the lowered program as readable text: declarations,
+// then each procedure's body with blocks labeled. The format is stable
+// and used by golden tests and `zplc -emit=air`.
+func Print(p *Program) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s\n", p.Name)
+
+	names := make([]string, 0, len(p.Arrays))
+	for n := range p.Arrays {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		a := p.Arrays[n]
+		tag := ""
+		if a.Temp {
+			tag = " (compiler temp)"
+		}
+		if a.Contracted {
+			tag += " (contracted)"
+		}
+		fmt.Fprintf(&b, "array %s : %s %s alloc %s%s\n", a.Name, a.Declared, a.Elem, a.Alloc, tag)
+	}
+	names = names[:0]
+	for n := range p.Scalars {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		s := p.Scalars[n]
+		if s.Config {
+			fmt.Fprintf(&b, "config %s : %s = %g\n", s.Name, s.Type, s.Init)
+		} else {
+			fmt.Fprintf(&b, "scalar %s : %s\n", s.Name, s.Type)
+		}
+	}
+
+	for _, pr := range sortedProcs(p) {
+		fmt.Fprintf(&b, "proc %s(%s)\n", pr.Name, strings.Join(pr.Params, ", "))
+		printNodes(&b, pr.Body, 1)
+	}
+	return b.String()
+}
+
+func printNodes(b *strings.Builder, nodes []Node, depth int) {
+	ind := strings.Repeat("  ", depth)
+	for _, n := range nodes {
+		switch x := n.(type) {
+		case *Block:
+			fmt.Fprintf(b, "%sblock %d {\n", ind, x.ID)
+			for _, s := range x.Stmts {
+				if as, ok := s.(*ArrayStmt); ok {
+					fmt.Fprintf(b, "%s  S%d: %s\n", ind, as.ID, as)
+				} else {
+					fmt.Fprintf(b, "%s  %s\n", ind, s)
+				}
+			}
+			fmt.Fprintf(b, "%s}\n", ind)
+		case *Loop:
+			dir := "to"
+			if x.Down {
+				dir = "downto"
+			}
+			fmt.Fprintf(b, "%sfor %s := %s %s %s {\n", ind, x.Var, x.Lo, dir, x.Hi)
+			printNodes(b, x.Body, depth+1)
+			fmt.Fprintf(b, "%s}\n", ind)
+		case *While:
+			fmt.Fprintf(b, "%swhile %s {\n", ind, x.Cond)
+			printNodes(b, x.Body, depth+1)
+			fmt.Fprintf(b, "%s}\n", ind)
+		case *If:
+			fmt.Fprintf(b, "%sif %s {\n", ind, x.Cond)
+			printNodes(b, x.Then, depth+1)
+			if len(x.Else) > 0 {
+				fmt.Fprintf(b, "%s} else {\n", ind)
+				printNodes(b, x.Else, depth+1)
+			}
+			fmt.Fprintf(b, "%s}\n", ind)
+		}
+	}
+}

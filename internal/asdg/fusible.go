@@ -1,0 +1,58 @@
+package asdg
+
+import (
+	"repro/internal/air"
+	"repro/internal/sema"
+)
+
+// IsFusible reports whether vertex v may join a fusible cluster.
+// Normalized array statements are the fusion candidates of the paper;
+// we additionally allow full reductions to join clusters as consumers:
+// a reduction's local accumulation loop iterates element-wise over its
+// region exactly like an array statement, and fusing it is what lets
+// benchmarks such as NAS EP eliminate every array. The reduction's
+// global combine (communication) stays outside the cluster.
+func (g *Graph) IsFusible(v int) bool {
+	switch g.Stmts[v].(type) {
+	case *air.ArrayStmt, *air.ReduceStmt:
+		return true
+	}
+	return false
+}
+
+// StmtRegion returns the iteration region of a fusible vertex, or nil
+// for unnormalized statements.
+func (g *Graph) StmtRegion(v int) *sema.Region {
+	switch s := g.Stmts[v].(type) {
+	case *air.ArrayStmt:
+		return s.Region
+	case *air.ReduceStmt:
+		return s.Region
+	}
+	return nil
+}
+
+// References reports whether vertex v references array x (as a read,
+// write, reduction input, or communication subject).
+func (g *Graph) References(v int, x string) bool {
+	switch s := g.Stmts[v].(type) {
+	case *air.ArrayStmt:
+		if s.LHS == x {
+			return true
+		}
+		for _, r := range s.Reads() {
+			if r.Array == x {
+				return true
+			}
+		}
+	case *air.ReduceStmt:
+		for _, r := range air.Refs(s.Body) {
+			if r.Array == x {
+				return true
+			}
+		}
+	case *air.CommStmt:
+		return s.Array == x
+	}
+	return false
+}

@@ -1,0 +1,378 @@
+// Package ast defines the abstract syntax tree of the ZA array language.
+//
+// The tree is deliberately small: the language exists to express the
+// array-statement programs studied by Lewis, Lin & Snyder (PLDI 1998),
+// so it provides regions, directions, element-wise array statements,
+// reductions, and enough scalar control flow to drive iterative solvers.
+package ast
+
+import (
+	"repro/internal/source"
+	"repro/internal/token"
+)
+
+// Node is implemented by every syntax tree node.
+type Node interface {
+	Pos() source.Pos
+}
+
+// ---------------------------------------------------------------------------
+// Program and declarations
+
+// Program is a complete ZA compilation unit.
+type Program struct {
+	NamePos source.Pos
+	Name    string
+	Decls   []Decl
+	Procs   []*ProcDecl
+}
+
+func (p *Program) Pos() source.Pos { return p.NamePos }
+
+// Proc returns the procedure named name, or nil.
+func (p *Program) Proc(name string) *ProcDecl {
+	for _, pr := range p.Procs {
+		if pr.Name == name {
+			return pr
+		}
+	}
+	return nil
+}
+
+// Decl is a top-level declaration.
+type Decl interface {
+	Node
+	declNode()
+}
+
+// ConfigDecl declares a compile-time-bindable constant:
+//
+//	config n : integer = 256;
+type ConfigDecl struct {
+	DeclPos source.Pos
+	Name    string
+	Type    TypeExpr
+	Default Expr
+}
+
+// RegionDecl names an index set:
+//
+//	region R = [1..n, 1..n];
+type RegionDecl struct {
+	DeclPos source.Pos
+	Name    string
+	Lit     *RegionLit
+}
+
+// DirectionDecl names a constant offset vector:
+//
+//	direction north = (-1, 0);
+type DirectionDecl struct {
+	DeclPos source.Pos
+	Name    string
+	Offsets []Expr
+}
+
+// VarDecl declares one or more variables of a common type:
+//
+//	var A, B : [R] double;   -- arrays over region R
+//	var s : double;          -- scalar
+type VarDecl struct {
+	DeclPos source.Pos
+	Names   []string
+	Region  *RegionExpr // nil for scalars
+	Type    TypeExpr
+}
+
+// ProcDecl declares a procedure. Parameters and results are scalar.
+type ProcDecl struct {
+	DeclPos source.Pos
+	Name    string
+	Params  []Param
+	Result  TypeExpr // zero Kind if none
+	Locals  []*VarDecl
+	Body    []Stmt
+}
+
+// Param is a scalar formal parameter.
+type Param struct {
+	Name string
+	Type TypeExpr
+}
+
+func (d *ConfigDecl) Pos() source.Pos    { return d.DeclPos }
+func (d *RegionDecl) Pos() source.Pos    { return d.DeclPos }
+func (d *DirectionDecl) Pos() source.Pos { return d.DeclPos }
+func (d *VarDecl) Pos() source.Pos       { return d.DeclPos }
+func (d *ProcDecl) Pos() source.Pos      { return d.DeclPos }
+
+func (*ConfigDecl) declNode()    {}
+func (*RegionDecl) declNode()    {}
+func (*DirectionDecl) declNode() {}
+func (*VarDecl) declNode()       {}
+func (*ProcDecl) declNode()      {}
+
+// ---------------------------------------------------------------------------
+// Type syntax
+
+// TypeKind enumerates the scalar element types.
+type TypeKind int
+
+const (
+	InvalidType TypeKind = iota
+	Integer
+	Double
+	Boolean
+)
+
+func (k TypeKind) String() string {
+	switch k {
+	case Integer:
+		return "integer"
+	case Double:
+		return "double"
+	case Boolean:
+		return "boolean"
+	}
+	return "invalid"
+}
+
+// TypeExpr is the written form of a scalar type.
+type TypeExpr struct {
+	TypePos source.Pos
+	Kind    TypeKind
+}
+
+// ---------------------------------------------------------------------------
+// Regions
+
+// RegionExpr is either a reference to a named region or an inline literal.
+type RegionExpr struct {
+	ExprPos source.Pos
+	Name    string     // non-empty for named reference
+	Lit     *RegionLit // non-nil for inline literal
+}
+
+func (r *RegionExpr) Pos() source.Pos { return r.ExprPos }
+
+// RegionLit is an inline region literal [lo1..hi1, lo2..hi2, ...].
+type RegionLit struct {
+	LitPos source.Pos
+	Ranges []Range
+}
+
+func (r *RegionLit) Pos() source.Pos { return r.LitPos }
+
+// Range is one dimension's bounds, inclusive on both ends.
+type Range struct {
+	Lo, Hi Expr
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+// Stmt is a statement node.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// ArrayAssign is an array statement executed over a region:
+//
+//	[R] A := B@north + 2.0 * C;
+type ArrayAssign struct {
+	StmtPos source.Pos
+	Region  *RegionExpr
+	LHS     string // array being assigned (written at offset zero)
+	RHS     Expr
+}
+
+// ScalarAssign assigns to a scalar variable. The RHS may be a
+// ReduceExpr, which is how reductions enter scalar code.
+type ScalarAssign struct {
+	StmtPos source.Pos
+	LHS     string
+	RHS     Expr
+}
+
+// IfStmt is scalar control flow.
+type IfStmt struct {
+	StmtPos source.Pos
+	Cond    Expr
+	Then    []Stmt
+	Else    []Stmt // may be nil
+}
+
+// ForStmt is a scalar counted loop: for i := lo to hi do ... end;
+type ForStmt struct {
+	StmtPos source.Pos
+	Var     string
+	Lo, Hi  Expr
+	Down    bool // downto
+	Body    []Stmt
+}
+
+// WhileStmt is a scalar while loop.
+type WhileStmt struct {
+	StmtPos source.Pos
+	Cond    Expr
+	Body    []Stmt
+}
+
+// CallStmt invokes a procedure for its effects.
+type CallStmt struct {
+	StmtPos source.Pos
+	Call    *CallExpr
+}
+
+// ReturnStmt returns from a procedure, optionally with a scalar value.
+type ReturnStmt struct {
+	StmtPos source.Pos
+	Value   Expr // may be nil
+}
+
+// WritelnStmt prints its scalar arguments (strings or scalar exprs).
+type WritelnStmt struct {
+	StmtPos source.Pos
+	Args    []Expr
+}
+
+func (s *ArrayAssign) Pos() source.Pos  { return s.StmtPos }
+func (s *ScalarAssign) Pos() source.Pos { return s.StmtPos }
+func (s *IfStmt) Pos() source.Pos       { return s.StmtPos }
+func (s *ForStmt) Pos() source.Pos      { return s.StmtPos }
+func (s *WhileStmt) Pos() source.Pos    { return s.StmtPos }
+func (s *CallStmt) Pos() source.Pos     { return s.StmtPos }
+func (s *ReturnStmt) Pos() source.Pos   { return s.StmtPos }
+func (s *WritelnStmt) Pos() source.Pos  { return s.StmtPos }
+
+func (*ArrayAssign) stmtNode()  {}
+func (*ScalarAssign) stmtNode() {}
+func (*IfStmt) stmtNode()       {}
+func (*ForStmt) stmtNode()      {}
+func (*WhileStmt) stmtNode()    {}
+func (*CallStmt) stmtNode()     {}
+func (*ReturnStmt) stmtNode()   {}
+func (*WritelnStmt) stmtNode()  {}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+// Expr is an expression node.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// Ident references a scalar variable, config constant, loop variable,
+// or — inside an array statement — an array at offset zero.
+type Ident struct {
+	ExprPos source.Pos
+	Name    string
+}
+
+// AtExpr references an array shifted by a direction: A@north or A@(0,1).
+type AtExpr struct {
+	ExprPos source.Pos
+	Array   string
+	DirName string // non-empty for a named direction
+	Offsets []Expr // non-nil for a literal direction
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	ExprPos source.Pos
+	Value   int64
+}
+
+// FloatLit is a floating literal.
+type FloatLit struct {
+	ExprPos source.Pos
+	Value   float64
+	Text    string
+}
+
+// BoolLit is true or false.
+type BoolLit struct {
+	ExprPos source.Pos
+	Value   bool
+}
+
+// StringLit appears only as a writeln argument.
+type StringLit struct {
+	ExprPos source.Pos
+	Value   string
+}
+
+// BinaryExpr applies a binary operator element-wise (in array context)
+// or to scalars.
+type BinaryExpr struct {
+	ExprPos source.Pos
+	Op      token.Kind
+	X, Y    Expr
+}
+
+// UnaryExpr applies unary minus or logical not.
+type UnaryExpr struct {
+	ExprPos source.Pos
+	Op      token.Kind
+	X       Expr
+}
+
+// CallExpr invokes a builtin math function or a user procedure.
+type CallExpr struct {
+	ExprPos source.Pos
+	Name    string
+	Args    []Expr
+}
+
+// ReduceExpr is a full reduction over a region: +<< [R] expr.
+type ReduceExpr struct {
+	ExprPos source.Pos
+	Op      token.Kind // REDPLUS, REDSTAR, REDMAX, REDMIN
+	Region  *RegionExpr
+	Body    Expr
+}
+
+func (e *Ident) Pos() source.Pos      { return e.ExprPos }
+func (e *AtExpr) Pos() source.Pos     { return e.ExprPos }
+func (e *IntLit) Pos() source.Pos     { return e.ExprPos }
+func (e *FloatLit) Pos() source.Pos   { return e.ExprPos }
+func (e *BoolLit) Pos() source.Pos    { return e.ExprPos }
+func (e *StringLit) Pos() source.Pos  { return e.ExprPos }
+func (e *BinaryExpr) Pos() source.Pos { return e.ExprPos }
+func (e *UnaryExpr) Pos() source.Pos  { return e.ExprPos }
+func (e *CallExpr) Pos() source.Pos   { return e.ExprPos }
+func (e *ReduceExpr) Pos() source.Pos { return e.ExprPos }
+
+func (*Ident) exprNode()      {}
+func (*AtExpr) exprNode()     {}
+func (*IntLit) exprNode()     {}
+func (*FloatLit) exprNode()   {}
+func (*BoolLit) exprNode()    {}
+func (*StringLit) exprNode()  {}
+func (*BinaryExpr) exprNode() {}
+func (*UnaryExpr) exprNode()  {}
+func (*CallExpr) exprNode()   {}
+func (*ReduceExpr) exprNode() {}
+
+// Walk calls fn for every node in the expression tree rooted at e,
+// in pre-order. fn returning false prunes the subtree.
+func Walk(e Expr, fn func(Expr) bool) {
+	if e == nil || !fn(e) {
+		return
+	}
+	switch x := e.(type) {
+	case *BinaryExpr:
+		Walk(x.X, fn)
+		Walk(x.Y, fn)
+	case *UnaryExpr:
+		Walk(x.X, fn)
+	case *CallExpr:
+		for _, a := range x.Args {
+			Walk(a, fn)
+		}
+	case *ReduceExpr:
+		Walk(x.Body, fn)
+	}
+}

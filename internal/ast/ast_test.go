@@ -1,0 +1,115 @@
+package ast
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/source"
+	"repro/internal/token"
+)
+
+func TestExprString(t *testing.T) {
+	pos := source.Pos{Line: 1, Col: 1}
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{&Ident{ExprPos: pos, Name: "x"}, "x"},
+		{&IntLit{ExprPos: pos, Value: 42}, "42"},
+		{&FloatLit{ExprPos: pos, Value: 2.5, Text: "2.5"}, "2.5"},
+		{&FloatLit{ExprPos: pos, Value: 2.5}, "2.5"},
+		{&BoolLit{ExprPos: pos, Value: true}, "true"},
+		{&StringLit{ExprPos: pos, Value: "hi"}, `"hi"`},
+		{&AtExpr{ExprPos: pos, Array: "A", DirName: "north"}, "A@north"},
+		{&AtExpr{ExprPos: pos, Array: "A", Offsets: []Expr{
+			&IntLit{Value: -1}, &IntLit{Value: 0}}}, "A@(-1, 0)"},
+		{&UnaryExpr{ExprPos: pos, Op: token.MINUS, X: &Ident{Name: "x"}}, "-x"},
+		{&CallExpr{ExprPos: pos, Name: "max", Args: []Expr{
+			&Ident{Name: "a"}, &Ident{Name: "b"}}}, "max(a, b)"},
+		{&BinaryExpr{ExprPos: pos, Op: token.PLUS,
+			X: &Ident{Name: "a"},
+			Y: &BinaryExpr{Op: token.STAR, X: &Ident{Name: "b"}, Y: &Ident{Name: "c"}},
+		}, "a + b * c"},
+		{&BinaryExpr{ExprPos: pos, Op: token.STAR,
+			X: &BinaryExpr{Op: token.PLUS, X: &Ident{Name: "a"}, Y: &Ident{Name: "b"}},
+			Y: &Ident{Name: "c"},
+		}, "(a + b) * c"},
+	}
+	for _, c := range cases {
+		if got := ExprString(c.e); got != c.want {
+			t.Errorf("ExprString = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestWalkPruning(t *testing.T) {
+	e := &BinaryExpr{
+		Op: token.PLUS,
+		X:  &CallExpr{Name: "f", Args: []Expr{&Ident{Name: "inner"}}},
+		Y:  &Ident{Name: "y"},
+	}
+	var visited []string
+	Walk(e, func(x Expr) bool {
+		switch n := x.(type) {
+		case *Ident:
+			visited = append(visited, n.Name)
+		case *CallExpr:
+			return false // prune: skip "inner"
+		}
+		return true
+	})
+	if len(visited) != 1 || visited[0] != "y" {
+		t.Errorf("visited = %v, want [y]", visited)
+	}
+}
+
+func TestFormatProgramParts(t *testing.T) {
+	prog := &Program{
+		Name: "demo",
+		Decls: []Decl{
+			&ConfigDecl{Name: "n", Type: TypeExpr{Kind: Integer}, Default: &IntLit{Value: 4}},
+			&RegionDecl{Name: "R", Lit: &RegionLit{Ranges: []Range{
+				{Lo: &IntLit{Value: 1}, Hi: &Ident{Name: "n"}},
+			}}},
+			&DirectionDecl{Name: "e", Offsets: []Expr{&IntLit{Value: 0}, &IntLit{Value: 1}}},
+			&VarDecl{Names: []string{"A", "B"},
+				Region: &RegionExpr{Name: "R"}, Type: TypeExpr{Kind: Double}},
+		},
+		Procs: []*ProcDecl{{
+			Name:   "f",
+			Params: []Param{{Name: "x", Type: TypeExpr{Kind: Double}}},
+			Result: TypeExpr{Kind: Double},
+			Body: []Stmt{
+				&ReturnStmt{Value: &Ident{Name: "x"}},
+			},
+		}},
+	}
+	out := Format(prog)
+	for _, want := range []string{
+		"program demo;",
+		"config n : integer = 4;",
+		"region R = [1..n];",
+		"direction e = (0, 1);",
+		"var A, B : [R] double;",
+		"proc f(x : double) : double",
+		"return x;",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestProcLookup(t *testing.T) {
+	p := &Program{Procs: []*ProcDecl{{Name: "a"}, {Name: "b"}}}
+	if p.Proc("b") == nil || p.Proc("zz") != nil {
+		t.Error("Proc lookup broken")
+	}
+}
+
+func TestTypeKindString(t *testing.T) {
+	if Integer.String() != "integer" || Double.String() != "double" ||
+		Boolean.String() != "boolean" || InvalidType.String() != "invalid" {
+		t.Error("TypeKind names broken")
+	}
+}

@@ -1,0 +1,195 @@
+package ast
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders the program as canonical ZA source. The result parses
+// back to an equivalent tree, which the parser round-trip tests rely on.
+func Format(p *Program) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s;\n", p.Name)
+	for _, d := range p.Decls {
+		b.WriteString(formatDecl(d))
+	}
+	for _, pr := range p.Procs {
+		b.WriteString(formatProc(pr))
+	}
+	return b.String()
+}
+
+func formatDecl(d Decl) string {
+	switch x := d.(type) {
+	case *ConfigDecl:
+		return fmt.Sprintf("config %s : %s = %s;\n", x.Name, x.Type.Kind, ExprString(x.Default))
+	case *RegionDecl:
+		return fmt.Sprintf("region %s = %s;\n", x.Name, regionLitString(x.Lit))
+	case *DirectionDecl:
+		offs := make([]string, len(x.Offsets))
+		for i, o := range x.Offsets {
+			offs[i] = ExprString(o)
+		}
+		return fmt.Sprintf("direction %s = (%s);\n", x.Name, strings.Join(offs, ", "))
+	case *VarDecl:
+		return "var " + varDeclString(x) + ";\n"
+	}
+	return fmt.Sprintf("-- unknown decl %T\n", d)
+}
+
+func varDeclString(x *VarDecl) string {
+	t := x.Type.Kind.String()
+	if x.Region != nil {
+		t = RegionString(x.Region) + " " + t
+	}
+	return fmt.Sprintf("%s : %s", strings.Join(x.Names, ", "), t)
+}
+
+func formatProc(p *ProcDecl) string {
+	var b strings.Builder
+	params := make([]string, len(p.Params))
+	for i, pa := range p.Params {
+		params[i] = fmt.Sprintf("%s : %s", pa.Name, pa.Type.Kind)
+	}
+	fmt.Fprintf(&b, "proc %s(%s)", p.Name, strings.Join(params, "; "))
+	if p.Result.Kind != InvalidType {
+		fmt.Fprintf(&b, " : %s", p.Result.Kind)
+	}
+	b.WriteString("\n")
+	for _, l := range p.Locals {
+		b.WriteString("var " + varDeclString(l) + ";\n")
+	}
+	b.WriteString("begin\n")
+	writeStmts(&b, p.Body, 1)
+	b.WriteString("end;\n")
+	return b.String()
+}
+
+func writeStmts(b *strings.Builder, stmts []Stmt, depth int) {
+	ind := strings.Repeat("  ", depth)
+	for _, s := range stmts {
+		switch x := s.(type) {
+		case *ArrayAssign:
+			fmt.Fprintf(b, "%s%s %s := %s;\n", ind, RegionString(x.Region), x.LHS, ExprString(x.RHS))
+		case *ScalarAssign:
+			fmt.Fprintf(b, "%s%s := %s;\n", ind, x.LHS, ExprString(x.RHS))
+		case *IfStmt:
+			fmt.Fprintf(b, "%sif %s then\n", ind, ExprString(x.Cond))
+			writeStmts(b, x.Then, depth+1)
+			if x.Else != nil {
+				fmt.Fprintf(b, "%selse\n", ind)
+				writeStmts(b, x.Else, depth+1)
+			}
+			fmt.Fprintf(b, "%send;\n", ind)
+		case *ForStmt:
+			dir := "to"
+			if x.Down {
+				dir = "downto"
+			}
+			fmt.Fprintf(b, "%sfor %s := %s %s %s do\n", ind, x.Var, ExprString(x.Lo), dir, ExprString(x.Hi))
+			writeStmts(b, x.Body, depth+1)
+			fmt.Fprintf(b, "%send;\n", ind)
+		case *WhileStmt:
+			fmt.Fprintf(b, "%swhile %s do\n", ind, ExprString(x.Cond))
+			writeStmts(b, x.Body, depth+1)
+			fmt.Fprintf(b, "%send;\n", ind)
+		case *CallStmt:
+			fmt.Fprintf(b, "%s%s;\n", ind, ExprString(x.Call))
+		case *ReturnStmt:
+			if x.Value != nil {
+				fmt.Fprintf(b, "%sreturn %s;\n", ind, ExprString(x.Value))
+			} else {
+				fmt.Fprintf(b, "%sreturn;\n", ind)
+			}
+		case *WritelnStmt:
+			args := make([]string, len(x.Args))
+			for i, a := range x.Args {
+				args[i] = ExprString(a)
+			}
+			fmt.Fprintf(b, "%swriteln(%s);\n", ind, strings.Join(args, ", "))
+		default:
+			fmt.Fprintf(b, "%s-- unknown stmt %T\n", ind, s)
+		}
+	}
+}
+
+// RegionString renders a region expression.
+func RegionString(r *RegionExpr) string {
+	if r == nil {
+		return "[?]"
+	}
+	if r.Name != "" {
+		return "[" + r.Name + "]"
+	}
+	return regionLitString(r.Lit)
+}
+
+func regionLitString(l *RegionLit) string {
+	if l == nil {
+		return "[?]"
+	}
+	parts := make([]string, len(l.Ranges))
+	for i, rg := range l.Ranges {
+		parts[i] = ExprString(rg.Lo) + ".." + ExprString(rg.Hi)
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}
+
+// ExprString renders an expression with minimal parentheses.
+func ExprString(e Expr) string {
+	return exprString(e, 0)
+}
+
+func exprString(e Expr, parentPrec int) string {
+	switch x := e.(type) {
+	case *Ident:
+		return x.Name
+	case *AtExpr:
+		if x.DirName != "" {
+			return x.Array + "@" + x.DirName
+		}
+		offs := make([]string, len(x.Offsets))
+		for i, o := range x.Offsets {
+			offs[i] = ExprString(o)
+		}
+		return x.Array + "@(" + strings.Join(offs, ", ") + ")"
+	case *IntLit:
+		return fmt.Sprintf("%d", x.Value)
+	case *FloatLit:
+		if x.Text != "" {
+			return x.Text
+		}
+		return fmt.Sprintf("%g", x.Value)
+	case *BoolLit:
+		if x.Value {
+			return "true"
+		}
+		return "false"
+	case *StringLit:
+		return fmt.Sprintf("%q", x.Value)
+	case *BinaryExpr:
+		prec := x.Op.Precedence()
+		s := exprString(x.X, prec) + " " + x.Op.String() + " " + exprString(x.Y, prec+1)
+		if prec < parentPrec {
+			return "(" + s + ")"
+		}
+		return s
+	case *UnaryExpr:
+		s := x.Op.String() + exprString(x.X, 7)
+		if parentPrec > 6 {
+			return "(" + s + ")"
+		}
+		return s
+	case *CallExpr:
+		args := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = ExprString(a)
+		}
+		return x.Name + "(" + strings.Join(args, ", ") + ")"
+	case *ReduceExpr:
+		return x.Op.String() + " " + RegionString(x.Region) + " " + exprString(x.Body, 7)
+	case nil:
+		return "<nil>"
+	}
+	return fmt.Sprintf("<%T>", e)
+}

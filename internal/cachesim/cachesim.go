@@ -1,0 +1,173 @@
+// Package cachesim provides a set-associative, write-allocate,
+// LRU-replacement cache simulator. Machine models drive it with the
+// VM's element-access trace to expose the memory-system effects that
+// statement fusion and array contraction change: intermediate arrays
+// pollute the cache, contraction removes their traffic entirely.
+package cachesim
+
+import "fmt"
+
+// Config describes one cache level.
+type Config struct {
+	Name      string
+	SizeBytes int
+	LineBytes int
+	Assoc     int // ways; 1 = direct-mapped
+}
+
+// Validate checks the configuration's internal consistency.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.LineBytes <= 0 || c.Assoc <= 0 {
+		return fmt.Errorf("cachesim: nonpositive geometry %+v", c)
+	}
+	if c.SizeBytes%(c.LineBytes*c.Assoc) != 0 {
+		return fmt.Errorf("cachesim: size %d not divisible by line*assoc", c.SizeBytes)
+	}
+	if c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("cachesim: line size %d not a power of two", c.LineBytes)
+	}
+	return nil
+}
+
+// Cache simulates one level.
+type Cache struct {
+	cfg      Config
+	sets     int
+	lineBits uint
+	// tags[set][way]; lru[set][way] is a recency counter (higher =
+	// more recent).
+	tags  [][]int64
+	valid [][]bool
+	lru   [][]uint64
+	clock uint64
+
+	Accesses int64
+	Hits     int64
+	Misses   int64
+}
+
+// New builds a cache from the configuration.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sets := cfg.SizeBytes / (cfg.LineBytes * cfg.Assoc)
+	lineBits := uint(0)
+	for (1 << lineBits) < cfg.LineBytes {
+		lineBits++
+	}
+	c := &Cache{cfg: cfg, sets: sets, lineBits: lineBits}
+	c.tags = make([][]int64, sets)
+	c.valid = make([][]bool, sets)
+	c.lru = make([][]uint64, sets)
+	for i := range c.tags {
+		c.tags[i] = make([]int64, cfg.Assoc)
+		c.valid[i] = make([]bool, cfg.Assoc)
+		c.lru[i] = make([]uint64, cfg.Assoc)
+	}
+	return c, nil
+}
+
+// MustNew panics on configuration error.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Access simulates one access to addr and reports whether it hit.
+// Write misses allocate (write-allocate policy).
+func (c *Cache) Access(addr int64) bool {
+	c.Accesses++
+	c.clock++
+	line := addr >> c.lineBits
+	set := int(line % int64(c.sets))
+	ways := c.tags[set]
+	valid := c.valid[set]
+	lru := c.lru[set]
+	for w := range ways {
+		if valid[w] && ways[w] == line {
+			c.Hits++
+			lru[w] = c.clock
+			return true
+		}
+	}
+	c.Misses++
+	// Replace the least recently used way.
+	victim := 0
+	for w := 1; w < len(ways); w++ {
+		if !valid[w] {
+			victim = w
+			break
+		}
+		if lru[w] < lru[victim] && valid[victim] {
+			victim = w
+		}
+	}
+	ways[victim] = line
+	valid[victim] = true
+	lru[victim] = c.clock
+	return false
+}
+
+// Reset clears contents and statistics.
+func (c *Cache) Reset() {
+	for i := range c.valid {
+		for w := range c.valid[i] {
+			c.valid[i][w] = false
+			c.lru[i][w] = 0
+		}
+	}
+	c.clock = 0
+	c.Accesses, c.Hits, c.Misses = 0, 0, 0
+}
+
+// MissRate returns Misses/Accesses (0 when no accesses).
+func (c *Cache) MissRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(c.Accesses)
+}
+
+// Hierarchy is an inclusive multi-level cache: an access missing level
+// i proceeds to level i+1.
+type Hierarchy struct {
+	Levels []*Cache
+}
+
+// NewHierarchy builds a hierarchy from level configs, L1 first.
+func NewHierarchy(cfgs ...Config) (*Hierarchy, error) {
+	h := &Hierarchy{}
+	for _, cfg := range cfgs {
+		c, err := New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		h.Levels = append(h.Levels, c)
+	}
+	return h, nil
+}
+
+// Access simulates one access; it returns the level that hit (0-based)
+// or len(Levels) for memory.
+func (h *Hierarchy) Access(addr int64) int {
+	for i, c := range h.Levels {
+		if c.Access(addr) {
+			return i
+		}
+	}
+	return len(h.Levels)
+}
+
+// Reset clears every level.
+func (h *Hierarchy) Reset() {
+	for _, c := range h.Levels {
+		c.Reset()
+	}
+}

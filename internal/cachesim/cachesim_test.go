@@ -1,0 +1,166 @@
+package cachesim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDirectMappedBasics(t *testing.T) {
+	// 4 lines of 32 bytes, direct-mapped.
+	c := MustNew(Config{Name: "L1", SizeBytes: 128, LineBytes: 32, Assoc: 1})
+	if c.Access(0) {
+		t.Error("cold access hit")
+	}
+	if !c.Access(0) {
+		t.Error("repeat access missed")
+	}
+	if !c.Access(31) {
+		t.Error("same-line access missed")
+	}
+	if c.Access(32) {
+		t.Error("next line hit cold")
+	}
+	// 0 and 128 conflict in a 128-byte direct-mapped cache.
+	c.Access(128)
+	if c.Access(0) {
+		t.Error("conflicting line not evicted")
+	}
+}
+
+func TestAssociativityAvoidsConflict(t *testing.T) {
+	// Two-way: lines 0 and 128 can coexist.
+	c := MustNew(Config{Name: "L1", SizeBytes: 256, LineBytes: 32, Assoc: 2})
+	c.Access(0)
+	c.Access(1024) // maps to same set in a 4-set cache
+	if !c.Access(0) {
+		t.Error("two-way cache evicted a coresident line")
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	// 2-way, 1 set: lines A, B, then touch A, insert C -> B evicted.
+	c := MustNew(Config{Name: "L1", SizeBytes: 64, LineBytes: 32, Assoc: 2})
+	c.Access(0)  // A
+	c.Access(32) // B
+	c.Access(0)  // A again (MRU)
+	c.Access(64) // C evicts LRU = B
+	if !c.Access(0) {
+		t.Error("A evicted despite being MRU")
+	}
+	if c.Access(32) {
+		t.Error("B survived despite being LRU")
+	}
+}
+
+func TestStatsConsistency(t *testing.T) {
+	c := MustNew(Config{Name: "L1", SizeBytes: 1024, LineBytes: 32, Assoc: 2})
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		c.Access(int64(r.Intn(4096)))
+	}
+	if c.Hits+c.Misses != c.Accesses {
+		t.Errorf("hits %d + misses %d != accesses %d", c.Hits, c.Misses, c.Accesses)
+	}
+	if c.MissRate() < 0 || c.MissRate() > 1 {
+		t.Errorf("miss rate %f out of range", c.MissRate())
+	}
+}
+
+// Property: hits+misses==accesses and capacity working sets always hit
+// after a warm-up pass.
+func TestQuickWorkingSetFits(t *testing.T) {
+	f := func(seed int64, nLines uint8) bool {
+		lines := int(nLines%8) + 1
+		c := MustNew(Config{Name: "q", SizeBytes: 16 * 32, LineBytes: 32, Assoc: 16})
+		// A working set of <= 16 lines in a fully associative
+		// 16-line cache: second pass must hit every time.
+		for pass := 0; pass < 2; pass++ {
+			for l := 0; l < lines; l++ {
+				hit := c.Access(int64(l * 32))
+				if pass == 1 && !hit {
+					return false
+				}
+			}
+		}
+		return c.Hits+c.Misses == c.Accesses
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSequentialSpatialLocality(t *testing.T) {
+	// Sequential 8-byte accesses with 32-byte lines: 1 miss per 4.
+	c := MustNew(Config{Name: "L1", SizeBytes: 8192, LineBytes: 32, Assoc: 1})
+	for i := 0; i < 1024; i++ {
+		c.Access(int64(i * 8))
+	}
+	if c.Misses != 256 {
+		t.Errorf("misses = %d, want 256", c.Misses)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := MustNew(Config{Name: "L1", SizeBytes: 128, LineBytes: 32, Assoc: 1})
+	c.Access(0)
+	c.Reset()
+	if c.Accesses != 0 || c.Hits != 0 || c.Misses != 0 {
+		t.Error("stats survived reset")
+	}
+	if c.Access(0) {
+		t.Error("contents survived reset")
+	}
+}
+
+func TestHierarchy(t *testing.T) {
+	h, err := NewHierarchy(
+		Config{Name: "L1", SizeBytes: 64, LineBytes: 32, Assoc: 1},
+		Config{Name: "L2", SizeBytes: 256, LineBytes: 32, Assoc: 2},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lvl := h.Access(0); lvl != 2 {
+		t.Errorf("cold access served by level %d, want memory (2)", lvl)
+	}
+	if lvl := h.Access(0); lvl != 0 {
+		t.Errorf("hot access served by level %d, want L1 (0)", lvl)
+	}
+	// Evict from tiny L1 but not from L2.
+	h.Access(64)
+	h.Access(128)
+	if lvl := h.Access(0); lvl != 1 {
+		t.Errorf("L1-evicted line served by level %d, want L2 (1)", lvl)
+	}
+}
+
+func TestInvalidConfigs(t *testing.T) {
+	bad := []Config{
+		{SizeBytes: 0, LineBytes: 32, Assoc: 1},
+		{SizeBytes: 128, LineBytes: 0, Assoc: 1},
+		{SizeBytes: 128, LineBytes: 32, Assoc: 0},
+		{SizeBytes: 100, LineBytes: 32, Assoc: 1}, // not divisible
+		{SizeBytes: 128, LineBytes: 24, Assoc: 1}, // line not power of 2
+	}
+	for _, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestPaperMachineGeometries(t *testing.T) {
+	// The three paper cache geometries must construct cleanly.
+	geoms := []Config{
+		{Name: "T3E-L1", SizeBytes: 8 * 1024, LineBytes: 32, Assoc: 1},
+		{Name: "T3E-L2", SizeBytes: 96 * 1024, LineBytes: 64, Assoc: 3},
+		{Name: "SP2", SizeBytes: 128 * 1024, LineBytes: 128, Assoc: 4},
+		{Name: "Paragon", SizeBytes: 8 * 1024, LineBytes: 32, Assoc: 2},
+	}
+	for _, g := range geoms {
+		if _, err := New(g); err != nil {
+			t.Errorf("%s: %v", g.Name, err)
+		}
+	}
+}

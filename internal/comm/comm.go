@@ -1,0 +1,260 @@
+// Package comm inserts and optimizes the compiler-generated
+// communication primitives of a distributed execution (§5.5). Every
+// array dimension is block-distributed (the paper's assumption), so an
+// @-reference with a nonzero offset needs a ghost-cell exchange with
+// the neighbor in that direction before its consuming statement runs.
+//
+// The optimizations match the ones the paper discusses:
+//
+//   - message vectorization is inherent: a primitive moves the whole
+//     halo slab of an array statement, never per-element messages;
+//   - redundancy elimination skips an exchange whose halo is still
+//     valid (same array and offset, no intervening write);
+//   - message combining piggybacks consecutive exchanges headed to the
+//     same neighbor onto one message (startup paid once);
+//   - pipelining splits an exchange into a send posted right after the
+//     producing statement and a receive right before the consumer, so
+//     intervening computation hides the latency.
+//
+// Communication statements are unnormalized: they are never fusion or
+// contraction candidates, and any array they touch keeps its halo and
+// stays in memory.
+package comm
+
+import (
+	"repro/internal/air"
+	"repro/internal/sema"
+)
+
+// Strategy resolves the fusion-versus-communication conflict of §5.5.
+type Strategy int
+
+// Strategies.
+const (
+	// FavorFusion never lets communication optimization prevent
+	// fusion (the paper's recommendation).
+	FavorFusion Strategy = iota
+	// FavorComm forbids fusion that would shrink a pipelined
+	// message's overlap window: statements may only fuse within the
+	// same communication-free segment of their block.
+	FavorComm
+)
+
+func (s Strategy) String() string {
+	if s == FavorComm {
+		return "favor-comm"
+	}
+	return "favor-fusion"
+}
+
+// Options configures insertion and optimization.
+type Options struct {
+	Procs          int // processor count; <=1 disables communication
+	Strategy       Strategy
+	RedundancyElim bool
+	Combine        bool
+	Pipeline       bool
+}
+
+// DefaultOptions enables every optimization with the favor-fusion
+// strategy, matching the configuration of the paper's main experiments.
+func DefaultOptions(procs int) Options {
+	return Options{
+		Procs:          procs,
+		Strategy:       FavorFusion,
+		RedundancyElim: true,
+		Combine:        true,
+		Pipeline:       true,
+	}
+}
+
+// Result reports what insertion did.
+type Result struct {
+	Inserted   int // primitives inserted (pipelined pairs count once)
+	Eliminated int // exchanges avoided by redundancy elimination
+	Combined   int // messages piggybacked onto a predecessor
+	Pipelined  int // exchanges split into send/recv halves
+}
+
+// Insert rewrites every block of the program, inserting communication
+// primitives before consumers of remote data. It must run before the
+// fusion phase so that the primitives participate in dependence
+// analysis (the paper's argument for array-level integration).
+func Insert(prog *air.Program, opt Options) *Result {
+	res := &Result{}
+	if opt.Procs <= 1 {
+		return res
+	}
+	msgID := 0
+	for _, b := range prog.AllBlocks() {
+		msgID = insertBlock(b, opt, res, msgID)
+	}
+	return res
+}
+
+type haloKey struct {
+	array string
+	off   string
+}
+
+func insertBlock(b *air.Block, opt Options, res *Result, msgID int) int {
+	valid := map[haloKey]bool{}
+	lastWrite := map[string]int{} // array -> original index of last write
+	// before[j] collects primitives to splice in before original
+	// statement j; len(b.Stmts)+1 slots so sends can land anywhere.
+	before := make([][]air.Stmt, len(b.Stmts)+1)
+
+	for j, s := range b.Stmts {
+		var reads []air.Ref
+		reg := regionOf(s)
+		switch x := s.(type) {
+		case *air.ArrayStmt:
+			reads = x.Reads()
+		case *air.ReduceStmt:
+			reads = air.Refs(x.Body)
+		case *air.PartialReduceStmt:
+			reads = air.Refs(x.Body)
+			reg = x.Region
+		}
+		for _, r := range reads {
+			if r.Off.IsZero() {
+				continue
+			}
+			// Decompose the offset into per-neighbor exchanges
+			// (cardinal strips plus diagonal corners), mirroring the
+			// ZPL runtime: a read at (1,1) needs the north and east
+			// strips and the north-east corner, each a disjoint slab.
+			for _, dir := range NeighborDirections(r.Off) {
+				key := haloKey{r.Array, dir.String()}
+				if opt.RedundancyElim && valid[key] {
+					res.Eliminated++
+					continue
+				}
+				valid[key] = true
+				res.Inserted++
+				if opt.Pipeline {
+					msgID++
+					res.Pipelined++
+					sendPos := 0
+					if w, ok := lastWrite[r.Array]; ok {
+						sendPos = w + 1
+					}
+					before[sendPos] = append(before[sendPos], &air.CommStmt{
+						Array: r.Array, Off: dir, Region: reg,
+						Phase: air.CommSend, MsgID: msgID,
+					})
+					before[j] = append(before[j], &air.CommStmt{
+						Array: r.Array, Off: dir, Region: reg,
+						Phase: air.CommRecv, MsgID: msgID,
+					})
+				} else {
+					before[j] = append(before[j], &air.CommStmt{
+						Array: r.Array, Off: dir, Region: reg,
+					})
+				}
+			}
+		}
+		// Writes invalidate the array's halos.
+		var written string
+		switch x := s.(type) {
+		case *air.ArrayStmt:
+			written = x.LHS
+		case *air.PartialReduceStmt:
+			written = x.LHS
+		}
+		if written != "" {
+			for k := range valid {
+				if k.array == written {
+					delete(valid, k)
+				}
+			}
+			lastWrite[written] = j
+		}
+	}
+
+	var out []air.Stmt
+	for j := range b.Stmts {
+		out = append(out, before[j]...)
+		out = append(out, b.Stmts[j])
+	}
+	out = append(out, before[len(b.Stmts)]...)
+
+	if opt.Combine {
+		combine(out, res)
+	}
+	b.Stmts = out
+	return msgID
+}
+
+// regionOf returns the iteration region of a fusible statement.
+func regionOf(s air.Stmt) *sema.Region {
+	switch x := s.(type) {
+	case *air.ArrayStmt:
+		return x.Region
+	case *air.ReduceStmt:
+		return x.Region
+	case *air.PartialReduceStmt:
+		return x.Region
+	}
+	return nil
+}
+
+// combine piggybacks consecutive whole exchanges to the same neighbor:
+// every primitive after the first in such a run pays only bandwidth.
+func combine(stmts []air.Stmt, res *Result) {
+	var prev *air.CommStmt
+	for _, s := range stmts {
+		c, ok := s.(*air.CommStmt)
+		if !ok || c.Phase != air.CommWhole {
+			prev = nil
+			continue
+		}
+		if prev != nil && prev.Off.Equal(c.Off) {
+			c.Piggyback = true
+			res.Combined++
+		}
+		prev = c
+	}
+}
+
+// NeighborDirections decomposes a read offset into the neighbor
+// exchanges required to make its halo valid: every nonzero sign
+// sub-pattern of the offset, carrying the offset's widths in its
+// active dimensions. A cardinal offset yields itself; a rank-2
+// diagonal yields two strips and a corner.
+func NeighborDirections(off air.Offset) []air.Offset {
+	var active []int
+	for k, v := range off {
+		if v != 0 {
+			active = append(active, k)
+		}
+	}
+	var out []air.Offset
+	for mask := 1; mask < 1<<len(active); mask++ {
+		d := air.Zero(len(off))
+		for i, k := range active {
+			if mask&(1<<i) != 0 {
+				d[k] = off[k]
+			}
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// Segments labels each statement of a block with its communication
+// segment: the index increments at every communication primitive.
+// Under the FavorComm strategy fusion may not cross segments, keeping
+// the statements between a send and its receive available to hide the
+// message latency.
+func Segments(stmts []air.Stmt) []int {
+	seg := make([]int, len(stmts))
+	cur := 0
+	for i, s := range stmts {
+		if _, ok := s.(*air.CommStmt); ok {
+			cur++
+		}
+		seg[i] = cur
+	}
+	return seg
+}

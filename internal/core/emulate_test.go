@@ -1,0 +1,121 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/air"
+	"repro/internal/ast"
+	"repro/internal/sema"
+)
+
+func emProgram(stmts []air.Stmt, temps ...string) *air.Program {
+	p := &air.Program{
+		Name:    "em",
+		Arrays:  map[string]*air.ArrayInfo{},
+		Scalars: map[string]*air.ScalarInfo{},
+		Procs:   map[string]*air.Proc{},
+	}
+	reg := reg2(8, 8)
+	add := func(name string, temp bool) {
+		if _, ok := p.Arrays[name]; !ok {
+			p.Arrays[name] = &air.ArrayInfo{
+				Name: name, Elem: ast.Double, Declared: reg, Alloc: reg, Temp: temp,
+			}
+		}
+	}
+	for _, s := range stmts {
+		if as, ok := s.(*air.ArrayStmt); ok {
+			add(as.LHS, false)
+			for _, r := range as.Reads() {
+				add(r.Array, false)
+			}
+		}
+	}
+	for _, t := range temps {
+		p.Arrays[t].Temp = true
+	}
+	b := &air.Block{Stmts: stmts}
+	p.Procs["main"] = &air.Proc{Name: "main", Body: []air.Node{b}}
+	p.Main = p.Procs["main"]
+	return p
+}
+
+func tempPair(reg *sema.Region, readOff air.Offset) []air.Stmt {
+	return []air.Stmt{
+		&air.ArrayStmt{Region: reg, LHS: "_t1", RHS: &air.BinExpr{
+			Op: air.OpAdd,
+			X:  &air.RefExpr{Ref: air.Ref{Array: "A", Off: readOff}},
+			Y:  &air.RefExpr{Ref: air.Ref{Array: "A", Off: readOff}},
+		}},
+		&air.ArrayStmt{Region: reg, LHS: "A",
+			RHS: &air.RefExpr{Ref: air.Ref{Array: "_t1", Off: air.Zero(len(readOff))}}},
+	}
+}
+
+// Fragment (4): null anti dependence — every emulation with compiler
+// contraction handles it.
+func TestEmulatePairNullAnti(t *testing.T) {
+	for _, em := range Emulations() {
+		if !em.ContractCompiler {
+			continue
+		}
+		prog := emProgram(tempPair(reg2(8, 8), off(0, 0)), "_t1")
+		plan := Emulate(prog, em)
+		if !plan.Contracted["_t1"] {
+			t.Errorf("%s: fragment-4 temp not contracted", em.Name)
+		}
+	}
+}
+
+// Fragment (5): carried anti dependence — only emulations with the
+// within-statement-anti capability handle it.
+func TestEmulatePairCarriedAnti(t *testing.T) {
+	for _, em := range Emulations() {
+		if !em.ContractCompiler {
+			continue
+		}
+		prog := emProgram(tempPair(reg2(8, 8), off(-1, 0)), "_t1")
+		plan := Emulate(prog, em)
+		if plan.Contracted["_t1"] != em.WithinStatementAnti {
+			t.Errorf("%s: fragment-5 contraction = %v, capability = %v",
+				em.Name, plan.Contracted["_t1"], em.WithinStatementAnti)
+		}
+	}
+}
+
+// Cross-statement user temp (fragment 6): needs statement fusion and
+// user contraction.
+func TestEmulateUserTemp(t *testing.T) {
+	reg := reg2(8, 8)
+	stmts := []air.Stmt{
+		&air.ArrayStmt{Region: reg, LHS: "B", RHS: &air.RefExpr{Ref: air.Ref{Array: "A", Off: off(0, 0)}}},
+		&air.ArrayStmt{Region: reg, LHS: "C", RHS: &air.RefExpr{Ref: air.Ref{Array: "B", Off: off(0, 0)}}},
+	}
+	for _, em := range Emulations() {
+		prog := emProgram(stmts)
+		plan := Emulate(prog, em)
+		want := em.StatementFusion && em.ContractUser
+		if plan.Contracted["B"] != want {
+			t.Errorf("%s: user temp contraction = %v, want %v",
+				em.Name, plan.Contracted["B"], want)
+		}
+	}
+}
+
+// The PGI/IBM emulations never fuse distinct statements, even when a
+// shared array invites it.
+func TestEmulateNoStatementFusion(t *testing.T) {
+	reg := reg2(8, 8)
+	stmts := []air.Stmt{
+		&air.ArrayStmt{Region: reg, LHS: "B", RHS: &air.RefExpr{Ref: air.Ref{Array: "A", Off: off(0, 0)}}},
+		&air.ArrayStmt{Region: reg, LHS: "C", RHS: &air.RefExpr{Ref: air.Ref{Array: "A", Off: off(0, 0)}}},
+	}
+	for _, em := range Emulations()[:2] { // PGI, IBM
+		prog := emProgram(stmts)
+		plan := Emulate(prog, em)
+		part := plan.Blocks[0].Part
+		if part.ClusterOf(0) == part.ClusterOf(1) {
+			t.Errorf("%s fused distinct statements", em.Name)
+		}
+	}
+}

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/air"
+	"repro/internal/asdg"
+	"repro/internal/sema"
+)
+
+// Weight computes the reference weight w(x, G) of §3: the number of
+// array element references that contraction of x would eliminate — the
+// number of array-level references to x, each weighted by the size of
+// the region over which it occurs.
+func Weight(g *asdg.Graph, x string) int {
+	w := 0
+	for v := 0; v < g.N(); v++ {
+		switch s := g.Stmts[v].(type) {
+		case *air.ArrayStmt:
+			if s.LHS == x {
+				w += s.Region.Size()
+			}
+			for _, r := range s.Reads() {
+				if r.Array == x {
+					w += s.Region.Size()
+				}
+			}
+		case *air.ReduceStmt:
+			for _, r := range air.Refs(s.Body) {
+				if r.Array == x {
+					w += s.Region.Size()
+				}
+			}
+		}
+	}
+	return w
+}
+
+// ByDecreasingWeight sorts array names by decreasing w(x, G), breaking
+// ties by name for determinism (line 3 of Fig. 3).
+func ByDecreasingWeight(g *asdg.Graph, names []string) []string {
+	out := append([]string(nil), names...)
+	sort.SliceStable(out, func(i, j int) bool {
+		wi, wj := Weight(g, out[i]), Weight(g, out[j])
+		if wi != wj {
+			return wi > wj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// fusionPartitionOK is the FUSION-PARTITION? predicate: merging the
+// clusters in cs must yield a valid fusion partition (Definition 5).
+// Inter-cluster cycles need not be checked here — the caller has
+// already applied Grow (the paper makes the same observation).
+func fusionPartitionOK(p *Partition, cs map[int]bool) bool {
+	if len(cs) < 2 {
+		return true
+	}
+	// FavorComm segment constraint: fusion may not cross a
+	// communication primitive (it would shrink the overlap window).
+	if p.G.Seg != nil {
+		seg := -1
+		for c := range cs {
+			for _, v := range p.Members(c) {
+				if seg < 0 {
+					seg = p.G.Seg[v]
+				} else if p.G.Seg[v] != seg {
+					return false
+				}
+			}
+		}
+	}
+	// Conditions (i) + fusibility: every member statement is fusible
+	// and operates under one region. We admit exact translates of a
+	// region as well (equal extents, shifted bounds): realigned
+	// compiler temporaries produce such clusters, and scalarization
+	// guards the shifted statements inside the union loop nest.
+	var reg *sema.Region
+	for c := range cs {
+		for _, v := range p.Members(c) {
+			if !p.G.IsFusible(v) {
+				return false
+			}
+			r := p.G.StmtRegion(v)
+			if reg == nil {
+				reg = r
+			} else if !Translates(reg, r) {
+				return false
+			}
+		}
+	}
+	// Conditions (ii) and (iv) over the would-be intra-cluster deps.
+	vectors, flowsNull, ok := p.IntraVectors(cs)
+	if !ok || !flowsNull {
+		return false
+	}
+	_, found := FindLoopStructure(reg.Rank(), vectors)
+	return found
+}
+
+// contractible is the CONTRACTIBLE? predicate (Definition 6): after
+// fusing the clusters in cs, array x is contractible iff every
+// dependence due to x runs between vertices of the fused cluster and
+// carries a null unconstrained distance vector. The caller must also
+// have established that x's live range permits elimination (package
+// liveness).
+func contractible(p *Partition, x string, cs map[int]bool) bool {
+	for _, e := range p.G.Edges {
+		for _, it := range e.Items {
+			if it.Var != x {
+				continue
+			}
+			if !cs[p.ClusterOf(e.From)] || !cs[p.ClusterOf(e.To)] {
+				return false // condition (i)
+			}
+			if !it.Vector || !it.U.IsZero() {
+				return false // condition (ii)
+			}
+		}
+	}
+	return true
+}
+
+// FusionForContraction is the algorithm of Fig. 3. candidates is the
+// set of arrays whose live ranges allow elimination; the algorithm
+// considers them in order of decreasing reference weight and fuses the
+// clusters referencing each when that makes the array contractible.
+// It returns the partition and the set of arrays for which contraction
+// was enabled.
+//
+// When p is non-nil the algorithm refines the given partition instead
+// of starting from the trivial one (used to layer strategies).
+func FusionForContraction(g *asdg.Graph, p *Partition, candidates []string) (*Partition, map[string]bool) {
+	if p == nil {
+		p = Trivial(g)
+	}
+	contracted := map[string]bool{}
+	for _, x := range ByDecreasingWeight(g, candidates) {
+		c := p.clustersReferencing(x)
+		if len(c) == 0 {
+			continue
+		}
+		for d := range p.Grow(c) {
+			c[d] = true
+		}
+		if contractible(p, x, c) && fusionPartitionOK(p, c) {
+			p.MergeSet(c)
+			contracted[x] = true
+		}
+	}
+	return p, contracted
+}
+
+// FusionForLocality is the variant described at the end of §4.1: the
+// same greedy weight-ordered collective fusion, with the CONTRACTIBLE?
+// test removed — all statements referencing the array with the largest
+// locality benefit are fused when legal.
+func FusionForLocality(g *asdg.Graph, p *Partition, arrays []string) *Partition {
+	if p == nil {
+		p = Trivial(g)
+	}
+	for _, x := range ByDecreasingWeight(g, arrays) {
+		c := p.clustersReferencing(x)
+		if len(c) < 2 {
+			continue
+		}
+		for d := range p.Grow(c) {
+			c[d] = true
+		}
+		if fusionPartitionOK(p, c) {
+			p.MergeSet(c)
+		}
+	}
+	return p
+}
+
+// GreedyPairwise performs all legal fusion by a greedy pairwise
+// algorithm (the f4 transformation of §5.4): repeatedly try to merge
+// any two clusters (plus the cycle closure Grow demands) until no pair
+// can be merged.
+func GreedyPairwise(p *Partition) *Partition {
+	for {
+		merged := false
+		cl := p.Clusters()
+		for i := 0; i < len(cl) && !merged; i++ {
+			for j := i + 1; j < len(cl) && !merged; j++ {
+				c := map[int]bool{cl[i]: true, cl[j]: true}
+				for d := range p.Grow(c) {
+					c[d] = true
+				}
+				if fusionPartitionOK(p, c) {
+					p.MergeSet(c)
+					merged = true
+				}
+			}
+		}
+		if !merged {
+			return p
+		}
+	}
+}
+
+// AllArrays returns the names of arrays referenced by fusible
+// statements of the graph, for locality-fusion candidate lists.
+func AllArrays(g *asdg.Graph) []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(n string) {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	for v := 0; v < g.N(); v++ {
+		switch s := g.Stmts[v].(type) {
+		case *air.ArrayStmt:
+			add(s.LHS)
+			for _, r := range s.Reads() {
+				add(r.Array)
+			}
+		case *air.ReduceStmt:
+			for _, r := range air.Refs(s.Body) {
+				add(r.Array)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,103 @@
+// Package core implements the paper's primary contribution: statement
+// fusion and array contraction at the array level (§4), including the
+// FUSION-FOR-CONTRACTION algorithm (Fig. 3), fusion for locality,
+// greedy pairwise fusion, the FIND-LOOP-STRUCTURE algorithm (Fig. 4),
+// the contractibility test (Def. 6), and emulations of the commercial
+// compiler strategies evaluated in §5.1.
+package core
+
+import (
+	"repro/internal/air"
+	"repro/internal/dep"
+)
+
+// FindLoopStructure is the algorithm of Fig. 4. Given the rank n of a
+// fusible cluster's region and the unconstrained distance vectors of
+// its intra-cluster dependences, it finds a loop structure vector that
+// preserves every dependence, or reports failure.
+//
+// Target loops are considered from outermost to innermost and array
+// dimensions from 1 to n, so that — when the dependences allow it —
+// inner loops iterate over higher array dimensions, exploiting spatial
+// locality under row-major allocation. A dimension can be assigned to
+// the current loop when all dependence distances along it share a
+// sign; the loop then runs in that direction, the dependences it
+// carries are pruned, and the search moves inward.
+func FindLoopStructure(rank int, vectors []air.Offset) (dep.LoopStructure, bool) {
+	// C is pruned as loops are assigned; copy to keep callers' slices.
+	c := make([]air.Offset, len(vectors))
+	copy(c, vectors)
+
+	p := make(dep.LoopStructure, rank)
+	assigned := make([]bool, rank+1)
+
+	for i := 0; i < rank; i++ { // loop i, outermost first
+		found := false
+		for j := 1; j <= rank; j++ { // array dimension j
+			if assigned[j] {
+				continue
+			}
+			d := direction(c, j)
+			if d == 0 {
+				continue
+			}
+			assigned[j] = true
+			p[i] = j * d
+			c = prune(c, j)
+			found = true
+			break
+		}
+		if !found {
+			return nil, false // NOSOLUTION
+		}
+	}
+	return p, true
+}
+
+// direction returns +1 when every distance along dimension j is
+// nonnegative, -1 when every distance is nonpositive and at least one
+// is negative, and 0 when the signs are mixed (dimension unusable).
+func direction(c []air.Offset, j int) int {
+	someNeg := false
+	somePos := false
+	for _, u := range c {
+		v := u[j-1]
+		if v < 0 {
+			someNeg = true
+		}
+		if v > 0 {
+			somePos = true
+		}
+	}
+	switch {
+	case !someNeg:
+		return +1
+	case !somePos:
+		return -1
+	}
+	return 0
+}
+
+// prune removes vectors carried by dimension j (u_j != 0): once a loop
+// carries a dependence, it no longer constrains inner loops.
+func prune(c []air.Offset, j int) []air.Offset {
+	out := c[:0]
+	for _, u := range c {
+		if u[j-1] == 0 {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// Identity returns the default loop structure (1, 2, ..., n): the
+// outermost loop iterates over dimension 1 increasing, the innermost
+// over dimension n — the natural row-major order for unconstrained
+// clusters.
+func Identity(rank int) dep.LoopStructure {
+	p := make(dep.LoopStructure, rank)
+	for i := range p {
+		p[i] = i + 1
+	}
+	return p
+}

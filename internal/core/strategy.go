@@ -1,0 +1,249 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/air"
+	"repro/internal/asdg"
+	"repro/internal/liveness"
+)
+
+// Level is one of the incremental optimization strategies of §5.4.
+type Level int
+
+// The strategy ladder, in the paper's order.
+const (
+	// Baseline performs no fusion or contraction.
+	Baseline Level = iota
+	// F1 fuses to enable contraction of compiler arrays, without
+	// performing the contraction.
+	F1
+	// C1 is F1 plus the contraction of compiler arrays.
+	C1
+	// F2 is C1 plus fusion to enable contraction of user arrays,
+	// without contracting them.
+	F2
+	// F3 is C1 plus fusion for locality.
+	F3
+	// C2 is C1 plus fusion and contraction of user arrays.
+	C2
+	// C2F3 is C2 plus fusion for locality.
+	C2F3
+	// C2F4 is C2F3 plus all legal fusion by a greedy pairwise pass.
+	C2F4
+	// C2F4S is C2F3 plus spatial-locality-sensitive pairwise fusion
+	// (only statements sharing operands merge) — the extension §5.4
+	// leaves to future work.
+	C2F4S
+)
+
+var levelNames = map[Level]string{
+	Baseline: "baseline", F1: "f1", C1: "c1", F2: "f2",
+	F3: "f3", C2: "c2", C2F3: "c2+f3", C2F4: "c2+f4", C2F4S: "c2+f4s",
+}
+
+func (l Level) String() string {
+	if s, ok := levelNames[l]; ok {
+		return s
+	}
+	return fmt.Sprintf("Level(%d)", int(l))
+}
+
+// Levels lists the paper's §5.4 ladder in order.
+func Levels() []Level {
+	return []Level{Baseline, F1, C1, F2, F3, C2, C2F3, C2F4}
+}
+
+// AllLevels is Levels plus this implementation's extensions.
+func AllLevels() []Level {
+	return append(Levels(), C2F4S)
+}
+
+// ParseLevel maps a strategy name ("c2", "c2+f3", "c2f3", ...) to its Level.
+func ParseLevel(s string) (Level, error) {
+	for l, n := range levelNames {
+		if s == n {
+			return l, nil
+		}
+	}
+	switch s {
+	case "c2f3":
+		return C2F3, nil
+	case "c2f4":
+		return C2F4, nil
+	case "c2f4s":
+		return C2F4S, nil
+	}
+	return Baseline, fmt.Errorf("unknown optimization level %q", s)
+}
+
+// ContractsTemps reports whether the level performs compiler-array
+// contraction.
+func (l Level) ContractsTemps() bool { return l >= C1 }
+
+// ContractsUsers reports whether the level performs user-array
+// contraction.
+func (l Level) ContractsUsers() bool {
+	return l == C2 || l == C2F3 || l == C2F4 || l == C2F4S
+}
+
+// FusesUsers reports whether the level fuses for user-array
+// contraction (even if it does not contract).
+func (l Level) FusesUsers() bool { return l == F2 || l.ContractsUsers() }
+
+// BlockPlan is the fusion decision for one block.
+type BlockPlan struct {
+	Block      *air.Block
+	Graph      *asdg.Graph
+	Part       *Partition
+	Contracted []string // arrays contracted in this block
+}
+
+// Plan is the whole-program fusion/contraction decision.
+type Plan struct {
+	Level      Level
+	Blocks     []*BlockPlan
+	Contracted map[string]bool
+}
+
+// BlockPlanFor returns the plan for block b, or nil.
+func (p *Plan) BlockPlanFor(b *air.Block) *BlockPlan {
+	for _, bp := range p.Blocks {
+		if bp.Block == b {
+			return bp
+		}
+	}
+	return nil
+}
+
+// Config tunes Apply for distributed compilation.
+type Config struct {
+	// DisableRealign suppresses the temporary-realignment pre-pass
+	// (required when arrays are distributed: a realigned temporary
+	// would itself need communication).
+	DisableRealign bool
+	// SegmentFn, when non-nil, labels a block's statements with
+	// communication segments; fusion may not cross segment boundaries
+	// (the FavorComm strategy of §5.5).
+	SegmentFn func(stmts []air.Stmt) []int
+}
+
+// Apply runs the strategy ladder on every block of the program. It
+// mutates prog only by marking contracted arrays (and, at user-
+// contraction levels, realigning compiler temporaries); scalarization
+// consumes the returned plan.
+func Apply(prog *air.Program, level Level) *Plan {
+	return ApplyEx(prog, level, Config{})
+}
+
+// ApplyEx is Apply with distribution-aware configuration.
+func ApplyEx(prog *air.Program, level Level, cfg Config) *Plan {
+	cands := liveness.Candidates(prog)
+	plan := &Plan{Level: level, Contracted: map[string]bool{}}
+
+	for _, b := range prog.AllBlocks() {
+		candidates := cands[b]
+		if level.FusesUsers() && !cfg.DisableRealign {
+			RealignTemps(prog, b, candidates)
+		}
+		g := asdg.Build(b.Stmts)
+		if cfg.SegmentFn != nil {
+			g.Seg = cfg.SegmentFn(b.Stmts)
+		}
+
+		var temps []string
+		for _, x := range candidates {
+			if a := prog.Arrays[x]; a != nil && a.Temp {
+				temps = append(temps, x)
+			}
+		}
+
+		var p *Partition
+		contracted := map[string]bool{}
+		switch level {
+		case Baseline:
+			p = Trivial(g)
+		case F1:
+			p, _ = FusionForContraction(g, nil, temps)
+		case C1:
+			p, contracted = FusionForContraction(g, nil, temps)
+		case F2:
+			var all map[string]bool
+			p, all = FusionForContraction(g, nil, candidates)
+			for x := range all {
+				if a := prog.Arrays[x]; a != nil && a.Temp {
+					contracted[x] = true
+				}
+			}
+		case F3:
+			p, contracted = FusionForContraction(g, nil, temps)
+			p = FusionForLocality(g, p, AllArrays(g))
+		case C2:
+			p, contracted = FusionForContraction(g, nil, candidates)
+		case C2F3:
+			p, contracted = FusionForContraction(g, nil, candidates)
+			p = FusionForLocality(g, p, AllArrays(g))
+		case C2F4:
+			p, contracted = FusionForContraction(g, nil, candidates)
+			p = FusionForLocality(g, p, AllArrays(g))
+			p = GreedyPairwise(p)
+		case C2F4S:
+			p, contracted = FusionForContraction(g, nil, candidates)
+			p = FusionForLocality(g, p, AllArrays(g))
+			p = GreedyPairwiseShared(p, 1)
+		default:
+			p = Trivial(g)
+		}
+
+		bp := &BlockPlan{Block: b, Graph: g, Part: p}
+		for x := range contracted {
+			bp.Contracted = append(bp.Contracted, x)
+			plan.Contracted[x] = true
+			if a := prog.Arrays[x]; a != nil {
+				a.Contracted = true
+			}
+		}
+		sort.Strings(bp.Contracted)
+		plan.Blocks = append(plan.Blocks, bp)
+	}
+	return plan
+}
+
+// StaticArrayCounts reports, for Fig. 7, the number of static arrays
+// before contraction and after, split into compiler/user arrays.
+// Arrays that are never referenced by any statement are ignored.
+type StaticArrayCounts struct {
+	TotalCompiler      int
+	TotalUser          int
+	ContractedCompiler int
+	ContractedUser     int
+}
+
+// Before returns the static array count prior to contraction.
+func (c StaticArrayCounts) Before() int { return c.TotalCompiler + c.TotalUser }
+
+// After returns the static array count remaining after contraction.
+func (c StaticArrayCounts) After() int {
+	return c.Before() - c.ContractedCompiler - c.ContractedUser
+}
+
+// CountStaticArrays tallies the program's arrays and the plan's
+// contraction decisions.
+func CountStaticArrays(prog *air.Program, plan *Plan) StaticArrayCounts {
+	var counts StaticArrayCounts
+	for name, a := range prog.Arrays {
+		if a.Temp {
+			counts.TotalCompiler++
+			if plan.Contracted[name] {
+				counts.ContractedCompiler++
+			}
+		} else {
+			counts.TotalUser++
+			if plan.Contracted[name] {
+				counts.ContractedUser++
+			}
+		}
+	}
+	return counts
+}

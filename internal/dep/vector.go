@@ -1,0 +1,146 @@
+// Package dep implements the array-level data-dependence machinery of
+// §2.2: unconstrained distance vectors, their constraining by loop
+// structure vectors, and the computation of dependences between the
+// statements of a straight-line block.
+package dep
+
+import (
+	"fmt"
+
+	"repro/internal/air"
+)
+
+// Kind classifies a data dependence.
+type Kind int
+
+// Dependence kinds.
+const (
+	Flow   Kind = iota // write before read (true dependence)
+	Anti               // read before write
+	Output             // write before write
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Flow:
+		return "flow"
+	case Anti:
+		return "anti"
+	case Output:
+		return "output"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Item is one labeled dependence: (variable, unconstrained distance
+// vector, kind). Vector is false for ordering-only dependences (scalar
+// variables, I/O, procedure calls), which carry no distance vector and
+// simply forbid reordering.
+type Item struct {
+	Var    string
+	U      air.Offset // nil when !Vector
+	Kind   Kind
+	Vector bool
+}
+
+func (it Item) String() string {
+	if !it.Vector {
+		return fmt.Sprintf("(%s, -, %s)", it.Var, it.Kind)
+	}
+	return fmt.Sprintf("(%s, %s, %s)", it.Var, it.U, it.Kind)
+}
+
+// Unconstrained computes the unconstrained distance vector of a
+// dependence whose source accesses the array at offset src and whose
+// target accesses it at offset dst (Definition 2): u = src − dst.
+//
+// Example (Fig. 2): statement 1 writes A at offset (0,0); statement 2
+// reads A@(0,-1); the flow dependence has u = (0,0)−(0,−1) = (0,1).
+func Unconstrained(src, dst air.Offset) air.Offset {
+	u := make(air.Offset, len(src))
+	for i := range src {
+		u[i] = src[i] - dst[i]
+	}
+	return u
+}
+
+// LoopStructure is a loop structure vector (Definition 4): a
+// permutation of (±1, ±2, ..., ±n). Entry i describes loop i (1 is the
+// outermost): it iterates over array dimension |p[i]| in increasing
+// order when p[i] > 0 and decreasing order when p[i] < 0.
+type LoopStructure []int
+
+// Valid reports whether p is a permutation of (±1 ... ±n).
+func (p LoopStructure) Valid() bool {
+	seen := make([]bool, len(p)+1)
+	for _, v := range p {
+		d := v
+		if d < 0 {
+			d = -d
+		}
+		if d < 1 || d > len(p) || seen[d] {
+			return false
+		}
+		seen[d] = true
+	}
+	return true
+}
+
+func (p LoopStructure) String() string {
+	s := "("
+	for i, v := range p {
+		if i > 0 {
+			s += ","
+		}
+		s += fmt.Sprintf("%d", v)
+	}
+	return s + ")"
+}
+
+// Constrain builds a conventional (constrained) distance vector from
+// an unconstrained vector u under loop structure p:
+//
+//	d_i = sign(p_i) · u_{|p_i|}
+//
+// Example (Fig. 2): u = (−1,0) under p = (−2,−1) constrains to (0,1).
+func Constrain(u air.Offset, p LoopStructure) air.Offset {
+	d := make(air.Offset, len(p))
+	for i, pi := range p {
+		dim := pi
+		sign := 1
+		if dim < 0 {
+			dim = -dim
+			sign = -1
+		}
+		d[i] = sign * u[dim-1]
+	}
+	return d
+}
+
+// LexNonNegative reports whether d is lexicographically nonnegative:
+// the null vector, or its leftmost nonzero element positive. Only
+// lexicographically nonnegative constrained vectors are legal — the
+// dependence source must precede its target in the carrying loop.
+func LexNonNegative(d air.Offset) bool {
+	for _, v := range d {
+		if v > 0 {
+			return true
+		}
+		if v < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Preserves reports whether loop structure p preserves every
+// dependence in us, i.e. every constrained vector is lexicographically
+// nonnegative.
+func Preserves(p LoopStructure, us []air.Offset) bool {
+	for _, u := range us {
+		if !LexNonNegative(Constrain(u, p)) {
+			return false
+		}
+	}
+	return true
+}

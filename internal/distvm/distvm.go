@@ -1,0 +1,528 @@
+// Package distvm executes a scalarized program on a simulated
+// distributed-memory machine: every array dimension is block
+// distributed over a processor grid (package dist), each processor
+// stores only its block plus halo, and the compiler-inserted
+// communication primitives perform real ghost-cell exchanges.
+//
+// The interpreter walks the LIR once (scalar state is replicated and
+// deterministic, so control flow is identical on every processor) and
+// executes each loop nest processor by processor over its owned
+// portion. Running a program here and on the sequential VM and
+// comparing every array element is the strongest validation of the
+// communication-insertion machinery: a missing or misplaced exchange
+// leaves stale halo values and the results diverge.
+package distvm
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/air"
+	"repro/internal/dist"
+	"repro/internal/lir"
+	"repro/internal/sema"
+)
+
+// Options configures a distributed run.
+type Options struct {
+	Procs    int
+	Out      io.Writer // processor 0's writeln output; nil discards
+	MaxSteps int64     // element-execution budget; 0 = default 1e9
+}
+
+// Machine is the distributed interpreter state.
+type Machine struct {
+	prog  *lir.Program
+	procs int
+	out   io.Writer
+
+	// One decomposition per array rank, anchored at the bounding box
+	// of every region of that rank.
+	decomps map[int]*dist.Decomp
+
+	scalars []map[string]float64 // per-processor scalar state
+	arrays  map[string][]*localArray
+
+	steps int64
+	max   int64
+}
+
+// localArray is one processor's slice of an array: its block expanded
+// by the array's halo widths, clipped to the allocation bounds.
+type localArray struct {
+	lo, hi  []int
+	strides []int
+	data    []float64
+	block   *sema.Region // owned block of the anchor
+}
+
+func (a *localArray) contains(idx []int) bool {
+	for k := range idx {
+		if idx[k] < a.lo[k] || idx[k] > a.hi[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func (a *localArray) at(idx []int) int {
+	p := 0
+	for k := range idx {
+		p += (idx[k] - a.lo[k]) * a.strides[k]
+	}
+	return p
+}
+
+// Run executes the program on p processors and returns the machine
+// for inspection.
+func Run(prog *lir.Program, opt Options) (*Machine, error) {
+	if opt.Procs < 1 {
+		return nil, fmt.Errorf("distvm: need at least one processor")
+	}
+	m := &Machine{
+		prog:    prog,
+		procs:   opt.Procs,
+		out:     opt.Out,
+		decomps: map[int]*dist.Decomp{},
+		arrays:  map[string][]*localArray{},
+		max:     opt.MaxSteps,
+	}
+	if m.max == 0 {
+		m.max = 1e9
+	}
+	if err := m.decompose(); err != nil {
+		return nil, err
+	}
+	m.allocate()
+	m.scalars = make([]map[string]float64, m.procs)
+	for p := 0; p < m.procs; p++ {
+		m.scalars[p] = map[string]float64{}
+		for name, s := range prog.Source.Scalars {
+			if s.Config {
+				m.scalars[p][name] = s.Init
+			}
+		}
+	}
+	if err := m.execNodes(prog.Main.Body); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// decompose builds one anchor per rank covering every declared region
+// and every nest region, so ownership is total over all executed
+// indices.
+func (m *Machine) decompose() error {
+	bbox := map[int]*sema.Region{}
+	cover := func(r *sema.Region) {
+		if r == nil {
+			return
+		}
+		b, ok := bbox[r.Rank()]
+		if !ok {
+			b = &sema.Region{Lo: append([]int(nil), r.Lo...), Hi: append([]int(nil), r.Hi...)}
+			bbox[r.Rank()] = b
+			return
+		}
+		for k := 0; k < r.Rank(); k++ {
+			if r.Lo[k] < b.Lo[k] {
+				b.Lo[k] = r.Lo[k]
+			}
+			if r.Hi[k] > b.Hi[k] {
+				b.Hi[k] = r.Hi[k]
+			}
+		}
+	}
+	for _, a := range m.prog.Source.Arrays {
+		if !a.Contracted {
+			cover(a.Declared)
+		}
+	}
+	for _, pr := range m.prog.Procs {
+		var walk func(ns []lir.Node)
+		walk = func(ns []lir.Node) {
+			for _, n := range ns {
+				switch x := n.(type) {
+				case *lir.Nest:
+					cover(x.Region)
+				case *lir.PartialReduce:
+					cover(x.Region)
+					cover(x.Dest)
+				case *lir.Loop:
+					walk(x.Body)
+				case *lir.While:
+					walk(x.Body)
+				case *lir.If:
+					walk(x.Then)
+					walk(x.Else)
+				}
+			}
+		}
+		walk(pr.Body)
+	}
+	for rank, b := range bbox {
+		d, err := dist.NewDecomp(m.procs, b)
+		if err != nil {
+			return fmt.Errorf("distvm: rank %d: %w", rank, err)
+		}
+		m.decomps[rank] = d
+	}
+	return nil
+}
+
+// offsetHalos scans the program for the maximum negative/positive
+// offset applied to each array in each dimension: the inter-processor
+// halo widths. (The global Alloc-vs-Declared halo only reflects
+// offsets that cross the global region bounds; a neighbor offset deep
+// in the interior still needs a local ghost row.)
+func (m *Machine) offsetHalos() map[string][2][]int {
+	out := map[string][2][]int{}
+	note := func(name string, off []int) {
+		info := m.prog.Source.Arrays[name]
+		if info == nil || info.Contracted {
+			return
+		}
+		h, ok := out[name]
+		if !ok {
+			h = [2][]int{make([]int, len(off)), make([]int, len(off))}
+		}
+		for k, v := range off {
+			if -v > h[0][k] {
+				h[0][k] = -v // negative offsets need low-side halo
+			}
+			if v > h[1][k] {
+				h[1][k] = v
+			}
+		}
+		out[name] = h
+	}
+	var walkExpr func(e air.Expr)
+	walkExpr = func(e air.Expr) {
+		air.Walk(e, func(x air.Expr) {
+			if r, ok := x.(*air.RefExpr); ok {
+				note(r.Ref.Array, r.Ref.Off)
+			}
+		})
+	}
+	var walk func(ns []lir.Node)
+	walk = func(ns []lir.Node) {
+		for _, n := range ns {
+			switch x := n.(type) {
+			case *lir.Nest:
+				for _, st := range x.Body {
+					walkExpr(st.RHS)
+				}
+			case *lir.PartialReduce:
+				walkExpr(x.Body)
+			case *lir.Loop:
+				walk(x.Body)
+			case *lir.While:
+				walk(x.Body)
+			case *lir.If:
+				walk(x.Then)
+				walk(x.Else)
+			}
+		}
+	}
+	for _, pr := range m.prog.Procs {
+		walk(pr.Body)
+	}
+	return out
+}
+
+func (m *Machine) allocate() {
+	offHalos := m.offsetHalos()
+	for name, a := range m.prog.Source.Arrays {
+		if a.Contracted {
+			continue
+		}
+		haloLo, haloHi := a.Halo()
+		if oh, ok := offHalos[name]; ok {
+			for k := range haloLo {
+				haloLo[k] = maxInt(haloLo[k], oh[0][k])
+				haloHi[k] = maxInt(haloHi[k], oh[1][k])
+			}
+		}
+		d := m.decomps[a.Declared.Rank()]
+		locals := make([]*localArray, m.procs)
+		for p := 0; p < m.procs; p++ {
+			blk := d.Block(p)
+			rank := a.Declared.Rank()
+			lo := make([]int, rank)
+			hi := make([]int, rank)
+			for k := 0; k < rank; k++ {
+				lo[k] = maxInt(blk.Lo[k]-haloLo[k], a.Alloc.Lo[k])
+				hi[k] = minInt(blk.Hi[k]+haloHi[k], a.Alloc.Hi[k])
+			}
+			la := &localArray{lo: lo, hi: hi, block: blk}
+			size := 1
+			la.strides = make([]int, rank)
+			for k := rank - 1; k >= 0; k-- {
+				ext := hi[k] - lo[k] + 1
+				if ext < 0 {
+					ext = 0
+				}
+				la.strides[k] = size
+				size *= ext
+			}
+			la.data = make([]float64, size)
+			locals[p] = la
+		}
+		m.arrays[name] = locals
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+
+type signal int
+
+const (
+	sigNext signal = iota
+	sigReturn
+)
+
+func (m *Machine) execNodes(nodes []lir.Node) error {
+	_, err := m.execList(nodes)
+	return err
+}
+
+func (m *Machine) execList(nodes []lir.Node) (signal, error) {
+	for _, n := range nodes {
+		sig, err := m.execNode(n)
+		if err != nil || sig == sigReturn {
+			return sig, err
+		}
+	}
+	return sigNext, nil
+}
+
+func (m *Machine) execNode(n lir.Node) (signal, error) {
+	switch x := n.(type) {
+	case *lir.Nest:
+		return sigNext, m.execNest(x)
+	case *lir.ScalarAssign:
+		for p := 0; p < m.procs; p++ {
+			v, err := m.evalScalar(p, x.RHS)
+			if err != nil {
+				return sigNext, err
+			}
+			m.scalars[p][x.LHS] = v
+		}
+		return sigNext, nil
+	case *lir.Loop:
+		lo, err := m.evalScalar(0, x.Lo)
+		if err != nil {
+			return sigNext, err
+		}
+		hi, err := m.evalScalar(0, x.Hi)
+		if err != nil {
+			return sigNext, err
+		}
+		a, b := int64(lo), int64(hi)
+		step := int64(1)
+		if x.Down {
+			step = -1
+		}
+		for v := a; (step > 0 && v <= b) || (step < 0 && v >= b); v += step {
+			for p := 0; p < m.procs; p++ {
+				m.scalars[p][x.Var] = float64(v)
+			}
+			sig, err := m.execList(x.Body)
+			if err != nil || sig == sigReturn {
+				return sig, err
+			}
+		}
+		return sigNext, nil
+	case *lir.While:
+		for {
+			c, err := m.evalScalar(0, x.Cond)
+			if err != nil {
+				return sigNext, err
+			}
+			if c == 0 {
+				return sigNext, nil
+			}
+			if err := m.step(1); err != nil {
+				return sigNext, err
+			}
+			sig, err := m.execList(x.Body)
+			if err != nil || sig == sigReturn {
+				return sig, err
+			}
+		}
+	case *lir.If:
+		c, err := m.evalScalar(0, x.Cond)
+		if err != nil {
+			return sigNext, err
+		}
+		if c != 0 {
+			return m.execList(x.Then)
+		}
+		return m.execList(x.Else)
+	case *lir.PartialReduce:
+		return sigNext, m.partialReduce(x)
+	case *lir.Comm:
+		return sigNext, m.exchange(x)
+	case *lir.Call:
+		return sigNext, m.call(x)
+	case *lir.Return:
+		if x.Value != nil {
+			// The caller reads the result from the $result slot; the
+			// enclosing call wired it (see call()).
+			return sigReturn, fmt.Errorf("distvm: internal: unbound return")
+		}
+		return sigReturn, nil
+	case *lir.Writeln:
+		if m.out == nil {
+			return sigNext, nil
+		}
+		for i, a := range x.Args {
+			if i > 0 {
+				fmt.Fprint(m.out, " ")
+			}
+			if a.Expr != nil {
+				v, err := m.evalScalar(0, a.Expr)
+				if err != nil {
+					return sigNext, err
+				}
+				fmt.Fprintf(m.out, "%g", v)
+			} else {
+				fmt.Fprint(m.out, a.Str)
+			}
+		}
+		fmt.Fprintln(m.out)
+		return sigNext, nil
+	}
+	return sigNext, fmt.Errorf("distvm: unknown node %T", n)
+}
+
+// call executes a procedure body; recursion is rejected at lowering.
+func (m *Machine) call(x *lir.Call) error {
+	pr, ok := m.prog.Procs[x.Proc]
+	if !ok {
+		return fmt.Errorf("distvm: unknown procedure %s", x.Proc)
+	}
+	for i, param := range pr.Params {
+		for p := 0; p < m.procs; p++ {
+			v, err := m.evalScalar(p, x.Args[i])
+			if err != nil {
+				return err
+			}
+			m.scalars[p][param] = v
+		}
+	}
+	if _, err := m.execProcBody(pr); err != nil {
+		return err
+	}
+	if x.Target != "" && pr.HasResult {
+		for p := 0; p < m.procs; p++ {
+			m.scalars[p][x.Target] = m.scalars[p][pr.Name+".$result"]
+		}
+	}
+	return nil
+}
+
+// execProcBody runs a procedure, translating return-with-value into
+// the proc's $result slot.
+func (m *Machine) execProcBody(pr *lir.Proc) (signal, error) {
+	var run func(nodes []lir.Node) (signal, error)
+	run = func(nodes []lir.Node) (signal, error) {
+		for _, n := range nodes {
+			if ret, ok := n.(*lir.Return); ok {
+				if ret.Value != nil {
+					for p := 0; p < m.procs; p++ {
+						v, err := m.evalScalar(p, ret.Value)
+						if err != nil {
+							return sigReturn, err
+						}
+						m.scalars[p][pr.Name+".$result"] = v
+					}
+				}
+				return sigReturn, nil
+			}
+			// Control nodes may contain returns; handle recursively.
+			switch x := n.(type) {
+			case *lir.If:
+				c, err := m.evalScalar(0, x.Cond)
+				if err != nil {
+					return sigNext, err
+				}
+				branch := x.Else
+				if c != 0 {
+					branch = x.Then
+				}
+				sig, err := run(branch)
+				if err != nil || sig == sigReturn {
+					return sig, err
+				}
+			case *lir.Loop:
+				lo, err := m.evalScalar(0, x.Lo)
+				if err != nil {
+					return sigNext, err
+				}
+				hi, err := m.evalScalar(0, x.Hi)
+				if err != nil {
+					return sigNext, err
+				}
+				a, b := int64(lo), int64(hi)
+				step := int64(1)
+				if x.Down {
+					step = -1
+				}
+				for v := a; (step > 0 && v <= b) || (step < 0 && v >= b); v += step {
+					for p := 0; p < m.procs; p++ {
+						m.scalars[p][x.Var] = float64(v)
+					}
+					sig, err := run(x.Body)
+					if err != nil || sig == sigReturn {
+						return sig, err
+					}
+				}
+			case *lir.While:
+				for {
+					c, err := m.evalScalar(0, x.Cond)
+					if err != nil {
+						return sigNext, err
+					}
+					if c == 0 {
+						break
+					}
+					sig, err := run(x.Body)
+					if err != nil || sig == sigReturn {
+						return sig, err
+					}
+				}
+			default:
+				sig, err := m.execNode(n)
+				if err != nil || sig == sigReturn {
+					return sig, err
+				}
+			}
+		}
+		return sigNext, nil
+	}
+	return run(pr.Body)
+}
+
+func (m *Machine) step(n int64) error {
+	m.steps += n
+	if m.steps > m.max {
+		return fmt.Errorf("distvm: execution budget exceeded (%d steps)", m.max)
+	}
+	return nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

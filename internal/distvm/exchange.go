@@ -1,0 +1,173 @@
+package distvm
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/air"
+	"repro/internal/lir"
+	"repro/internal/sema"
+)
+
+// exchange performs the real data movement of one ghost-cell exchange:
+// for the direction the primitive names, every processor refreshes the
+// halo slab adjacent to its block with the owners' current values. A
+// pipelined pair moves the data at receive time (sends carry no halo
+// yet: insertion guarantees the array is not rewritten between the
+// send and its receive, so receive-time data equals send-time data).
+func (m *Machine) exchange(c *lir.Comm) error {
+	if c.Phase == air.CommSend { // posting only; data moves at receive
+		return nil
+	}
+	locals, ok := m.arrays[c.Array]
+	if !ok {
+		return fmt.Errorf("distvm: exchange of unknown array %s", c.Array)
+	}
+	info := m.prog.Source.Arrays[c.Array]
+	d := m.decomps[info.Declared.Rank()]
+	rank := info.Declared.Rank()
+
+	for p := 0; p < m.procs; p++ {
+		la := locals[p]
+		// The halo slab for this direction, relative to p's block,
+		// clipped to p's local storage.
+		slab := &sema.Region{Lo: make([]int, rank), Hi: make([]int, rank)}
+		empty := false
+		for k := 0; k < rank; k++ {
+			switch {
+			case c.Off[k] > 0:
+				slab.Lo[k] = la.block.Hi[k] + 1
+				slab.Hi[k] = la.block.Hi[k] + c.Off[k]
+			case c.Off[k] < 0:
+				slab.Lo[k] = la.block.Lo[k] + c.Off[k]
+				slab.Hi[k] = la.block.Lo[k] - 1
+			default:
+				slab.Lo[k] = la.block.Lo[k]
+				slab.Hi[k] = la.block.Hi[k]
+			}
+			if slab.Lo[k] < la.lo[k] {
+				slab.Lo[k] = la.lo[k]
+			}
+			if slab.Hi[k] > la.hi[k] {
+				slab.Hi[k] = la.hi[k]
+			}
+			if slab.Lo[k] > slab.Hi[k] {
+				empty = true
+			}
+		}
+		if empty {
+			continue
+		}
+		idx := make([]int, rank)
+		if err := m.copySlab(locals, d, la, slab, idx, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// copySlab copies every element of the slab from its owner into la.
+func (m *Machine) copySlab(locals []*localArray, d interface {
+	Owner([]int) int
+}, la *localArray, slab *sema.Region, idx []int, k int) error {
+	if k == slab.Rank() {
+		owner := d.Owner(idx)
+		if owner < 0 {
+			return nil // beyond the anchor: stays zero (global halo)
+		}
+		src := locals[owner]
+		if !src.contains(idx) {
+			return nil // owner clipped it away (outside alloc)
+		}
+		la.data[la.at(idx)] = src.data[src.at(idx)]
+		return nil
+	}
+	for i := slab.Lo[k]; i <= slab.Hi[k]; i++ {
+		idx[k] = i
+		if err := m.copySlab(locals, d, la, slab, idx, k+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Inspection
+
+// Gather reassembles an array's global contents from the owners'
+// blocks, returned row-major over the allocation bounds with
+// unowned (halo) elements zero — directly comparable with the
+// sequential vm.Machine.ArrayData.
+func (m *Machine) Gather(name string) []float64 {
+	info := m.prog.Source.Arrays[name]
+	if info == nil || info.Contracted {
+		return nil
+	}
+	locals := m.arrays[name]
+	d := m.decomps[info.Declared.Rank()]
+	rank := info.Declared.Rank()
+	size := info.Alloc.Size()
+	out := make([]float64, size)
+
+	strides := make([]int, rank)
+	s := 1
+	for k := rank - 1; k >= 0; k-- {
+		strides[k] = s
+		s *= info.Alloc.Extent(k)
+	}
+
+	idx := make([]int, rank)
+	var walk func(k int)
+	walk = func(k int) {
+		if k == rank {
+			owner := d.Owner(idx)
+			if owner < 0 {
+				return
+			}
+			la := locals[owner]
+			if !la.contains(idx) {
+				return
+			}
+			pos := 0
+			for j := 0; j < rank; j++ {
+				pos += (idx[j] - info.Alloc.Lo[j]) * strides[j]
+			}
+			out[pos] = la.data[la.at(idx)]
+			return
+		}
+		for i := info.Alloc.Lo[k]; i <= info.Alloc.Hi[k]; i++ {
+			idx[k] = i
+			walk(k + 1)
+		}
+	}
+	walk(0)
+	return out
+}
+
+// Scalar returns processor 0's value of a scalar (or contracted
+// register).
+func (m *Machine) Scalar(name string) (float64, bool) {
+	v, ok := m.scalars[0][name]
+	return v, ok
+}
+
+// ScalarsConsistent verifies the replicated-scalar invariant: every
+// processor holds identical scalar state. Returns the first
+// discrepancy found.
+func (m *Machine) ScalarsConsistent() error {
+	for name, v0 := range m.scalars[0] {
+		// Contracted-array registers are per-iteration scratch and
+		// legitimately end with different values on each processor.
+		if info := m.prog.Source.Arrays[name]; info != nil && info.Contracted {
+			continue
+		}
+		for p := 1; p < m.procs; p++ {
+			v, ok := m.scalars[p][name]
+			if !ok || v == v0 || (math.IsNaN(v) && math.IsNaN(v0)) {
+				continue
+			}
+			return fmt.Errorf("scalar %s differs: proc0=%v proc%d=%v", name, v0, p, v)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,433 @@
+package distvm
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/air"
+	"repro/internal/dist"
+	"repro/internal/lir"
+	"repro/internal/sema"
+)
+
+// execNest runs one loop nest: each processor iterates its owned
+// portion of the nest region in the nest's loop-structure order;
+// reductions accumulate locally and then combine across processors
+// (the local-sum/global-combine split of a distributed reduction).
+func (m *Machine) execNest(n *lir.Nest) error {
+	rank := n.Region.Rank()
+	d, ok := m.decomps[rank]
+	if !ok {
+		return fmt.Errorf("distvm: no decomposition for rank %d", rank)
+	}
+
+	// Local reduction partials, indexed by statement position.
+	partials := make([][]float64, len(n.Body))
+	for si, s := range n.Body {
+		if s.IsReduce {
+			partials[si] = make([]float64, m.procs)
+			for p := range partials[si] {
+				partials[si][p] = s.Op.Identity()
+			}
+		}
+	}
+
+	for p := 0; p < m.procs; p++ {
+		portion := dist.Intersect(n.Region, d.Block(p))
+		if dist.Empty(portion) {
+			continue
+		}
+		if err := m.step(int64(portion.Size()) * int64(len(n.Body))); err != nil {
+			return err
+		}
+		idx := make([]int, rank)
+		if err := m.loop(n, p, portion, idx, 0, partials); err != nil {
+			return err
+		}
+	}
+
+	// Global combine + broadcast for reductions.
+	for si, s := range n.Body {
+		if !s.IsReduce {
+			continue
+		}
+		acc := s.Op.Identity()
+		for p := 0; p < m.procs; p++ {
+			acc = combine(s.Op, acc, partials[si][p])
+		}
+		for p := 0; p < m.procs; p++ {
+			m.scalars[p][s.Target] = acc
+		}
+	}
+	return nil
+}
+
+// loop recursively iterates loop level `depth` of the nest (outermost
+// first) over the processor's portion, honoring the loop structure
+// vector's dimension assignment and direction.
+func (m *Machine) loop(n *lir.Nest, proc int, portion *sema.Region, idx []int, depth int, partials [][]float64) error {
+	if depth == portion.Rank() {
+		return m.element(n, proc, idx, partials)
+	}
+	pi := n.Order[depth]
+	dim := pi
+	if dim < 0 {
+		dim = -dim
+	}
+	k := dim - 1
+	lo, hi := portion.Lo[k], portion.Hi[k]
+	if pi > 0 {
+		for i := lo; i <= hi; i++ {
+			idx[k] = i
+			if err := m.loop(n, proc, portion, idx, depth+1, partials); err != nil {
+				return err
+			}
+		}
+	} else {
+		for i := hi; i >= lo; i-- {
+			idx[k] = i
+			if err := m.loop(n, proc, portion, idx, depth+1, partials); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// element executes every nest statement for one index on one processor.
+func (m *Machine) element(n *lir.Nest, proc int, idx []int, partials [][]float64) error {
+	for _, pl := range n.Preloads {
+		v, err := m.evalElem(proc, &air.RefExpr{Ref: air.Ref{Array: pl.Array, Off: pl.Off}}, idx)
+		if err != nil {
+			return err
+		}
+		m.scalars[proc][pl.Var] = v
+	}
+	for si, s := range n.Body {
+		if s.Guard != nil && !inRegion(s.Guard, idx) {
+			continue
+		}
+		v, err := m.evalElem(proc, s.RHS, idx)
+		if err != nil {
+			return err
+		}
+		switch {
+		case s.IsReduce:
+			partials[si][proc] = combine(s.Op, partials[si][proc], v)
+		case s.Contracted:
+			m.scalars[proc][s.LHS] = v
+		default:
+			la := m.arrays[s.LHS][proc]
+			if la == nil || !la.contains(idx) {
+				return fmt.Errorf("distvm: write to %s%v outside local storage of proc %d", s.LHS, idx, proc)
+			}
+			la.data[la.at(idx)] = v
+		}
+	}
+	return nil
+}
+
+func inRegion(r *sema.Region, idx []int) bool {
+	for k := range idx {
+		if idx[k] < r.Lo[k] || idx[k] > r.Hi[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func combine(op air.ReduceOp, a, b float64) float64 {
+	switch op {
+	case air.ReduceSum:
+		return a + b
+	case air.ReduceProd:
+		return a * b
+	case air.ReduceMax:
+		return math.Max(a, b)
+	case air.ReduceMin:
+		return math.Min(a, b)
+	}
+	return a + b
+}
+
+// partialReduce executes a dimensional reduction: each processor
+// accumulates partials for its portion of the source region into a
+// dense buffer over the destination slab, the buffers combine across
+// processors, and owners store the result.
+func (m *Machine) partialReduce(x *lir.PartialReduce) error {
+	rank := x.Region.Rank()
+	d, ok := m.decomps[rank]
+	if !ok {
+		return fmt.Errorf("distvm: no decomposition for rank %d", rank)
+	}
+	collapsed := make([]bool, rank)
+	for k := 0; k < rank; k++ {
+		collapsed[k] = x.Dest.Extent(k) == 1 && x.Region.Extent(k) != 1
+	}
+	size := x.Dest.Size()
+	strides := make([]int, rank)
+	s := 1
+	for k := rank - 1; k >= 0; k-- {
+		strides[k] = s
+		s *= x.Dest.Extent(k)
+	}
+	flat := func(idx []int) int {
+		p := 0
+		for k := 0; k < rank; k++ {
+			v := idx[k]
+			if collapsed[k] {
+				v = x.Dest.Lo[k]
+			}
+			p += (v - x.Dest.Lo[k]) * strides[k]
+		}
+		return p
+	}
+
+	partials := make([][]float64, m.procs)
+	for p := 0; p < m.procs; p++ {
+		buf := make([]float64, size)
+		for i := range buf {
+			buf[i] = x.Op.Identity()
+		}
+		partials[p] = buf
+		portion := dist.Intersect(x.Region, d.Block(p))
+		if dist.Empty(portion) {
+			continue
+		}
+		if err := m.step(int64(portion.Size())); err != nil {
+			return err
+		}
+		idx := make([]int, rank)
+		var sweep func(k int) error
+		sweep = func(k int) error {
+			if k == rank {
+				v, err := m.evalElem(p, x.Body, idx)
+				if err != nil {
+					return err
+				}
+				pos := flat(idx)
+				buf[pos] = combine(x.Op, buf[pos], v)
+				return nil
+			}
+			for i := portion.Lo[k]; i <= portion.Hi[k]; i++ {
+				idx[k] = i
+				if err := sweep(k + 1); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if err := sweep(0); err != nil {
+			return err
+		}
+	}
+
+	// Global combine, then store each destination element at its owner.
+	locals := m.arrays[x.LHS]
+	if locals == nil {
+		return fmt.Errorf("distvm: partial reduction into unknown array %s", x.LHS)
+	}
+	idx := make([]int, rank)
+	var store func(k int) error
+	store = func(k int) error {
+		if k == rank {
+			acc := x.Op.Identity()
+			pos := flat(idx)
+			for p := 0; p < m.procs; p++ {
+				acc = combine(x.Op, acc, partials[p][pos])
+			}
+			owner := d.Owner(idx)
+			if owner < 0 {
+				return nil
+			}
+			la := locals[owner]
+			if la.contains(idx) {
+				la.data[la.at(idx)] = acc
+			}
+			return nil
+		}
+		for i := x.Dest.Lo[k]; i <= x.Dest.Hi[k]; i++ {
+			idx[k] = i
+			if err := store(k + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return store(0)
+}
+
+// ---------------------------------------------------------------------------
+// Expression evaluation
+
+// evalElem evaluates an element-wise expression at idx on processor
+// proc. Reads outside the local storage but inside the array's halo
+// return zero, matching the sequential VM's zero-filled halos.
+func (m *Machine) evalElem(proc int, e air.Expr, idx []int) (float64, error) {
+	switch x := e.(type) {
+	case *air.ConstExpr:
+		return x.Val, nil
+	case *air.ScalarExpr:
+		return m.scalars[proc][x.Name], nil
+	case *air.IndexExpr:
+		return float64(idx[x.Dim-1]), nil
+	case *air.RefExpr:
+		if info := m.prog.Source.Arrays[x.Ref.Array]; info != nil && info.Contracted {
+			return m.scalars[proc][x.Ref.Array], nil
+		}
+		locals, ok := m.arrays[x.Ref.Array]
+		if !ok {
+			return 0, fmt.Errorf("distvm: unknown array %s", x.Ref.Array)
+		}
+		la := locals[proc]
+		target := make([]int, len(idx))
+		for k := range idx {
+			target[k] = idx[k] + x.Ref.Off[k]
+		}
+		if !la.contains(target) {
+			// Outside the allocation: the sequential VM's halo is
+			// zero-filled, so reads there are zero. Reads inside the
+			// allocation but outside local storage would be a
+			// compilation bug (missing halo) — surface them.
+			alloc := m.prog.Source.Arrays[x.Ref.Array].Alloc
+			if inRegion(alloc, target) {
+				return 0, fmt.Errorf("distvm: proc %d reads %s%v outside its halo", proc, x.Ref.Array, target)
+			}
+			return 0, nil
+		}
+		return la.data[la.at(target)], nil
+	case *air.BinExpr:
+		a, err := m.evalElem(proc, x.X, idx)
+		if err != nil {
+			return 0, err
+		}
+		b, err := m.evalElem(proc, x.Y, idx)
+		if err != nil {
+			return 0, err
+		}
+		return binOp(x.Op, a, b)
+	case *air.UnExpr:
+		a, err := m.evalElem(proc, x.X, idx)
+		if err != nil {
+			return 0, err
+		}
+		if x.Op == air.OpNot {
+			return b2f(a == 0), nil
+		}
+		return -a, nil
+	case *air.CallExpr:
+		args := make([]float64, len(x.Args))
+		for i, a := range x.Args {
+			v, err := m.evalElem(proc, a, idx)
+			if err != nil {
+				return 0, err
+			}
+			args[i] = v
+		}
+		return builtin(x.Name, args)
+	}
+	return 0, fmt.Errorf("distvm: unknown expression %T", e)
+}
+
+// evalScalar evaluates a scalar expression (no array references other
+// than contracted registers).
+func (m *Machine) evalScalar(proc int, e air.Expr) (float64, error) {
+	return m.evalElem(proc, e, nil)
+}
+
+func binOp(op air.Op, a, b float64) (float64, error) {
+	switch op {
+	case air.OpAdd:
+		return a + b, nil
+	case air.OpSub:
+		return a - b, nil
+	case air.OpMul:
+		return a * b, nil
+	case air.OpDiv:
+		return a / b, nil
+	case air.OpRem:
+		return math.Mod(a, b), nil
+	case air.OpPow:
+		return math.Pow(a, b), nil
+	case air.OpEq:
+		return b2f(a == b), nil
+	case air.OpNe:
+		return b2f(a != b), nil
+	case air.OpLt:
+		return b2f(a < b), nil
+	case air.OpLe:
+		return b2f(a <= b), nil
+	case air.OpGt:
+		return b2f(a > b), nil
+	case air.OpGe:
+		return b2f(a >= b), nil
+	case air.OpAnd:
+		return b2f(a != 0 && b != 0), nil
+	case air.OpOr:
+		return b2f(a != 0 || b != 0), nil
+	}
+	return 0, fmt.Errorf("distvm: unknown operator %v", op)
+}
+
+func builtin(name string, args []float64) (float64, error) {
+	one := func(f func(float64) float64) (float64, error) {
+		if len(args) != 1 {
+			return 0, fmt.Errorf("distvm: %s arity", name)
+		}
+		return f(args[0]), nil
+	}
+	two := func(f func(a, b float64) float64) (float64, error) {
+		if len(args) != 2 {
+			return 0, fmt.Errorf("distvm: %s arity", name)
+		}
+		return f(args[0], args[1]), nil
+	}
+	switch name {
+	case "sqrt":
+		return one(math.Sqrt)
+	case "exp":
+		return one(math.Exp)
+	case "log":
+		return one(math.Log)
+	case "sin":
+		return one(math.Sin)
+	case "cos":
+		return one(math.Cos)
+	case "tan":
+		return one(math.Tan)
+	case "abs":
+		return one(math.Abs)
+	case "floor":
+		return one(math.Floor)
+	case "ceil":
+		return one(math.Ceil)
+	case "sign":
+		return one(func(v float64) float64 {
+			switch {
+			case v > 0:
+				return 1
+			case v < 0:
+				return -1
+			}
+			return 0
+		})
+	case "min":
+		return two(math.Min)
+	case "max":
+		return two(math.Max)
+	case "pow":
+		return two(math.Pow)
+	case "mod":
+		return two(math.Mod)
+	case "atan2":
+		return two(math.Atan2)
+	}
+	return 0, fmt.Errorf("distvm: unknown builtin %s", name)
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

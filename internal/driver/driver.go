@@ -1,0 +1,102 @@
+// Package driver runs the end-to-end compilation pipeline:
+//
+//	source → parse → sema → lower (normalize) → [comm insertion]
+//	       → fusion/contraction plan → scalarize → LIR
+//
+// and executes the result on the VM. Each Compile call lowers a fresh
+// program instance, so strategies can be compared side by side without
+// sharing mutable IR.
+package driver
+
+import (
+	"fmt"
+
+	"repro/internal/air"
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/lir"
+	"repro/internal/lower"
+	"repro/internal/parser"
+	"repro/internal/scalarize"
+	"repro/internal/sema"
+	"repro/internal/source"
+	"repro/internal/vm"
+)
+
+// Options selects problem size and optimization strategy.
+type Options struct {
+	// Configs overrides config constants by name (problem size).
+	Configs map[string]int64
+	// Level is the optimization strategy (§5.4 ladder).
+	Level core.Level
+	// Comm, when non-nil, inserts and optimizes communication for a
+	// distributed execution with the given settings (§5.5).
+	Comm *comm.Options
+	// ScalarReplace additionally installs scalar replacement in the
+	// generated loop nests (the §6 related-work technique; repeated
+	// per-iteration reads load once into a register).
+	ScalarReplace bool
+}
+
+// Compilation is the result of one pipeline run.
+type Compilation struct {
+	Info *sema.Info
+	AIR  *air.Program
+	Plan *core.Plan
+	LIR  *lir.Program
+	Comm *comm.Result // nil when communication was not requested
+}
+
+// Compile runs the full pipeline on ZA source text.
+func Compile(src string, opt Options) (*Compilation, error) {
+	var errs source.ErrorList
+	prog := parser.Parse(src, &errs)
+	if errs.HasErrors() {
+		return nil, errs.Err()
+	}
+	info := sema.Check(prog, opt.Configs, &errs)
+	if errs.HasErrors() {
+		return nil, errs.Err()
+	}
+	airProg := lower.Lower(info, &errs)
+	if errs.HasErrors() {
+		return nil, errs.Err()
+	}
+
+	var commRes *comm.Result
+	cfg := core.Config{}
+	if opt.Comm != nil && opt.Comm.Procs > 1 {
+		commRes = comm.Insert(airProg, *opt.Comm)
+		// Distributed arrays cannot host realigned temporaries (the
+		// shifted temp would itself need communication).
+		cfg.DisableRealign = true
+		if opt.Comm.Strategy == comm.FavorComm {
+			cfg.SegmentFn = comm.Segments
+		}
+	}
+
+	plan := core.ApplyEx(airProg, opt.Level, cfg)
+
+	lirProg, err := scalarize.Scalarize(airProg, plan)
+	if err != nil {
+		return nil, fmt.Errorf("driver: %w", err)
+	}
+	if opt.ScalarReplace {
+		scalarize.ScalarReplace(lirProg)
+	}
+	return &Compilation{Info: info, AIR: airProg, Plan: plan, LIR: lirProg, Comm: commRes}, nil
+}
+
+// Run executes the compiled program on the VM.
+func (c *Compilation) Run(opt vm.Options) (*vm.Machine, *vm.Result, error) {
+	return vm.Run(c.LIR, opt)
+}
+
+// MustCompile panics on error; for tests and examples.
+func MustCompile(src string, opt Options) *Compilation {
+	c, err := Compile(src, opt)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

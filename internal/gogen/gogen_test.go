@@ -1,0 +1,168 @@
+package gogen_test
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/driver"
+	"repro/internal/gogen"
+	"repro/internal/programs"
+	"repro/internal/vm"
+)
+
+// runNative emits Go for the compilation, builds it with the host
+// toolchain, runs it, and returns stdout.
+func runNative(t *testing.T, c *driver.Compilation) string {
+	t.Helper()
+	src, err := gogen.Emit(c.LIR)
+	if err != nil {
+		t.Fatalf("emit: %v", err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "main.go")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command("go", "run", path)
+	cmd.Env = append(os.Environ(), "GOFLAGS=-mod=mod")
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("go run: %v\nstderr:\n%s\nsource:\n%s", err, errb.String(), src)
+	}
+	return out.String()
+}
+
+func runVM(t *testing.T, c *driver.Compilation) string {
+	t.Helper()
+	var out bytes.Buffer
+	if _, _, err := vm.Run(c.LIR, vm.Options{Out: &out}); err != nil {
+		t.Fatal(err)
+	}
+	return out.String()
+}
+
+// TestNativeMatchesVM: generated Go output must equal the VM's exactly.
+func TestNativeMatchesVM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes the go toolchain")
+	}
+	src := `
+program native;
+config n : integer = 12;
+region R = [1..n, 1..n];
+region I = [2..n-1, 2..n-1];
+direction north = (-1, 0); east = (0, 1);
+var A, B, T : [R] double;
+var s, acc : double;
+proc scale(x : double) : double
+begin
+  return x * 0.125;
+end;
+proc main()
+begin
+  [R] A := index1 * 0.5 + index2;
+  acc := 0.0;
+  for it := 1 to 3 do
+    [I] T := (A@north + A@east) * 0.5;
+    [I] B := T + A;
+    [I] A := A@north + B;
+    s := +<< [I] B;
+    acc := acc + scale(s);
+  end;
+  if acc > 0.0 then
+    writeln("acc", acc);
+  else
+    writeln("neg", acc);
+  end;
+  s := max<< [R] A;
+  writeln("max", s);
+end;
+`
+	for _, lvl := range []core.Level{core.Baseline, core.C2F3} {
+		c, err := driver.Compile(src, driver.Options{Level: lvl})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := runVM(t, c)
+		got := runNative(t, c)
+		if got != want {
+			t.Errorf("level %v: native output %q, want %q", lvl, got, want)
+		}
+	}
+}
+
+// TestNativeBenchmark: one full paper benchmark through the native
+// back end.
+func TestNativeBenchmark(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes the go toolchain")
+	}
+	b, _ := programs.ByName("fibro")
+	c, err := driver.Compile(b.Source, driver.Options{
+		Level: core.C2F3, Configs: map[string]int64{"n": 24},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := runVM(t, c)
+	got := runNative(t, c)
+	if got != want {
+		t.Errorf("native %q, want %q", got, want)
+	}
+}
+
+// TestEmitAllBenchmarks: every benchmark at every level emits valid,
+// gofmt-parseable Go (vetted by the toolchain in the two run tests;
+// here we just require emission to succeed).
+func TestEmitAllBenchmarks(t *testing.T) {
+	for _, b := range programs.All() {
+		for _, lvl := range core.AllLevels() {
+			c, err := driver.Compile(b.Source, driver.Options{Level: lvl})
+			if err != nil {
+				t.Fatalf("%s at %v: %v", b.Name, lvl, err)
+			}
+			if _, err := gogen.Emit(c.LIR); err != nil {
+				t.Errorf("%s at %v: %v", b.Name, lvl, err)
+			}
+		}
+	}
+}
+
+// TestNativePartialReduction: dimensional reductions through the
+// native back end match the VM exactly.
+func TestNativePartialReduction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes the go toolchain")
+	}
+	src := `
+program pnative;
+config n : integer = 8;
+region R = [1..n, 1..n];
+region Rows = [1..n, 1..1];
+var A : [R] double;
+var RS : [Rows] double;
+var s : double;
+proc main()
+begin
+  [R] A := index1 * 2.0 + index2 * 0.5;
+  [Rows] RS := max<< [R] A;
+  s := +<< [Rows] RS;
+  writeln("s", s);
+end;
+`
+	c, err := driver.Compile(src, driver.Options{Level: core.C2F3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := runVM(t, c)
+	got := runNative(t, c)
+	if got != want {
+		t.Errorf("native %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,73 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// FormatMachineBars renders one machine's ladder as horizontal bar
+// charts, the visual form of the paper's Figures 9–11. Each benchmark
+// gets a group of bars (one per transformation) at the given processor
+// count; negative bars extend left of the axis, as in the paper
+// ("negative bars represent slowdown").
+func (r *PerfResult) FormatMachineBars(mach string, procs int, width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s, p=%d: %% improvement over baseline\n\n", mach, procs)
+
+	var benches []string
+	seen := map[string]bool{}
+	var levels []core.Level
+	seenL := map[core.Level]bool{}
+	for _, p := range r.Points {
+		if p.Procs != procs || p.Level == core.Baseline {
+			continue
+		}
+		if !seen[p.Benchmark] {
+			seen[p.Benchmark] = true
+			benches = append(benches, p.Benchmark)
+		}
+		if !seenL[p.Level] {
+			seenL[p.Level] = true
+			levels = append(levels, p.Level)
+		}
+	}
+
+	for _, bench := range benches {
+		// Scale each benchmark's group independently, as the paper's
+		// per-benchmark graphs do (their y-axes differ).
+		maxAbs := 1.0
+		for _, lvl := range levels {
+			if pt := r.Point(bench, procs, lvl); pt != nil {
+				if v := pt.Improvement[mach]; v > maxAbs {
+					maxAbs = v
+				} else if -v > maxAbs {
+					maxAbs = -v
+				}
+			}
+		}
+		scale := float64(width) / maxAbs
+		fmt.Fprintf(&b, "%s\n", bench)
+		for _, lvl := range levels {
+			pt := r.Point(bench, procs, lvl)
+			if pt == nil {
+				continue
+			}
+			v := pt.Improvement[mach]
+			n := int(v * scale)
+			var bar string
+			if n >= 0 {
+				bar = strings.Repeat(" ", width) + "|" + strings.Repeat("#", n)
+			} else {
+				bar = strings.Repeat(" ", width+n) + strings.Repeat("#", -n) + "|"
+			}
+			fmt.Fprintf(&b, "  %-7s %s %+.1f%%\n", lvl, bar, v)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

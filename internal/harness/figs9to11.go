@@ -1,0 +1,197 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/driver"
+	"repro/internal/machine"
+	"repro/internal/programs"
+)
+
+// ProcCounts are the processor counts of Figs. 9–11.
+var ProcCounts = []int{1, 4, 16, 64}
+
+// PerfPoint is one (benchmark, processors, level) measurement: percent
+// improvement over baseline on each machine model.
+type PerfPoint struct {
+	Benchmark   string
+	Procs       int
+	Level       core.Level
+	Improvement map[string]float64 // machine -> %
+	Cycles      map[string]float64
+}
+
+// PerfResult holds the whole ladder study.
+type PerfResult struct {
+	Points []PerfPoint
+}
+
+// SizeFactor scales the per-processor problem size for the study; 1.0
+// uses each benchmark's default size. The paper scales total problem
+// size with p (constant data per processor), which is what a fixed
+// per-processor size under our one-representative-processor model
+// reproduces.
+type StudyOptions struct {
+	SizeFactor float64
+	// Levels to measure; nil means the full §5.4 ladder.
+	Levels []core.Level
+	// Procs to measure; nil means ProcCounts.
+	Procs []int
+	// Benchmarks to measure; nil means all six.
+	Benchmarks []string
+}
+
+// RunPerfStudy executes the §5.4 transformation ladder for every
+// benchmark and processor count, pricing each run on all three machine
+// models in a single execution.
+func RunPerfStudy(opt StudyOptions) (*PerfResult, error) {
+	levels := opt.Levels
+	if levels == nil {
+		levels = core.Levels()
+	}
+	procs := opt.Procs
+	if procs == nil {
+		procs = ProcCounts
+	}
+	benches := programs.All()
+	if opt.Benchmarks != nil {
+		benches = benches[:0:0]
+		for _, name := range opt.Benchmarks {
+			b, ok := programs.ByName(name)
+			if !ok {
+				return nil, fmt.Errorf("unknown benchmark %q", name)
+			}
+			benches = append(benches, b)
+		}
+	}
+	factor := opt.SizeFactor
+	if factor == 0 {
+		factor = 1
+	}
+
+	res := &PerfResult{}
+	for _, b := range benches {
+		size := int64(float64(b.DefaultSize) * factor)
+		if size < 8 {
+			size = 8
+		}
+		cfg := map[string]int64{b.SizeConfig: size}
+		for _, p := range procs {
+			baseline := map[string]float64{}
+			for _, lvl := range levels {
+				co := comm.DefaultOptions(p)
+				meas, err := Measure(b.Source, driver.Options{
+					Level: lvl, Configs: cfg, Comm: &co,
+				}, p)
+				if err != nil {
+					return nil, fmt.Errorf("%s p=%d %v: %w", b.Name, p, lvl, err)
+				}
+				if lvl == core.Baseline {
+					for m, c := range meas.Cycles {
+						baseline[m] = c
+					}
+				}
+				pt := PerfPoint{
+					Benchmark:   b.Name,
+					Procs:       p,
+					Level:       lvl,
+					Improvement: map[string]float64{},
+					Cycles:      meas.Cycles,
+				}
+				for m, c := range meas.Cycles {
+					pt.Improvement[m] = Improvement(baseline[m], c)
+				}
+				res.Points = append(res.Points, pt)
+			}
+		}
+	}
+	return res, nil
+}
+
+// Point returns the measurement for (benchmark, procs, level), or nil.
+func (r *PerfResult) Point(bench string, procs int, lvl core.Level) *PerfPoint {
+	for i := range r.Points {
+		p := &r.Points[i]
+		if p.Benchmark == bench && p.Procs == procs && p.Level == lvl {
+			return p
+		}
+	}
+	return nil
+}
+
+// FormatMachine renders the Figure 9/10/11 table for one machine:
+// benchmarks × processor counts, one column per transformation.
+func (r *PerfResult) FormatMachine(mach string, figure string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %% improvement over baseline on the %s model\n", figure, mach)
+	b.WriteString("(positive = speedup from the transformation; §5.4 ladder)\n\n")
+
+	var benches []string
+	seen := map[string]bool{}
+	var procs []int
+	seenP := map[int]bool{}
+	var levels []core.Level
+	seenL := map[core.Level]bool{}
+	for _, p := range r.Points {
+		if !seen[p.Benchmark] {
+			seen[p.Benchmark] = true
+			benches = append(benches, p.Benchmark)
+		}
+		if !seenP[p.Procs] {
+			seenP[p.Procs] = true
+			procs = append(procs, p.Procs)
+		}
+		if !seenL[p.Level] && p.Level != core.Baseline {
+			seenL[p.Level] = true
+			levels = append(levels, p.Level)
+		}
+	}
+
+	for _, bench := range benches {
+		fmt.Fprintf(&b, "%s\n", bench)
+		fmt.Fprintf(&b, "  %4s", "p")
+		for _, lvl := range levels {
+			fmt.Fprintf(&b, " %9s", lvl)
+		}
+		b.WriteString("\n")
+		for _, p := range procs {
+			fmt.Fprintf(&b, "  %4d", p)
+			for _, lvl := range levels {
+				pt := r.Point(bench, p, lvl)
+				if pt == nil {
+					fmt.Fprintf(&b, " %9s", "-")
+					continue
+				}
+				fmt.Fprintf(&b, " %8.1f%%", pt.Improvement[mach])
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+// Headline summarizes the paper's §1 claim over the study: the median
+// and maximum c2 improvement across benchmarks, machines, and p.
+func (r *PerfResult) Headline() (median, max float64) {
+	var vals []float64
+	for _, p := range r.Points {
+		if p.Level != core.C2 {
+			continue
+		}
+		for _, m := range machine.Models() {
+			vals = append(vals, p.Improvement[m.Name])
+		}
+	}
+	if len(vals) == 0 {
+		return 0, 0
+	}
+	for i := 1; i < len(vals); i++ {
+		for j := i; j > 0 && vals[j] < vals[j-1]; j-- {
+			vals[j], vals[j-1] = vals[j-1], vals[j]
+		}
+	}
+	return vals[len(vals)/2], vals[len(vals)-1]
+}

@@ -1,0 +1,131 @@
+// Package harness reproduces every table and figure of the paper's
+// evaluation (§5): the commercial-compiler comparison (Fig. 6), static
+// array contraction counts (Fig. 7), memory scaling (Fig. 8), runtime
+// improvement ladders on the three machine models (Figs. 9–11), and
+// the fusion-versus-communication study (§5.5).
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/air"
+	"repro/internal/core"
+	"repro/internal/driver"
+	"repro/internal/lower"
+	"repro/internal/machine"
+	"repro/internal/parser"
+	"repro/internal/scalarize"
+	"repro/internal/sema"
+	"repro/internal/source"
+	"repro/internal/vm"
+)
+
+// CompileEmulated runs the front half of the pipeline and applies an
+// emulated compiler strategy instead of the standard ladder.
+func CompileEmulated(src string, em core.Emulation, configs map[string]int64) (*air.Program, *core.Plan, error) {
+	var errs source.ErrorList
+	prog := parser.Parse(src, &errs)
+	if errs.HasErrors() {
+		return nil, nil, errs.Err()
+	}
+	info := sema.Check(prog, configs, &errs)
+	if errs.HasErrors() {
+		return nil, nil, errs.Err()
+	}
+	airProg := lower.Lower(info, &errs)
+	if errs.HasErrors() {
+		return nil, nil, errs.Err()
+	}
+	plan := core.Emulate(airProg, em)
+	return airProg, plan, nil
+}
+
+// Measurement is one benchmark execution under the machine models.
+type Measurement struct {
+	Cycles      map[string]float64 // machine name -> modeled cycles
+	CommCycles  map[string]float64
+	Accesses    int64
+	Flops       int64
+	MemoryBytes int64
+}
+
+// multiTracer fans one VM trace out to several machine cost models,
+// so a single execution prices all three paper machines.
+type multiTracer struct {
+	ts []*machine.CostTracer
+}
+
+func (m *multiTracer) Access(addr int64, write bool) {
+	for _, t := range m.ts {
+		t.Access(addr, write)
+	}
+}
+
+func (m *multiTracer) Flops(n int64) {
+	for _, t := range m.ts {
+		t.Flops(n)
+	}
+}
+
+func (m *multiTracer) Comm(array string, off air.Offset, elems int, phase air.CommPhase, msgID int, piggyback bool) {
+	for _, t := range m.ts {
+		t.Comm(array, off, elems, phase, msgID, piggyback)
+	}
+}
+
+func (m *multiTracer) Reduce() {
+	for _, t := range m.ts {
+		t.Reduce()
+	}
+}
+
+// Measure compiles src with the given options and executes it once,
+// pricing the run on every machine model with p processors.
+func Measure(src string, opt driver.Options, procs int) (*Measurement, error) {
+	c, err := driver.Compile(src, opt)
+	if err != nil {
+		return nil, err
+	}
+	models := machine.Models()
+	mt := &multiTracer{}
+	for _, mdl := range models {
+		mt.ts = append(mt.ts, machine.NewCostTracer(mdl, procs))
+	}
+	mach, _, err := vm.Run(c.LIR, vm.Options{Tracer: mt})
+	if err != nil {
+		return nil, err
+	}
+	meas := &Measurement{
+		Cycles:      map[string]float64{},
+		CommCycles:  map[string]float64{},
+		MemoryBytes: mach.MemoryFootprint(),
+	}
+	for i, mdl := range models {
+		meas.Cycles[mdl.Name] = mt.ts[i].Cycles
+		meas.CommCycles[mdl.Name] = mt.ts[i].CommCycles
+	}
+	if len(mt.ts) > 0 {
+		meas.Accesses = mt.ts[0].AccessCount
+		meas.Flops = mt.ts[0].FlopCount
+	}
+	return meas, nil
+}
+
+// Improvement converts a (baseline, optimized) cycle pair to the
+// paper's percent-improvement metric: how much faster the optimized
+// code runs, (t_base/t_opt - 1) × 100. Negative values are slowdowns.
+func Improvement(baseline, optimized float64) float64 {
+	if optimized <= 0 {
+		return 0
+	}
+	return (baseline/optimized - 1) * 100
+}
+
+// Scalarizable confirms a plan scalarizes cleanly (used by checks).
+func Scalarizable(prog *air.Program, plan *core.Plan) error {
+	_, err := scalarize.Scalarize(prog, plan)
+	return err
+}
+
+// fmtPct renders a percentage with one decimal.
+func fmtPct(v float64) string { return fmt.Sprintf("%+.1f%%", v) }

@@ -1,0 +1,95 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/driver"
+	"repro/internal/machine"
+	"repro/internal/programs"
+)
+
+// Sec55Row is one benchmark's slowdown when communication optimization
+// is favored over fusion (§5.5), per machine model.
+type Sec55Row struct {
+	Benchmark string
+	Slowdown  map[string]float64 // machine -> % slowdown of favor-comm vs favor-fusion
+	LostContr int                // contraction opportunities lost to favor-comm
+}
+
+// Sec55Benchmarks are the four applications §5.5 reports (EP and Frac
+// "do not slow down because they are small codes that do not benefit
+// from communication optimization").
+var Sec55Benchmarks = []string{"simple", "tomcatv", "sp", "fibro"}
+
+// RunSec55 measures the favor-fusion versus favor-comm strategies at
+// c2+f3 with the given processor count.
+func RunSec55(procs int, sizeFactor float64) ([]Sec55Row, error) {
+	if sizeFactor == 0 {
+		sizeFactor = 1
+	}
+	var rows []Sec55Row
+	for _, name := range Sec55Benchmarks {
+		b, _ := programs.ByName(name)
+		cfg := map[string]int64{b.SizeConfig: int64(float64(b.DefaultSize) * sizeFactor)}
+
+		fuse := comm.DefaultOptions(procs)
+		fuse.Strategy = comm.FavorFusion
+		fm, err := Measure(b.Source, driver.Options{Level: core.C2F3, Configs: cfg, Comm: &fuse}, procs)
+		if err != nil {
+			return nil, fmt.Errorf("%s favor-fusion: %w", name, err)
+		}
+
+		cm := comm.DefaultOptions(procs)
+		cm.Strategy = comm.FavorComm
+		cc, err := driver.Compile(b.Source, driver.Options{Level: core.C2F3, Configs: cfg, Comm: &cm})
+		if err != nil {
+			return nil, fmt.Errorf("%s favor-comm: %w", name, err)
+		}
+		cmMeas, err := Measure(b.Source, driver.Options{Level: core.C2F3, Configs: cfg, Comm: &cm}, procs)
+		if err != nil {
+			return nil, fmt.Errorf("%s favor-comm: %w", name, err)
+		}
+
+		// Count the contraction opportunities favor-comm disables.
+		ff, err := driver.Compile(b.Source, driver.Options{Level: core.C2F3, Configs: cfg, Comm: &fuse})
+		if err != nil {
+			return nil, err
+		}
+		lost := len(ff.Plan.Contracted) - len(cc.Plan.Contracted)
+
+		row := Sec55Row{Benchmark: name, Slowdown: map[string]float64{}, LostContr: lost}
+		for _, m := range machine.Models() {
+			base := fm.Cycles[m.Name]
+			if base > 0 {
+				row.Slowdown[m.Name] = (cmMeas.Cycles[m.Name]/base - 1) * 100
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatSec55 renders the study.
+func FormatSec55(rows []Sec55Row, procs int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Section 5.5: slowdown when favoring communication optimization over\n")
+	fmt.Fprintf(&b, "fusion for contraction (c2+f3, p=%d)\n\n", procs)
+	models := machine.Models()
+	fmt.Fprintf(&b, "%-10s", "app")
+	for _, m := range models {
+		fmt.Fprintf(&b, " %14s", m.Name)
+	}
+	fmt.Fprintf(&b, " %8s\n", "lost")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s", r.Benchmark)
+		for _, m := range models {
+			fmt.Fprintf(&b, " %13.1f%%", r.Slowdown[m.Name])
+		}
+		fmt.Fprintf(&b, " %8d\n", r.LostContr)
+	}
+	b.WriteString("\n(positive = favor-comm is slower; 'lost' = contractions disabled)\n")
+	return b.String()
+}

@@ -1,0 +1,273 @@
+// Package lexer turns ZA source text into a token stream.
+//
+// Comments run from "--" to end of line. The scanner is byte oriented;
+// ZA source is ASCII.
+package lexer
+
+import (
+	"repro/internal/source"
+	"repro/internal/token"
+)
+
+// Token is one lexed token with its position and raw spelling.
+type Token struct {
+	Kind token.Kind
+	Pos  source.Pos
+	Lit  string // spelling for IDENT/INT/FLOAT/STRING; empty otherwise
+}
+
+func (t Token) String() string {
+	if t.Lit != "" {
+		return t.Kind.String() + "(" + t.Lit + ")"
+	}
+	return t.Kind.String()
+}
+
+// Lexer scans one source buffer.
+type Lexer struct {
+	src  []byte
+	off  int // reading offset
+	line int
+	col  int
+	errs *source.ErrorList
+}
+
+// New returns a lexer over src reporting problems to errs.
+func New(src string, errs *source.ErrorList) *Lexer {
+	return &Lexer{src: []byte(src), line: 1, col: 1, errs: errs}
+}
+
+// Tokenize scans the entire input and returns all tokens including the
+// trailing EOF token.
+func Tokenize(src string, errs *source.ErrorList) []Token {
+	lx := New(src, errs)
+	var toks []Token
+	for {
+		t := lx.Next()
+		toks = append(toks, t)
+		if t.Kind == token.EOF {
+			return toks
+		}
+	}
+}
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) pos() source.Pos { return source.Pos{Line: l.line, Col: l.col} }
+
+func isLetter(c byte) bool {
+	return 'a' <= c && c <= 'z' || 'A' <= c && c <= 'Z' || c == '_'
+}
+
+func isDigit(c byte) bool { return '0' <= c && c <= '9' }
+
+func (l *Lexer) skipSpaceAndComments() {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '-' && l.peek2() == '-':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+// Next returns the next token in the input.
+func (l *Lexer) Next() Token {
+	l.skipSpaceAndComments()
+	pos := l.pos()
+	if l.off >= len(l.src) {
+		return Token{Kind: token.EOF, Pos: pos}
+	}
+	c := l.peek()
+	switch {
+	case isLetter(c):
+		return l.scanIdent(pos)
+	case isDigit(c):
+		return l.scanNumber(pos)
+	case c == '"':
+		return l.scanString(pos)
+	}
+	l.advance()
+	mk := func(k token.Kind) Token { return Token{Kind: k, Pos: pos} }
+	switch c {
+	case '+':
+		if l.peek() == '<' && l.peek2() == '<' {
+			l.advance()
+			l.advance()
+			return mk(token.REDPLUS)
+		}
+		return mk(token.PLUS)
+	case '-':
+		return mk(token.MINUS)
+	case '*':
+		if l.peek() == '<' && l.peek2() == '<' {
+			l.advance()
+			l.advance()
+			return mk(token.REDSTAR)
+		}
+		return mk(token.STAR)
+	case '/':
+		return mk(token.SLASH)
+	case '%':
+		return mk(token.PERCENT)
+	case '^':
+		return mk(token.CARET)
+	case '@':
+		return mk(token.AT)
+	case '(':
+		return mk(token.LPAREN)
+	case ')':
+		return mk(token.RPAREN)
+	case '[':
+		return mk(token.LBRACK)
+	case ']':
+		return mk(token.RBRACK)
+	case '{':
+		return mk(token.LBRACE)
+	case '}':
+		return mk(token.RBRACE)
+	case ',':
+		return mk(token.COMMA)
+	case ';':
+		return mk(token.SEMI)
+	case '&':
+		return mk(token.AND)
+	case '|':
+		return mk(token.OR)
+	case '=':
+		return mk(token.EQ)
+	case '!':
+		if l.peek() == '=' {
+			l.advance()
+			return mk(token.NEQ)
+		}
+		return mk(token.NOT)
+	case ':':
+		if l.peek() == '=' {
+			l.advance()
+			return mk(token.ASSIGN)
+		}
+		return mk(token.COLON)
+	case '.':
+		if l.peek() == '.' {
+			l.advance()
+			return mk(token.DOTDOT)
+		}
+		l.errs.Errorf(pos, "unexpected character %q", ".")
+		return mk(token.ILLEGAL)
+	case '<':
+		if l.peek() == '=' {
+			l.advance()
+			return mk(token.LE)
+		}
+		return mk(token.LT)
+	case '>':
+		if l.peek() == '=' {
+			l.advance()
+			return mk(token.GE)
+		}
+		return mk(token.GT)
+	}
+	l.errs.Errorf(pos, "unexpected character %q", string(c))
+	return Token{Kind: token.ILLEGAL, Pos: pos, Lit: string(c)}
+}
+
+func (l *Lexer) scanIdent(pos source.Pos) Token {
+	start := l.off
+	for l.off < len(l.src) && (isLetter(l.peek()) || isDigit(l.peek())) {
+		l.advance()
+	}
+	lit := string(l.src[start:l.off])
+	kind := token.Lookup(lit)
+	// "max<<" and "min<<" are reduction operators spelled with an
+	// identifier prefix.
+	if (lit == "max" || lit == "min") && l.peek() == '<' && l.peek2() == '<' {
+		l.advance()
+		l.advance()
+		if lit == "max" {
+			return Token{Kind: token.REDMAX, Pos: pos}
+		}
+		return Token{Kind: token.REDMIN, Pos: pos}
+	}
+	if kind == token.IDENT {
+		return Token{Kind: token.IDENT, Pos: pos, Lit: lit}
+	}
+	return Token{Kind: kind, Pos: pos}
+}
+
+func (l *Lexer) scanNumber(pos source.Pos) Token {
+	start := l.off
+	kind := token.INT
+	for l.off < len(l.src) && isDigit(l.peek()) {
+		l.advance()
+	}
+	if l.peek() == '.' && l.peek2() != '.' { // not the ".." range operator
+		kind = token.FLOAT
+		l.advance()
+		for l.off < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+	}
+	if c := l.peek(); c == 'e' || c == 'E' {
+		saveOff, saveCol := l.off, l.col
+		l.advance()
+		if c := l.peek(); c == '+' || c == '-' {
+			l.advance()
+		}
+		if isDigit(l.peek()) {
+			kind = token.FLOAT
+			for l.off < len(l.src) && isDigit(l.peek()) {
+				l.advance()
+			}
+		} else {
+			// Not an exponent after all (e.g. "1end"); rewind.
+			l.off, l.col = saveOff, saveCol
+		}
+	}
+	return Token{Kind: kind, Pos: pos, Lit: string(l.src[start:l.off])}
+}
+
+func (l *Lexer) scanString(pos source.Pos) Token {
+	l.advance() // opening quote
+	start := l.off
+	for l.off < len(l.src) && l.peek() != '"' && l.peek() != '\n' {
+		l.advance()
+	}
+	if l.off >= len(l.src) || l.peek() != '"' {
+		l.errs.Errorf(pos, "unterminated string literal")
+		return Token{Kind: token.ILLEGAL, Pos: pos, Lit: string(l.src[start:l.off])}
+	}
+	lit := string(l.src[start:l.off])
+	l.advance() // closing quote
+	return Token{Kind: token.STRING, Pos: pos, Lit: lit}
+}

@@ -1,0 +1,173 @@
+package lexer
+
+import (
+	"testing"
+
+	"repro/internal/source"
+	"repro/internal/token"
+)
+
+func kinds(t *testing.T, src string) []token.Kind {
+	t.Helper()
+	var errs source.ErrorList
+	toks := Tokenize(src, &errs)
+	if errs.HasErrors() {
+		t.Fatalf("unexpected lex errors for %q: %v", src, errs.Error())
+	}
+	ks := make([]token.Kind, 0, len(toks))
+	for _, tk := range toks {
+		ks = append(ks, tk.Kind)
+	}
+	return ks
+}
+
+func eqKinds(a, b []token.Kind) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBasicTokens(t *testing.T) {
+	tests := []struct {
+		src  string
+		want []token.Kind
+	}{
+		{"+ - * / % ^", []token.Kind{token.PLUS, token.MINUS, token.STAR, token.SLASH, token.PERCENT, token.CARET, token.EOF}},
+		{":= = != < <= > >=", []token.Kind{token.ASSIGN, token.EQ, token.NEQ, token.LT, token.LE, token.GT, token.GE, token.EOF}},
+		{"( ) [ ] , ; : ..", []token.Kind{token.LPAREN, token.RPAREN, token.LBRACK, token.RBRACK, token.COMMA, token.SEMI, token.COLON, token.DOTDOT, token.EOF}},
+		{"@ & | !", []token.Kind{token.AT, token.AND, token.OR, token.NOT, token.EOF}},
+		{"+<< *<< max<< min<<", []token.Kind{token.REDPLUS, token.REDSTAR, token.REDMAX, token.REDMIN, token.EOF}},
+	}
+	for _, tt := range tests {
+		if got := kinds(t, tt.src); !eqKinds(got, tt.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", tt.src, got, tt.want)
+		}
+	}
+}
+
+func TestKeywordsVersusIdents(t *testing.T) {
+	got := kinds(t, "program region var proc foo begin end iffy")
+	want := []token.Kind{token.PROGRAM, token.REGION, token.VAR, token.PROC,
+		token.IDENT, token.BEGIN, token.END, token.IDENT, token.EOF}
+	if !eqKinds(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	tests := []struct {
+		src  string
+		kind token.Kind
+		lit  string
+	}{
+		{"42", token.INT, "42"},
+		{"3.14", token.FLOAT, "3.14"},
+		{"1e6", token.FLOAT, "1e6"},
+		{"2.5e-3", token.FLOAT, "2.5e-3"},
+		{"1E+9", token.FLOAT, "1E+9"},
+	}
+	for _, tt := range tests {
+		var errs source.ErrorList
+		toks := Tokenize(tt.src, &errs)
+		if errs.HasErrors() {
+			t.Fatalf("lex error for %q: %v", tt.src, errs.Error())
+		}
+		if toks[0].Kind != tt.kind || toks[0].Lit != tt.lit {
+			t.Errorf("Tokenize(%q)[0] = %v %q, want %v %q", tt.src, toks[0].Kind, toks[0].Lit, tt.kind, tt.lit)
+		}
+	}
+}
+
+// The range "1..n" must not lex "1." as a float.
+func TestRangeVersusFloat(t *testing.T) {
+	got := kinds(t, "1..n")
+	want := []token.Kind{token.INT, token.DOTDOT, token.IDENT, token.EOF}
+	if !eqKinds(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+// "1e" followed by a non-digit is INT then IDENT, with correct rewind.
+func TestExponentRewind(t *testing.T) {
+	var errs source.ErrorList
+	toks := Tokenize("1end", &errs)
+	if toks[0].Kind != token.INT || toks[0].Lit != "1" {
+		t.Fatalf("first token = %v %q, want INT 1", toks[0].Kind, toks[0].Lit)
+	}
+	if toks[1].Kind != token.END {
+		t.Fatalf("second token = %v, want END", toks[1].Kind)
+	}
+}
+
+func TestComments(t *testing.T) {
+	got := kinds(t, "a -- this is a comment\nb")
+	want := []token.Kind{token.IDENT, token.IDENT, token.EOF}
+	if !eqKinds(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestPositions(t *testing.T) {
+	var errs source.ErrorList
+	toks := Tokenize("a\n  bb\n", &errs)
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("a at %v, want 1:1", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("bb at %v, want 2:3", toks[1].Pos)
+	}
+}
+
+func TestStringLiteral(t *testing.T) {
+	var errs source.ErrorList
+	toks := Tokenize(`"hello world"`, &errs)
+	if toks[0].Kind != token.STRING || toks[0].Lit != "hello world" {
+		t.Errorf("got %v %q", toks[0].Kind, toks[0].Lit)
+	}
+}
+
+func TestUnterminatedString(t *testing.T) {
+	var errs source.ErrorList
+	Tokenize(`"oops`, &errs)
+	if !errs.HasErrors() {
+		t.Error("expected error for unterminated string")
+	}
+}
+
+func TestIllegalCharacter(t *testing.T) {
+	var errs source.ErrorList
+	toks := Tokenize("a $ b", &errs)
+	if !errs.HasErrors() {
+		t.Error("expected error for $")
+	}
+	if toks[1].Kind != token.ILLEGAL {
+		t.Errorf("got %v, want ILLEGAL", toks[1].Kind)
+	}
+}
+
+func TestMaxMinAsIdents(t *testing.T) {
+	// max/min not followed by << are ordinary identifiers (builtins).
+	got := kinds(t, "max(a, b) min(a, b)")
+	want := []token.Kind{token.IDENT, token.LPAREN, token.IDENT, token.COMMA, token.IDENT, token.RPAREN,
+		token.IDENT, token.LPAREN, token.IDENT, token.COMMA, token.IDENT, token.RPAREN, token.EOF}
+	if !eqKinds(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestEOFIsSticky(t *testing.T) {
+	var errs source.ErrorList
+	lx := New("x", &errs)
+	lx.Next() // x
+	for i := 0; i < 3; i++ {
+		if tk := lx.Next(); tk.Kind != token.EOF {
+			t.Fatalf("Next() after end = %v, want EOF", tk.Kind)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package lir
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/air"
+	"repro/internal/ast"
+	"repro/internal/dep"
+	"repro/internal/sema"
+)
+
+func tinyProgram() *Program {
+	r := &sema.Region{Lo: []int{1, 1}, Hi: []int{4, 4}}
+	alloc := &sema.Region{Lo: []int{0, 1}, Hi: []int{4, 5}}
+	src := &air.Program{
+		Name: "tiny",
+		Arrays: map[string]*air.ArrayInfo{
+			"A": {Name: "A", Elem: ast.Double, Declared: r, Alloc: alloc},
+			"T": {Name: "T", Elem: ast.Double, Declared: r, Alloc: r, Contracted: true},
+		},
+		Scalars: map[string]*air.ScalarInfo{
+			"s": {Name: "s", Type: ast.Double},
+		},
+		Procs: map[string]*air.Proc{},
+	}
+	nest := &Nest{
+		Region: r,
+		Order:  dep.LoopStructure{1, -2},
+		Body: []*NestStmt{
+			{LHS: "T", Contracted: true, RHS: &air.RefExpr{Ref: air.Ref{Array: "A", Off: air.Offset{-1, 1}}}},
+			{IsReduce: true, Target: "s", Op: air.ReduceSum, RHS: &air.RefExpr{Ref: air.Ref{Array: "T", Off: air.Offset{0, 0}}}},
+		},
+	}
+	main := &Proc{Name: "main", Body: []Node{
+		nest,
+		&ScalarAssign{LHS: "s", RHS: &air.BinExpr{Op: air.OpMul, X: &air.ScalarExpr{Name: "s"}, Y: &air.ConstExpr{Val: 2}}},
+		&Writeln{Args: []air.WriteArg{{Str: "s ="}, {Expr: &air.ScalarExpr{Name: "s"}}}},
+	}}
+	return &Program{Name: "tiny", Source: src, Procs: map[string]*Proc{"main": main}, Main: main}
+}
+
+func TestEmitC(t *testing.T) {
+	out := EmitC(tinyProgram())
+	for _, want := range []string{
+		"double A[5][5]",                 // alloc extents (0..4, 1..5)
+		"/* T contracted to a scalar */", // no storage for T
+		"for (i1 = 1; i1 <= 4; i1++)",    // dim 1 increasing
+		"for (i2 = 4; i2 >= 1; i2--)",    // dim 2 reversed (order -2)
+		"double_T =",                     // register assignment
+		"A[i1-1][i2]",                    // offset (-1,1) against alloc lo (0,1)
+		"s += double_T",                  // fused reduction
+		"s = (s * 2.0)",                  // scalar statement
+		"println(\"s =\", s)",            // writeln
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("EmitC output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNestsAndCount(t *testing.T) {
+	p := tinyProgram()
+	if got := p.CountNests(); got != 1 {
+		t.Errorf("CountNests = %d", got)
+	}
+	loop := &Loop{Var: "i", Lo: &air.ConstExpr{Val: 1}, Hi: &air.ConstExpr{Val: 2},
+		Body: []Node{p.Main.Body[0]}}
+	iff := &If{Cond: &air.ConstExpr{Val: 1}, Then: []Node{p.Main.Body[0]}}
+	p.Main.Body = append(p.Main.Body, loop, iff)
+	if got := p.CountNests(); got != 3 {
+		t.Errorf("CountNests after nesting = %d", got)
+	}
+	if got := len(Nests(p.Main.Body)); got != 3 {
+		t.Errorf("Nests = %d", got)
+	}
+}
+
+func TestCNameSanitization(t *testing.T) {
+	if cName("main.x") != "main_x" || cName("f.$result") != "f__result" {
+		t.Errorf("cName broken: %q %q", cName("main.x"), cName("f.$result"))
+	}
+}

@@ -1,0 +1,246 @@
+package lir
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/air"
+)
+
+// EmitC renders the scalarized program as pseudo-C: readable loop
+// nests with explicit index expressions. It is the inspection format
+// of `zplc -emit=c` and the subject of scalarization golden tests.
+func EmitC(p *Program) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "/* program %s (scalarized) */\n", p.Name)
+
+	names := make([]string, 0, len(p.Source.Arrays))
+	for n := range p.Source.Arrays {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		a := p.Source.Arrays[n]
+		if a.Contracted {
+			fmt.Fprintf(&b, "/* %s contracted to a scalar */\n", cName(n))
+			continue
+		}
+		dims := make([]string, a.Alloc.Rank())
+		for i := range dims {
+			dims[i] = fmt.Sprintf("[%d]", a.Alloc.Extent(i))
+		}
+		fmt.Fprintf(&b, "double %s%s; /* %s */\n", cName(n), strings.Join(dims, ""), a.Alloc)
+	}
+
+	procNames := make([]string, 0, len(p.Procs))
+	for n := range p.Procs {
+		procNames = append(procNames, n)
+	}
+	sort.Strings(procNames)
+	for _, n := range procNames {
+		pr := p.Procs[n]
+		params := make([]string, len(pr.Params))
+		for i, pa := range pr.Params {
+			params[i] = "double " + cName(pa)
+		}
+		fmt.Fprintf(&b, "\nvoid %s(%s) {\n", cName(pr.Name), strings.Join(params, ", "))
+		emitNodes(&b, p, pr.Body, 1)
+		b.WriteString("}\n")
+	}
+	return b.String()
+}
+
+func emitNodes(b *strings.Builder, p *Program, nodes []Node, depth int) {
+	ind := strings.Repeat("  ", depth)
+	for _, n := range nodes {
+		switch x := n.(type) {
+		case *Nest:
+			emitNest(b, p, x, depth)
+		case *ScalarAssign:
+			fmt.Fprintf(b, "%s%s = %s;\n", ind, cName(x.LHS), emitExpr(p, x.RHS, nil))
+		case *Loop:
+			op, cmp := "++", "<="
+			if x.Down {
+				op, cmp = "--", ">="
+			}
+			fmt.Fprintf(b, "%sfor (%s = %s; %s %s %s; %s%s) {\n",
+				ind, cName(x.Var), emitExpr(p, x.Lo, nil), cName(x.Var), cmp,
+				emitExpr(p, x.Hi, nil), cName(x.Var), op)
+			emitNodes(b, p, x.Body, depth+1)
+			fmt.Fprintf(b, "%s}\n", ind)
+		case *While:
+			fmt.Fprintf(b, "%swhile (%s) {\n", ind, emitExpr(p, x.Cond, nil))
+			emitNodes(b, p, x.Body, depth+1)
+			fmt.Fprintf(b, "%s}\n", ind)
+		case *If:
+			fmt.Fprintf(b, "%sif (%s) {\n", ind, emitExpr(p, x.Cond, nil))
+			emitNodes(b, p, x.Then, depth+1)
+			if len(x.Else) > 0 {
+				fmt.Fprintf(b, "%s} else {\n", ind)
+				emitNodes(b, p, x.Else, depth+1)
+			}
+			fmt.Fprintf(b, "%s}\n", ind)
+		case *PartialReduce:
+			fmt.Fprintf(b, "%s/* partial %s reduction %s := %s over %s -> %s */\n",
+				ind, x.Op, cName(x.LHS), x.Body, x.Region, x.Dest)
+		case *Comm:
+			fmt.Fprintf(b, "%s%s(%s, /*off*/ %s); /* over %s */\n",
+				ind, x.Phase, cName(x.Array), x.Off, x.Reg)
+		case *Call:
+			args := make([]string, len(x.Args))
+			for i, a := range x.Args {
+				args[i] = emitExpr(p, a, nil)
+			}
+			call := fmt.Sprintf("%s(%s)", cName(x.Proc), strings.Join(args, ", "))
+			if x.Target != "" {
+				fmt.Fprintf(b, "%s%s = %s;\n", ind, cName(x.Target), call)
+			} else {
+				fmt.Fprintf(b, "%s%s;\n", ind, call)
+			}
+		case *Return:
+			if x.Value != nil {
+				fmt.Fprintf(b, "%sreturn %s;\n", ind, emitExpr(p, x.Value, nil))
+			} else {
+				fmt.Fprintf(b, "%sreturn;\n", ind)
+			}
+		case *Writeln:
+			parts := make([]string, len(x.Args))
+			for i, a := range x.Args {
+				if a.Expr != nil {
+					parts[i] = emitExpr(p, a.Expr, nil)
+				} else {
+					parts[i] = fmt.Sprintf("%q", a.Str)
+				}
+			}
+			fmt.Fprintf(b, "%sprintln(%s);\n", ind, strings.Join(parts, ", "))
+		}
+	}
+}
+
+var loopVars = []string{"i1", "i2", "i3", "i4"}
+
+// emitNest prints the loop nest in the order dictated by the loop
+// structure vector: loop k iterates dimension |Order[k]|, reversed
+// when negative.
+func emitNest(b *strings.Builder, p *Program, n *Nest, depth int) {
+	rank := n.Region.Rank()
+	// dimVar[d] is the index variable covering array dimension d.
+	dimVar := make([]string, rank)
+	for k := 0; k < rank; k++ {
+		pi := n.Order[k]
+		dim := pi
+		if dim < 0 {
+			dim = -dim
+		}
+		v := loopVars[dim-1]
+		dimVar[dim-1] = v
+		lo, hi := n.Region.Lo[dim-1], n.Region.Hi[dim-1]
+		in := strings.Repeat("  ", depth+k)
+		if pi > 0 {
+			fmt.Fprintf(b, "%sfor (%s = %d; %s <= %d; %s++)\n", in, v, lo, v, hi, v)
+		} else {
+			fmt.Fprintf(b, "%sfor (%s = %d; %s >= %d; %s--)\n", in, v, hi, v, lo, v)
+		}
+	}
+	bodyInd := strings.Repeat("  ", depth+rank)
+	fmt.Fprintf(b, "%s{\n", bodyInd)
+	for _, pl := range n.Preloads {
+		fmt.Fprintf(b, "%s  %s = %s; /* scalar replacement */\n",
+			bodyInd, cName(pl.Var), indexed(p, pl.Array, pl.Off, dimVar))
+	}
+	for _, s := range n.Body {
+		guard := ""
+		if s.Guard != nil {
+			var conds []string
+			for d := 0; d < rank; d++ {
+				if s.Guard.Lo[d] != n.Region.Lo[d] || s.Guard.Hi[d] != n.Region.Hi[d] {
+					conds = append(conds, fmt.Sprintf("%d <= %s && %s <= %d",
+						s.Guard.Lo[d], dimVar[d], dimVar[d], s.Guard.Hi[d]))
+				}
+			}
+			if len(conds) > 0 {
+				guard = "if (" + strings.Join(conds, " && ") + ") "
+			}
+		}
+		rhs := emitExpr(p, s.RHS, dimVar)
+		switch {
+		case s.IsReduce:
+			op := map[air.ReduceOp]string{
+				air.ReduceSum: "+=", air.ReduceProd: "*=",
+			}[s.Op]
+			if op == "" {
+				fn := "fmax"
+				if s.Op == air.ReduceMin {
+					fn = "fmin"
+				}
+				fmt.Fprintf(b, "%s  %s%s = %s(%s, %s);\n", bodyInd, guard,
+					cName(s.Target), fn, cName(s.Target), rhs)
+			} else {
+				fmt.Fprintf(b, "%s  %s%s %s %s;\n", bodyInd, guard, cName(s.Target), op, rhs)
+			}
+		case s.Contracted:
+			fmt.Fprintf(b, "%s  %sdouble_%s = %s;\n", bodyInd, guard, cName(s.LHS), rhs)
+		default:
+			fmt.Fprintf(b, "%s  %s%s = %s;\n", bodyInd, guard,
+				indexed(p, s.LHS, air.Zero(rank), dimVar), rhs)
+		}
+	}
+	fmt.Fprintf(b, "%s}\n", bodyInd)
+}
+
+// indexed renders A[i1+o1-lo1][i2+o2-lo2]... against allocation bounds.
+func indexed(p *Program, name string, off air.Offset, dimVar []string) string {
+	a := p.Source.Arrays[name]
+	var idx []string
+	for d := range off {
+		adj := off[d] - a.Alloc.Lo[d]
+		switch {
+		case adj == 0:
+			idx = append(idx, fmt.Sprintf("[%s]", dimVar[d]))
+		case adj > 0:
+			idx = append(idx, fmt.Sprintf("[%s+%d]", dimVar[d], adj))
+		default:
+			idx = append(idx, fmt.Sprintf("[%s-%d]", dimVar[d], -adj))
+		}
+	}
+	return cName(name) + strings.Join(idx, "")
+}
+
+// emitExpr renders an expression; dimVar is nil in scalar context.
+func emitExpr(p *Program, e air.Expr, dimVar []string) string {
+	switch x := e.(type) {
+	case *air.RefExpr:
+		if a := p.Source.Arrays[x.Ref.Array]; a != nil && a.Contracted {
+			return "double_" + cName(x.Ref.Array)
+		}
+		return indexed(p, x.Ref.Array, x.Ref.Off, dimVar)
+	case *air.ScalarExpr:
+		return cName(x.Name)
+	case *air.IndexExpr:
+		if dimVar != nil && x.Dim-1 < len(dimVar) {
+			return dimVar[x.Dim-1]
+		}
+		return fmt.Sprintf("i%d", x.Dim)
+	case *air.ConstExpr:
+		return x.String()
+	case *air.BinExpr:
+		return "(" + emitExpr(p, x.X, dimVar) + " " + x.Op.String() + " " + emitExpr(p, x.Y, dimVar) + ")"
+	case *air.UnExpr:
+		return x.Op.String() + "(" + emitExpr(p, x.X, dimVar) + ")"
+	case *air.CallExpr:
+		args := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = emitExpr(p, a, dimVar)
+		}
+		return x.Name + "(" + strings.Join(args, ", ") + ")"
+	}
+	return "?"
+}
+
+// cName sanitizes mangled names (dots, dollars) for the C-like output.
+func cName(n string) string {
+	n = strings.ReplaceAll(n, ".", "_")
+	n = strings.ReplaceAll(n, "$", "_")
+	return n
+}

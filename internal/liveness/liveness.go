@@ -1,0 +1,182 @@
+// Package liveness determines which arrays are contraction candidates:
+// arrays whose entire live range is confined to a single straight-line
+// block, so that replacing them with a per-iteration scalar cannot be
+// observed anywhere else (§3, Definition 6's implicit liveness
+// requirement, and the §4.1 footnote about live ranges).
+package liveness
+
+import (
+	"repro/internal/air"
+)
+
+// blockRef counts how a block touches an array.
+type blockRef struct {
+	block  *air.Block
+	reads  int
+	writes int
+}
+
+// Candidates returns, for each block, the arrays eligible for
+// contraction in that block. An array qualifies when
+//
+//  1. every reference to it in the whole program occurs in that block,
+//  2. its first access in the block is a write, and
+//  3. every read in the block is covered by an earlier write in the
+//     same block (the value never flows in from a previous execution
+//     of the block, e.g. a prior loop iteration).
+//
+// Communication statements count as references, so distributed arrays
+// with ghost regions are automatically excluded.
+func Candidates(prog *air.Program) map[*air.Block][]string {
+	refs := map[string][]blockRef{}
+	note := func(b *air.Block, name string, isWrite bool) {
+		lst := refs[name]
+		if len(lst) == 0 || lst[len(lst)-1].block != b {
+			lst = append(lst, blockRef{block: b})
+		}
+		if isWrite {
+			lst[len(lst)-1].writes++
+		} else {
+			lst[len(lst)-1].reads++
+		}
+		refs[name] = lst
+	}
+
+	blocks := prog.AllBlocks()
+	for _, b := range blocks {
+		for _, s := range b.Stmts {
+			switch x := s.(type) {
+			case *air.ArrayStmt:
+				note(b, x.LHS, true)
+				for _, r := range x.Reads() {
+					note(b, r.Array, false)
+				}
+			case *air.ReduceStmt:
+				for _, r := range air.Refs(x.Body) {
+					note(b, r.Array, false)
+				}
+			case *air.PartialReduceStmt:
+				note(b, x.LHS, true)
+				for _, r := range air.Refs(x.Body) {
+					note(b, r.Array, false)
+				}
+			case *air.CommStmt:
+				note(b, x.Array, false)
+				note(b, x.Array, true)
+			}
+		}
+	}
+
+	out := map[*air.Block][]string{}
+	for name, lst := range refs {
+		if len(lst) != 1 {
+			continue // referenced in several blocks (or none)
+		}
+		b := lst[0].block
+		if confined(b, name) {
+			out[b] = append(out[b], name)
+		}
+	}
+	for _, names := range out {
+		sortStrings(names)
+	}
+	return out
+}
+
+// confined checks conditions 2 and 3 within the block: first access is
+// a write and every read is covered by an earlier write.
+func confined(b *air.Block, name string) bool {
+	type wrect struct{ lo, hi []int }
+	var writes []wrect
+
+	covered := func(lo, hi []int) bool {
+	next:
+		for _, w := range writes {
+			if len(w.lo) != len(lo) {
+				continue
+			}
+			for i := range lo {
+				if w.lo[i] > lo[i] || w.hi[i] < hi[i] {
+					continue next
+				}
+			}
+			return true
+		}
+		return false
+	}
+
+	shifted := func(lo, hi []int, off air.Offset) ([]int, []int) {
+		l := make([]int, len(lo))
+		h := make([]int, len(hi))
+		for i := range lo {
+			d := 0
+			if off != nil {
+				d = off[i]
+			}
+			l[i] = lo[i] + d
+			h[i] = hi[i] + d
+		}
+		return l, h
+	}
+
+	for _, s := range b.Stmts {
+		switch x := s.(type) {
+		case *air.ArrayStmt:
+			for _, r := range x.Reads() {
+				if r.Array != name {
+					continue
+				}
+				lo, hi := shifted(x.Region.Lo, x.Region.Hi, r.Off)
+				if !covered(lo, hi) {
+					return false
+				}
+			}
+			if x.LHS == name {
+				lo, hi := shifted(x.Region.Lo, x.Region.Hi, nil)
+				writes = append(writes, wrect{lo, hi})
+			}
+		case *air.ReduceStmt:
+			for _, r := range air.Refs(x.Body) {
+				if r.Array != name {
+					continue
+				}
+				lo, hi := shifted(x.Region.Lo, x.Region.Hi, r.Off)
+				if !covered(lo, hi) {
+					return false
+				}
+			}
+		case *air.PartialReduceStmt:
+			// The partial reduction's own writes and reads are never
+			// contraction-relevant (it is unnormalized and cannot join
+			// a cluster), but its reads still require coverage.
+			for _, r := range air.Refs(x.Body) {
+				if r.Array != name {
+					continue
+				}
+				lo, hi := shifted(x.Region.Lo, x.Region.Hi, r.Off)
+				if !covered(lo, hi) {
+					return false
+				}
+			}
+			if x.LHS == name {
+				lo, hi := shifted(x.Dest.Lo, x.Dest.Hi, nil)
+				writes = append(writes, wrect{lo, hi})
+			}
+		case *air.CommStmt:
+			if x.Array == name {
+				// Communication implies distribution halos; such an
+				// array is never contraction-eligible.
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package liveness
+
+import (
+	"testing"
+
+	"repro/internal/air"
+	"repro/internal/sema"
+)
+
+func reg2(n int) *sema.Region {
+	return &sema.Region{Lo: []int{1, 1}, Hi: []int{n, n}}
+}
+
+func sub2(lo, hi int) *sema.Region {
+	return &sema.Region{Lo: []int{lo, lo}, Hi: []int{hi, hi}}
+}
+
+func arrStmt(r *sema.Region, lhs string, reads ...air.Ref) *air.ArrayStmt {
+	var rhs air.Expr
+	for _, rd := range reads {
+		ref := &air.RefExpr{Ref: rd}
+		if rhs == nil {
+			rhs = ref
+		} else {
+			rhs = &air.BinExpr{Op: air.OpAdd, X: rhs, Y: ref}
+		}
+	}
+	if rhs == nil {
+		rhs = &air.ConstExpr{Val: 1}
+	}
+	return &air.ArrayStmt{Region: r, LHS: lhs, RHS: rhs}
+}
+
+func ref(a string, vs ...int) air.Ref { return air.Ref{Array: a, Off: air.Offset(vs)} }
+
+func progOf(blocks ...*air.Block) *air.Program {
+	var nodes []air.Node
+	for _, b := range blocks {
+		nodes = append(nodes, b)
+	}
+	p := &air.Program{
+		Name:    "t",
+		Arrays:  map[string]*air.ArrayInfo{},
+		Scalars: map[string]*air.ScalarInfo{},
+		Procs:   map[string]*air.Proc{},
+	}
+	p.Procs["main"] = &air.Proc{Name: "main", Body: nodes}
+	p.Main = p.Procs["main"]
+	return p
+}
+
+func has(c map[*air.Block][]string, b *air.Block, name string) bool {
+	for _, n := range c[b] {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+func TestConfinedTempIsCandidate(t *testing.T) {
+	r := reg2(8)
+	b := &air.Block{ID: 0, Stmts: []air.Stmt{
+		arrStmt(r, "T", ref("A", 0, 0)),
+		arrStmt(r, "B", ref("T", 0, 0)),
+	}}
+	c := Candidates(progOf(b))
+	if !has(c, b, "T") {
+		t.Error("confined temporary not a candidate")
+	}
+	if has(c, b, "A") {
+		t.Error("never-written input array is a candidate")
+	}
+}
+
+func TestCrossBlockArrayExcluded(t *testing.T) {
+	r := reg2(8)
+	b1 := &air.Block{ID: 0, Stmts: []air.Stmt{arrStmt(r, "X", ref("A", 0, 0))}}
+	b2 := &air.Block{ID: 1, Stmts: []air.Stmt{arrStmt(r, "B", ref("X", 0, 0))}}
+	c := Candidates(progOf(b1, b2))
+	if has(c, b1, "X") || has(c, b2, "X") {
+		t.Error("cross-block array is a candidate")
+	}
+}
+
+func TestReadBeforeWriteExcluded(t *testing.T) {
+	// Loop-carried pattern: X read first, written later in the block.
+	r := reg2(8)
+	b := &air.Block{ID: 0, Stmts: []air.Stmt{
+		arrStmt(r, "Y", ref("X", 0, 0)),
+		arrStmt(r, "X", ref("Y", 0, 0)),
+	}}
+	c := Candidates(progOf(b))
+	if has(c, b, "X") {
+		t.Error("read-before-write array is a candidate")
+	}
+	if !has(c, b, "Y") {
+		t.Error("write-then-read array Y should be a candidate")
+	}
+}
+
+func TestUncoveredOffsetReadExcluded(t *testing.T) {
+	// T written over [2..7] but read shifted beyond the write.
+	inner := sub2(2, 7)
+	b := &air.Block{ID: 0, Stmts: []air.Stmt{
+		arrStmt(inner, "T", ref("A", 0, 0)),
+		arrStmt(inner, "B", ref("T", 1, 0)), // touches row 8: uncovered
+	}}
+	c := Candidates(progOf(b))
+	if has(c, b, "T") {
+		t.Error("array with uncovered offset read is a candidate")
+	}
+}
+
+func TestCoveredOffsetReadAllowed(t *testing.T) {
+	// T written over the full region, read at an offset that stays
+	// within the written rectangle.
+	full := reg2(8)
+	inner := sub2(2, 7)
+	b := &air.Block{ID: 0, Stmts: []air.Stmt{
+		arrStmt(full, "T", ref("A", 0, 0)),
+		arrStmt(inner, "B", ref("T", 1, 0)),
+	}}
+	c := Candidates(progOf(b))
+	if !has(c, b, "T") {
+		t.Error("fully covered array should be a candidate")
+	}
+}
+
+func TestCommExcludesArray(t *testing.T) {
+	r := reg2(8)
+	b := &air.Block{ID: 0, Stmts: []air.Stmt{
+		arrStmt(r, "X", ref("A", 0, 0)),
+		&air.CommStmt{Array: "X", Off: air.Offset{0, 1}, Region: r},
+		arrStmt(r, "B", ref("X", 0, 1)),
+	}}
+	c := Candidates(progOf(b))
+	if has(c, b, "X") {
+		t.Error("communicated array is a candidate")
+	}
+}
+
+func TestReduceReadCounts(t *testing.T) {
+	r := reg2(8)
+	b := &air.Block{ID: 0, Stmts: []air.Stmt{
+		arrStmt(r, "T", ref("A", 0, 0)),
+		&air.ReduceStmt{Target: "s", Op: air.ReduceSum, Region: r,
+			Body: &air.RefExpr{Ref: ref("T", 0, 0)}},
+	}}
+	c := Candidates(progOf(b))
+	if !has(c, b, "T") {
+		t.Error("array consumed by an intra-block reduction should be a candidate")
+	}
+}
+
+func TestLoopBodyBlockIsOwnScope(t *testing.T) {
+	// The same block appearing inside a loop: candidates are computed
+	// per block, and write-before-read arrays remain candidates even
+	// though the block re-executes.
+	r := reg2(8)
+	body := &air.Block{ID: 1, Stmts: []air.Stmt{
+		arrStmt(r, "T", ref("A", 0, 0)),
+		arrStmt(r, "B", ref("T", 0, 0)),
+	}}
+	p := &air.Program{
+		Name:    "t",
+		Arrays:  map[string]*air.ArrayInfo{},
+		Scalars: map[string]*air.ScalarInfo{},
+		Procs:   map[string]*air.Proc{},
+	}
+	loop := &air.Loop{Var: "i", Lo: &air.ConstExpr{Val: 1}, Hi: &air.ConstExpr{Val: 3},
+		Body: []air.Node{body}}
+	p.Procs["main"] = &air.Proc{Name: "main", Body: []air.Node{loop}}
+	p.Main = p.Procs["main"]
+	c := Candidates(p)
+	if !has(c, body, "T") {
+		t.Error("loop-body temporary not a candidate")
+	}
+}

@@ -1,0 +1,148 @@
+package lower
+
+import (
+	"sort"
+
+	"repro/internal/air"
+)
+
+// computeEffects summarizes every procedure's transitive side effects
+// and attaches the summaries to call statements, so dependence
+// analysis can treat calls precisely instead of as full barriers.
+// The call graph is acyclic (recursion is rejected), so a memoized
+// walk terminates.
+func (lw *lowerer) computeEffects() {
+	memo := map[string]*air.ProcEffects{}
+
+	var summarize func(name string) *air.ProcEffects
+	summarize = func(name string) *air.ProcEffects {
+		if e, ok := memo[name]; ok {
+			return e
+		}
+		e := &air.ProcEffects{}
+		memo[name] = e
+		pr := lw.prog.Procs[name]
+		if pr == nil {
+			e.IO = true // unknown callee: stay conservative
+			return e
+		}
+		ar := map[string]bool{}
+		aw := map[string]bool{}
+		sr := map[string]bool{}
+		sw := map[string]bool{}
+		for _, p := range pr.Params {
+			sw[p] = true
+		}
+		if pr.HasResult {
+			sw[name+".$result"] = true
+		}
+
+		noteExpr := func(x air.Expr) {
+			for _, r := range air.Refs(x) {
+				ar[r.Array] = true
+			}
+			for _, s := range air.ScalarReads(x) {
+				sr[s] = true
+			}
+		}
+		merge := func(sub *air.ProcEffects) {
+			for _, n := range sub.ArraysRead {
+				ar[n] = true
+			}
+			for _, n := range sub.ArraysWritten {
+				aw[n] = true
+			}
+			for _, n := range sub.ScalarsRead {
+				sr[n] = true
+			}
+			for _, n := range sub.ScalarsWritten {
+				sw[n] = true
+			}
+			e.IO = e.IO || sub.IO
+		}
+
+		var walk func(nodes []air.Node)
+		walk = func(nodes []air.Node) {
+			for _, n := range nodes {
+				switch x := n.(type) {
+				case *air.Block:
+					for _, s := range x.Stmts {
+						switch st := s.(type) {
+						case *air.ArrayStmt:
+							aw[st.LHS] = true
+							noteExpr(st.RHS)
+						case *air.ScalarStmt:
+							sw[st.LHS] = true
+							noteExpr(st.RHS)
+						case *air.ReduceStmt:
+							sw[st.Target] = true
+							noteExpr(st.Body)
+						case *air.PartialReduceStmt:
+							aw[st.LHS] = true
+							noteExpr(st.Body)
+						case *air.CommStmt:
+							ar[st.Array] = true
+							aw[st.Array] = true
+						case *air.WritelnStmt:
+							e.IO = true
+							for _, a := range st.Args {
+								if a.Expr != nil {
+									noteExpr(a.Expr)
+								}
+							}
+						case *air.CallStmt:
+							for _, a := range st.Args {
+								noteExpr(a)
+							}
+							if st.Target != "" {
+								sw[st.Target] = true
+							}
+							sub := summarize(st.Proc)
+							st.Effects = sub
+							merge(sub)
+						case *air.ReturnStmt:
+							if st.Value != nil {
+								noteExpr(st.Value)
+							}
+						}
+					}
+				case *air.Loop:
+					sw[x.Var] = true
+					noteExpr(x.Lo)
+					noteExpr(x.Hi)
+					walk(x.Body)
+				case *air.While:
+					noteExpr(x.Cond)
+					walk(x.Body)
+				case *air.If:
+					noteExpr(x.Cond)
+					walk(x.Then)
+					walk(x.Else)
+				}
+			}
+		}
+		walk(pr.Body)
+
+		e.ArraysRead = sortedKeys(ar)
+		e.ArraysWritten = sortedKeys(aw)
+		e.ScalarsRead = sortedKeys(sr)
+		e.ScalarsWritten = sortedKeys(sw)
+		return e
+	}
+
+	for name := range lw.prog.Procs {
+		summarize(name)
+	}
+}
+
+func sortedKeys(m map[string]bool) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

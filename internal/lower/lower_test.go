@@ -1,0 +1,380 @@
+package lower
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/air"
+	"repro/internal/asdg"
+	"repro/internal/core"
+	"repro/internal/parser"
+	"repro/internal/sema"
+	"repro/internal/source"
+)
+
+func lowerOK(t *testing.T, src string) *air.Program {
+	t.Helper()
+	var errs source.ErrorList
+	prog := parser.Parse(src, &errs)
+	if errs.HasErrors() {
+		t.Fatalf("parse: %s", errs.Error())
+	}
+	info := sema.Check(prog, nil, &errs)
+	if errs.HasErrors() {
+		t.Fatalf("sema: %s", errs.Error())
+	}
+	p := Lower(info, &errs)
+	if errs.HasErrors() {
+		t.Fatalf("lower: %s", errs.Error())
+	}
+	return p
+}
+
+func mainStmts(t *testing.T, p *air.Program) []air.Stmt {
+	t.Helper()
+	blocks := air.Blocks(p.Main.Body)
+	if len(blocks) == 0 {
+		t.Fatal("no blocks in main")
+	}
+	var all []air.Stmt
+	for _, b := range blocks {
+		all = append(all, b.Stmts...)
+	}
+	return all
+}
+
+func TestNormalFormSelfReference(t *testing.T) {
+	p := lowerOK(t, `
+program p;
+region R = [1..4, 1..4];
+var A : [R] double;
+proc main()
+begin
+  [R] A := A@(0,1) + 1.0;
+end;
+`)
+	stmts := mainStmts(t, p)
+	if len(stmts) != 2 {
+		t.Fatalf("got %d statements, want 2 (temp + copy)", len(stmts))
+	}
+	def := stmts[0].(*air.ArrayStmt)
+	use := stmts[1].(*air.ArrayStmt)
+	if !p.Arrays[def.LHS].Temp {
+		t.Errorf("first statement writes %s, want a compiler temp", def.LHS)
+	}
+	if use.LHS != "A" {
+		t.Errorf("second statement writes %s, want A", use.LHS)
+	}
+	// Normal form property (i): no statement both reads and writes
+	// one array.
+	for _, s := range stmts {
+		as := s.(*air.ArrayStmt)
+		for _, r := range as.Reads() {
+			if r.Array == as.LHS {
+				t.Errorf("statement %s violates normal form", as)
+			}
+		}
+	}
+}
+
+func TestNoTempWhenNotNeeded(t *testing.T) {
+	p := lowerOK(t, `
+program p;
+region R = [1..4];
+var A, B : [R] double;
+proc main()
+begin
+  [R] A := B@(1) * 2.0;
+end;
+`)
+	for _, a := range p.Arrays {
+		if a.Temp {
+			t.Errorf("unnecessary compiler temp %s", a.Name)
+		}
+	}
+}
+
+func TestAllocBoundsWidenForOffsets(t *testing.T) {
+	p := lowerOK(t, `
+program p;
+region R = [1..8, 1..8];
+var A, B : [R] double;
+proc main()
+begin
+  [R] B := A@(-2, 3);
+end;
+`)
+	a := p.Arrays["A"]
+	if a.Alloc.Lo[0] != -1 || a.Alloc.Hi[1] != 11 {
+		t.Errorf("A alloc = %s, want rows from -1 and cols to 11", a.Alloc)
+	}
+	lo, hi := a.Halo()
+	if lo[0] != 2 || hi[1] != 3 {
+		t.Errorf("halo = %v/%v", lo, hi)
+	}
+	// B needs no halo.
+	if b := p.Arrays["B"]; !b.Alloc.Equal(b.Declared) {
+		t.Errorf("B alloc widened needlessly: %s", b.Alloc)
+	}
+}
+
+func TestReductionHoisting(t *testing.T) {
+	p := lowerOK(t, `
+program p;
+region R = [1..4];
+var A : [R] double;
+var s : double;
+proc main()
+begin
+  [R] A := 1.0;
+  s := 2.0 * +<< [R] A;
+end;
+`)
+	stmts := mainStmts(t, p)
+	var reduce *air.ReduceStmt
+	var assign *air.ScalarStmt
+	for _, s := range stmts {
+		switch x := s.(type) {
+		case *air.ReduceStmt:
+			reduce = x
+		case *air.ScalarStmt:
+			assign = x
+		}
+	}
+	if reduce == nil {
+		t.Fatal("no reduce statement")
+	}
+	if assign == nil || !strings.Contains(assign.RHS.String(), reduce.Target) {
+		t.Errorf("scalar assign does not consume the reduce temp: %v", assign)
+	}
+}
+
+func TestNestedCallHoisting(t *testing.T) {
+	p := lowerOK(t, `
+program p;
+var s : double;
+proc f(x : double) : double
+begin
+  return x + 1.0;
+end;
+proc main()
+begin
+  s := f(2.0) * f(3.0);
+end;
+`)
+	stmts := mainStmts(t, p)
+	calls := 0
+	for _, s := range stmts {
+		if _, ok := s.(*air.CallStmt); ok {
+			calls++
+		}
+	}
+	if calls != 2 {
+		t.Errorf("got %d call statements, want 2 (hoisted)", calls)
+	}
+}
+
+func TestDirectCallAssignment(t *testing.T) {
+	p := lowerOK(t, `
+program p;
+var s : double;
+proc f() : double
+begin
+  return 4.0;
+end;
+proc main()
+begin
+  s := f();
+end;
+`)
+	stmts := mainStmts(t, p)
+	if len(stmts) != 1 {
+		t.Fatalf("got %d statements, want 1 direct call", len(stmts))
+	}
+	cs, ok := stmts[0].(*air.CallStmt)
+	if !ok || cs.Target != "s" {
+		t.Errorf("statement = %v, want call with target s", stmts[0])
+	}
+}
+
+func TestBlockSplittingAtControlFlow(t *testing.T) {
+	p := lowerOK(t, `
+program p;
+region R = [1..4];
+var A : [R] double;
+var s : double;
+proc main()
+begin
+  [R] A := 1.0;
+  for i := 1 to 2 do
+    [R] A := 2.0;
+  end;
+  s := 0.0;
+end;
+`)
+	blocks := air.Blocks(p.Main.Body)
+	if len(blocks) != 3 {
+		t.Fatalf("got %d blocks, want 3 (pre, body, post)", len(blocks))
+	}
+}
+
+func TestLocalNameMangling(t *testing.T) {
+	p := lowerOK(t, `
+program p;
+var x : double;
+proc helper()
+var x : integer;
+begin
+  x := 1;
+end;
+proc main()
+begin
+  x := 2.0;
+  helper();
+end;
+`)
+	if _, ok := p.Scalars["helper.x"]; !ok {
+		t.Error("local x not mangled to helper.x")
+	}
+	if _, ok := p.Scalars["x"]; !ok {
+		t.Error("global x missing")
+	}
+}
+
+func TestIndexExprLowering(t *testing.T) {
+	p := lowerOK(t, `
+program p;
+region R = [1..4, 1..4];
+var A : [R] double;
+proc main()
+begin
+  [R] A := index1 * 10.0 + index2;
+end;
+`)
+	stmts := mainStmts(t, p)
+	found := 0
+	air.Walk(stmts[0].(*air.ArrayStmt).RHS, func(e air.Expr) {
+		if _, ok := e.(*air.IndexExpr); ok {
+			found++
+		}
+	})
+	if found != 2 {
+		t.Errorf("found %d IndexExprs, want 2", found)
+	}
+}
+
+func TestStatementIDsDense(t *testing.T) {
+	p := lowerOK(t, `
+program p;
+region R = [1..4];
+var A, B, C : [R] double;
+proc main()
+begin
+  [R] A := 1.0;
+  [R] B := A;
+  [R] C := B;
+end;
+`)
+	seen := map[int]bool{}
+	for _, s := range mainStmts(t, p) {
+		if as, ok := s.(*air.ArrayStmt); ok {
+			if seen[as.ID] {
+				t.Errorf("duplicate statement ID %d", as.ID)
+			}
+			seen[as.ID] = true
+		}
+	}
+	if len(seen) != p.NumStmts {
+		t.Errorf("NumStmts %d != %d IDs", p.NumStmts, len(seen))
+	}
+}
+
+func TestProcEffectSummaries(t *testing.T) {
+	p := lowerOK(t, `
+program fx;
+region R = [1..4];
+var A, B : [R] double;
+var g : double;
+proc pure(x : double) : double
+begin
+  return x + 1.0;
+end;
+proc touches()
+begin
+  [R] B := A * 2.0;
+  g := 1.0;
+end;
+proc noisy()
+begin
+  writeln("hi");
+end;
+proc main()
+var z : double;
+begin
+  z := pure(1.0);
+  touches();
+  noisy();
+end;
+`)
+	var calls []*air.CallStmt
+	for _, b := range air.Blocks(p.Main.Body) {
+		for _, s := range b.Stmts {
+			if c, ok := s.(*air.CallStmt); ok {
+				calls = append(calls, c)
+			}
+		}
+	}
+	if len(calls) != 3 {
+		t.Fatalf("got %d calls", len(calls))
+	}
+	byName := map[string]*air.CallStmt{}
+	for _, c := range calls {
+		byName[c.Proc] = c
+	}
+	pure := byName["pure"].Effects
+	if pure == nil || pure.IO || len(pure.ArraysRead) != 0 || len(pure.ArraysWritten) != 0 {
+		t.Errorf("pure effects = %+v", pure)
+	}
+	touch := byName["touches"].Effects
+	if touch == nil || touch.IO {
+		t.Fatalf("touches effects = %+v", touch)
+	}
+	if len(touch.ArraysWritten) != 1 || touch.ArraysWritten[0] != "B" {
+		t.Errorf("touches writes %v, want [B]", touch.ArraysWritten)
+	}
+	if len(touch.ArraysRead) != 1 || touch.ArraysRead[0] != "A" {
+		t.Errorf("touches reads %v, want [A]", touch.ArraysRead)
+	}
+	noisy := byName["noisy"].Effects
+	if noisy == nil || !noisy.IO {
+		t.Errorf("noisy effects = %+v", noisy)
+	}
+}
+
+// A pure scalar call between two array statements must no longer block
+// fusion and contraction.
+func TestPureCallDoesNotBlockFusion(t *testing.T) {
+	p := lowerOK(t, `
+program pc;
+region R = [1..8];
+var A, T, B : [R] double;
+var z : double;
+proc pure(x : double) : double
+begin
+  return x * 2.0;
+end;
+proc main()
+begin
+  [R] A := 1.0;
+  [R] T := A + 1.0;
+  z := pure(3.0);
+  [R] B := T + A;
+end;
+`)
+	blocks := air.Blocks(p.Main.Body)
+	g := asdg.Build(blocks[0].Stmts)
+	part, contracted := core.FusionForContraction(g, nil, []string{"T"})
+	if !contracted["T"] {
+		t.Errorf("T not contracted across a pure call: %s", part)
+	}
+}

@@ -1,0 +1,531 @@
+// Package parser builds ZA syntax trees from token streams.
+//
+// The grammar is LL(1) plus one token of lookahead for distinguishing
+// `A@dir` from plain identifiers; a recursive-descent parser with
+// precedence-climbing expressions covers it comfortably.
+package parser
+
+import (
+	"strconv"
+
+	"repro/internal/ast"
+	"repro/internal/lexer"
+	"repro/internal/source"
+	"repro/internal/token"
+)
+
+// Parse parses a complete ZA program. Diagnostics accumulate in errs;
+// the returned tree is best-effort when errors occur (possibly nil).
+func Parse(src string, errs *source.ErrorList) *ast.Program {
+	p := &parser{toks: lexer.Tokenize(src, errs), errs: errs}
+	return p.parseProgram()
+}
+
+// ParseExpr parses a single expression, for tests and tools.
+func ParseExpr(src string, errs *source.ErrorList) ast.Expr {
+	p := &parser{toks: lexer.Tokenize(src, errs), errs: errs}
+	e := p.parseExpr()
+	if p.tok().Kind != token.EOF {
+		p.errorf("unexpected %s after expression", p.tok())
+	}
+	return e
+}
+
+type parser struct {
+	toks []lexer.Token
+	i    int
+	errs *source.ErrorList
+}
+
+func (p *parser) tok() lexer.Token { return p.toks[p.i] }
+func (p *parser) peek() lexer.Token {
+	if p.i+1 < len(p.toks) {
+		return p.toks[p.i+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+func (p *parser) next() lexer.Token {
+	t := p.toks[p.i]
+	if t.Kind != token.EOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) at(k token.Kind) bool { return p.tok().Kind == k }
+
+func (p *parser) accept(k token.Kind) bool {
+	if p.at(k) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k token.Kind) lexer.Token {
+	if p.at(k) {
+		return p.next()
+	}
+	p.errorf("expected %q, found %s", k.String(), p.tok())
+	return lexer.Token{Kind: k, Pos: p.tok().Pos}
+}
+
+func (p *parser) errorf(format string, args ...interface{}) {
+	p.errs.Errorf(p.tok().Pos, format, args...)
+}
+
+// sync skips tokens until a likely statement/declaration boundary.
+// It always consumes at least one token so error recovery makes
+// progress even when the stream is already at a boundary.
+func (p *parser) sync() {
+	consumed := false
+	for !p.at(token.EOF) {
+		if p.accept(token.SEMI) {
+			return
+		}
+		switch p.tok().Kind {
+		case token.VAR, token.REGION, token.CONFIG, token.DIRECTION,
+			token.PROC, token.END, token.BEGIN:
+			if consumed {
+				return
+			}
+		}
+		p.next()
+		consumed = true
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Declarations
+
+func (p *parser) parseProgram() *ast.Program {
+	start := p.expect(token.PROGRAM)
+	name := p.expect(token.IDENT)
+	p.expect(token.SEMI)
+	prog := &ast.Program{NamePos: start.Pos, Name: name.Lit}
+	for !p.at(token.EOF) {
+		switch p.tok().Kind {
+		case token.CONFIG:
+			prog.Decls = append(prog.Decls, p.parseConfig())
+		case token.REGION:
+			prog.Decls = append(prog.Decls, p.parseRegionDecl())
+		case token.DIRECTION:
+			prog.Decls = append(prog.Decls, p.parseDirectionDecls()...)
+		case token.VAR:
+			prog.Decls = append(prog.Decls, p.parseVarDecl())
+		case token.PROC:
+			prog.Procs = append(prog.Procs, p.parseProc())
+		default:
+			p.errorf("unexpected %s at top level", p.tok())
+			p.sync()
+		}
+	}
+	return prog
+}
+
+func (p *parser) parseConfig() ast.Decl {
+	start := p.expect(token.CONFIG)
+	name := p.expect(token.IDENT)
+	p.expect(token.COLON)
+	typ := p.parseType()
+	p.expect(token.EQ)
+	def := p.parseExpr()
+	p.expect(token.SEMI)
+	return &ast.ConfigDecl{DeclPos: start.Pos, Name: name.Lit, Type: typ, Default: def}
+}
+
+func (p *parser) parseRegionDecl() ast.Decl {
+	start := p.expect(token.REGION)
+	name := p.expect(token.IDENT)
+	p.expect(token.EQ)
+	lit := p.parseRegionLit()
+	p.expect(token.SEMI)
+	return &ast.RegionDecl{DeclPos: start.Pos, Name: name.Lit, Lit: lit}
+}
+
+// parseDirectionDecls handles `direction a = (...); b = (...);` chains:
+// after the keyword, additional name=(…) pairs may follow separated by
+// semicolons as long as the next token pair is IDENT '='.
+func (p *parser) parseDirectionDecls() []ast.Decl {
+	start := p.expect(token.DIRECTION)
+	var decls []ast.Decl
+	for {
+		name := p.expect(token.IDENT)
+		p.expect(token.EQ)
+		p.expect(token.LPAREN)
+		var offs []ast.Expr
+		offs = append(offs, p.parseExpr())
+		for p.accept(token.COMMA) {
+			offs = append(offs, p.parseExpr())
+		}
+		p.expect(token.RPAREN)
+		decls = append(decls, &ast.DirectionDecl{DeclPos: start.Pos, Name: name.Lit, Offsets: offs})
+		p.expect(token.SEMI)
+		if !(p.at(token.IDENT) && p.peek().Kind == token.EQ) {
+			return decls
+		}
+	}
+}
+
+func (p *parser) parseVarDecl() *ast.VarDecl {
+	start := p.expect(token.VAR)
+	d := p.parseVarBody(start.Pos)
+	p.expect(token.SEMI)
+	return d
+}
+
+func (p *parser) parseVarBody(pos source.Pos) *ast.VarDecl {
+	var names []string
+	names = append(names, p.expect(token.IDENT).Lit)
+	for p.accept(token.COMMA) {
+		names = append(names, p.expect(token.IDENT).Lit)
+	}
+	p.expect(token.COLON)
+	var region *ast.RegionExpr
+	if p.at(token.LBRACK) {
+		region = p.parseRegionExpr()
+	}
+	typ := p.parseType()
+	return &ast.VarDecl{DeclPos: pos, Names: names, Region: region, Type: typ}
+}
+
+func (p *parser) parseType() ast.TypeExpr {
+	t := p.tok()
+	switch t.Kind {
+	case token.INTEGER:
+		p.next()
+		return ast.TypeExpr{TypePos: t.Pos, Kind: ast.Integer}
+	case token.DOUBLE:
+		p.next()
+		return ast.TypeExpr{TypePos: t.Pos, Kind: ast.Double}
+	case token.BOOLEAN:
+		p.next()
+		return ast.TypeExpr{TypePos: t.Pos, Kind: ast.Boolean}
+	}
+	p.errorf("expected type, found %s", t)
+	return ast.TypeExpr{TypePos: t.Pos, Kind: ast.InvalidType}
+}
+
+func (p *parser) parseProc() *ast.ProcDecl {
+	start := p.expect(token.PROC)
+	name := p.expect(token.IDENT)
+	p.expect(token.LPAREN)
+	var params []ast.Param
+	if !p.at(token.RPAREN) {
+		for {
+			pn := p.expect(token.IDENT)
+			p.expect(token.COLON)
+			pt := p.parseType()
+			params = append(params, ast.Param{Name: pn.Lit, Type: pt})
+			if !p.accept(token.SEMI) && !p.accept(token.COMMA) {
+				break
+			}
+		}
+	}
+	p.expect(token.RPAREN)
+	var result ast.TypeExpr
+	if p.accept(token.COLON) {
+		result = p.parseType()
+	}
+	var locals []*ast.VarDecl
+	for p.at(token.VAR) {
+		locals = append(locals, p.parseVarDecl())
+	}
+	p.expect(token.BEGIN)
+	body := p.parseStmts()
+	p.expect(token.END)
+	p.expect(token.SEMI)
+	return &ast.ProcDecl{
+		DeclPos: start.Pos, Name: name.Lit, Params: params,
+		Result: result, Locals: locals, Body: body,
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Regions
+
+func (p *parser) parseRegionExpr() *ast.RegionExpr {
+	pos := p.tok().Pos
+	p.expect(token.LBRACK)
+	// Named region: [R]
+	if p.at(token.IDENT) && p.peek().Kind == token.RBRACK {
+		name := p.next()
+		p.expect(token.RBRACK)
+		return &ast.RegionExpr{ExprPos: pos, Name: name.Lit}
+	}
+	lit := p.parseRegionLitBody(pos)
+	return &ast.RegionExpr{ExprPos: pos, Lit: lit}
+}
+
+func (p *parser) parseRegionLit() *ast.RegionLit {
+	pos := p.tok().Pos
+	p.expect(token.LBRACK)
+	return p.parseRegionLitBody(pos)
+}
+
+// parseRegionLitBody parses ranges after '[' has been consumed.
+func (p *parser) parseRegionLitBody(pos source.Pos) *ast.RegionLit {
+	lit := &ast.RegionLit{LitPos: pos}
+	for {
+		lo := p.parseExpr()
+		p.expect(token.DOTDOT)
+		hi := p.parseExpr()
+		lit.Ranges = append(lit.Ranges, ast.Range{Lo: lo, Hi: hi})
+		if !p.accept(token.COMMA) {
+			break
+		}
+	}
+	p.expect(token.RBRACK)
+	return lit
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+func (p *parser) parseStmts() []ast.Stmt {
+	var stmts []ast.Stmt
+	for {
+		switch p.tok().Kind {
+		case token.END, token.ELSE, token.ELSIF, token.EOF:
+			return stmts
+		}
+		s := p.parseStmt()
+		if s != nil {
+			stmts = append(stmts, s)
+		}
+	}
+}
+
+func (p *parser) parseStmt() ast.Stmt {
+	t := p.tok()
+	switch t.Kind {
+	case token.LBRACK:
+		return p.parseArrayAssign()
+	case token.IDENT:
+		return p.parseIdentStmt()
+	case token.IF:
+		return p.parseIf()
+	case token.FOR:
+		return p.parseFor()
+	case token.WHILE:
+		return p.parseWhile()
+	case token.RETURN:
+		p.next()
+		var v ast.Expr
+		if !p.at(token.SEMI) {
+			v = p.parseExpr()
+		}
+		p.expect(token.SEMI)
+		return &ast.ReturnStmt{StmtPos: t.Pos, Value: v}
+	case token.WRITELN:
+		p.next()
+		p.expect(token.LPAREN)
+		var args []ast.Expr
+		if !p.at(token.RPAREN) {
+			args = append(args, p.parseExpr())
+			for p.accept(token.COMMA) {
+				args = append(args, p.parseExpr())
+			}
+		}
+		p.expect(token.RPAREN)
+		p.expect(token.SEMI)
+		return &ast.WritelnStmt{StmtPos: t.Pos, Args: args}
+	}
+	p.errorf("unexpected %s at start of statement", t)
+	p.sync()
+	return nil
+}
+
+func (p *parser) parseArrayAssign() ast.Stmt {
+	pos := p.tok().Pos
+	region := p.parseRegionExpr()
+	lhs := p.expect(token.IDENT)
+	p.expect(token.ASSIGN)
+	rhs := p.parseExpr()
+	p.expect(token.SEMI)
+	return &ast.ArrayAssign{StmtPos: pos, Region: region, LHS: lhs.Lit, RHS: rhs}
+}
+
+func (p *parser) parseIdentStmt() ast.Stmt {
+	t := p.tok()
+	if p.peek().Kind == token.LPAREN {
+		call := p.parsePrimary().(*ast.CallExpr)
+		p.expect(token.SEMI)
+		return &ast.CallStmt{StmtPos: t.Pos, Call: call}
+	}
+	name := p.next()
+	p.expect(token.ASSIGN)
+	rhs := p.parseExpr()
+	p.expect(token.SEMI)
+	return &ast.ScalarAssign{StmtPos: t.Pos, LHS: name.Lit, RHS: rhs}
+}
+
+func (p *parser) parseIf() ast.Stmt {
+	start := p.expect(token.IF)
+	cond := p.parseExpr()
+	p.expect(token.THEN)
+	then := p.parseStmts()
+	var els []ast.Stmt
+	switch {
+	case p.at(token.ELSIF):
+		// Treat `elsif` as `else if ...` sharing the outer `end`.
+		p.toks[p.i].Kind = token.IF // rewrite in place and reparse
+		els = []ast.Stmt{p.parseIfNoEnd()}
+	case p.accept(token.ELSE):
+		els = p.parseStmts()
+	}
+	p.expect(token.END)
+	p.expect(token.SEMI)
+	return &ast.IfStmt{StmtPos: start.Pos, Cond: cond, Then: then, Else: els}
+}
+
+// parseIfNoEnd parses an if-chain that shares the enclosing `end`.
+func (p *parser) parseIfNoEnd() ast.Stmt {
+	start := p.expect(token.IF)
+	cond := p.parseExpr()
+	p.expect(token.THEN)
+	then := p.parseStmts()
+	var els []ast.Stmt
+	switch {
+	case p.at(token.ELSIF):
+		p.toks[p.i].Kind = token.IF
+		els = []ast.Stmt{p.parseIfNoEnd()}
+	case p.accept(token.ELSE):
+		els = p.parseStmts()
+	}
+	return &ast.IfStmt{StmtPos: start.Pos, Cond: cond, Then: then, Else: els}
+}
+
+func (p *parser) parseFor() ast.Stmt {
+	start := p.expect(token.FOR)
+	v := p.expect(token.IDENT)
+	p.expect(token.ASSIGN)
+	lo := p.parseExpr()
+	down := false
+	if p.accept(token.DOWNTO) {
+		down = true
+	} else {
+		p.expect(token.TO)
+	}
+	hi := p.parseExpr()
+	p.expect(token.DO)
+	body := p.parseStmts()
+	p.expect(token.END)
+	p.expect(token.SEMI)
+	return &ast.ForStmt{StmtPos: start.Pos, Var: v.Lit, Lo: lo, Hi: hi, Down: down, Body: body}
+}
+
+func (p *parser) parseWhile() ast.Stmt {
+	start := p.expect(token.WHILE)
+	cond := p.parseExpr()
+	p.expect(token.DO)
+	body := p.parseStmts()
+	p.expect(token.END)
+	p.expect(token.SEMI)
+	return &ast.WhileStmt{StmtPos: start.Pos, Cond: cond, Body: body}
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+func (p *parser) parseExpr() ast.Expr { return p.parseBinary(1) }
+
+func (p *parser) parseBinary(minPrec int) ast.Expr {
+	x := p.parseUnary()
+	for {
+		op := p.tok().Kind
+		prec := op.Precedence()
+		if prec < minPrec || prec == 0 {
+			return x
+		}
+		opPos := p.next().Pos
+		y := p.parseBinary(prec + 1)
+		x = &ast.BinaryExpr{ExprPos: opPos, Op: op, X: x, Y: y}
+	}
+}
+
+func (p *parser) parseUnary() ast.Expr {
+	t := p.tok()
+	switch t.Kind {
+	case token.MINUS, token.NOT:
+		p.next()
+		x := p.parseUnary()
+		return &ast.UnaryExpr{ExprPos: t.Pos, Op: t.Kind, X: x}
+	case token.REDPLUS, token.REDSTAR, token.REDMAX, token.REDMIN:
+		// A reduction's body extends to the end of the expression
+		// (ZPL semantics): +<< [R] A * B reduces the product A*B.
+		p.next()
+		region := p.parseRegionExpr()
+		body := p.parseBinary(1)
+		return &ast.ReduceExpr{ExprPos: t.Pos, Op: t.Kind, Region: region, Body: body}
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() ast.Expr {
+	t := p.tok()
+	switch t.Kind {
+	case token.IDENT:
+		p.next()
+		switch p.tok().Kind {
+		case token.AT:
+			p.next()
+			if p.at(token.IDENT) {
+				d := p.next()
+				return &ast.AtExpr{ExprPos: t.Pos, Array: t.Lit, DirName: d.Lit}
+			}
+			p.expect(token.LPAREN)
+			var offs []ast.Expr
+			offs = append(offs, p.parseExpr())
+			for p.accept(token.COMMA) {
+				offs = append(offs, p.parseExpr())
+			}
+			p.expect(token.RPAREN)
+			return &ast.AtExpr{ExprPos: t.Pos, Array: t.Lit, Offsets: offs}
+		case token.LPAREN:
+			p.next()
+			var args []ast.Expr
+			if !p.at(token.RPAREN) {
+				args = append(args, p.parseExpr())
+				for p.accept(token.COMMA) {
+					args = append(args, p.parseExpr())
+				}
+			}
+			p.expect(token.RPAREN)
+			return &ast.CallExpr{ExprPos: t.Pos, Name: t.Lit, Args: args}
+		}
+		return &ast.Ident{ExprPos: t.Pos, Name: t.Lit}
+	case token.INT:
+		p.next()
+		v, err := strconv.ParseInt(t.Lit, 10, 64)
+		if err != nil {
+			p.errs.Errorf(t.Pos, "invalid integer literal %q: %v", t.Lit, err)
+		}
+		return &ast.IntLit{ExprPos: t.Pos, Value: v}
+	case token.FLOAT:
+		p.next()
+		v, err := strconv.ParseFloat(t.Lit, 64)
+		if err != nil {
+			p.errs.Errorf(t.Pos, "invalid float literal %q: %v", t.Lit, err)
+		}
+		return &ast.FloatLit{ExprPos: t.Pos, Value: v, Text: t.Lit}
+	case token.TRUE:
+		p.next()
+		return &ast.BoolLit{ExprPos: t.Pos, Value: true}
+	case token.FALSE:
+		p.next()
+		return &ast.BoolLit{ExprPos: t.Pos, Value: false}
+	case token.STRING:
+		p.next()
+		return &ast.StringLit{ExprPos: t.Pos, Value: t.Lit}
+	case token.LPAREN:
+		p.next()
+		e := p.parseExpr()
+		p.expect(token.RPAREN)
+		return e
+	}
+	p.errorf("unexpected %s in expression", t)
+	p.next()
+	return &ast.IntLit{ExprPos: t.Pos, Value: 0}
+}

@@ -1,0 +1,272 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/source"
+)
+
+func parseOK(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	var errs source.ErrorList
+	prog := Parse(src, &errs)
+	if errs.HasErrors() {
+		t.Fatalf("parse errors:\n%s", errs.Error())
+	}
+	return prog
+}
+
+const miniProgram = `
+program mini;
+config n : integer = 8;
+region R = [1..n, 1..n];
+direction north = (-1, 0); east = (0, 1);
+var A, B : [R] double;
+var s : double;
+proc main()
+begin
+  [R] A := 1.0;
+  [R] B := A@north + A@east * 2.0;
+  s := +<< [R] B;
+  writeln("sum", s);
+end;
+`
+
+func TestParseMiniProgram(t *testing.T) {
+	prog := parseOK(t, miniProgram)
+	if prog.Name != "mini" {
+		t.Errorf("program name = %q, want mini", prog.Name)
+	}
+	if len(prog.Decls) != 6 {
+		t.Errorf("got %d decls, want 6 (config, region, 2 directions, 2 vars)", len(prog.Decls))
+	}
+	main := prog.Proc("main")
+	if main == nil {
+		t.Fatal("no main proc")
+	}
+	if len(main.Body) != 4 {
+		t.Fatalf("main has %d stmts, want 4", len(main.Body))
+	}
+	aa, ok := main.Body[1].(*ast.ArrayAssign)
+	if !ok {
+		t.Fatalf("stmt 2 is %T, want ArrayAssign", main.Body[1])
+	}
+	if aa.LHS != "B" || aa.Region.Name != "R" {
+		t.Errorf("stmt 2 = %s %s, want [R] B", ast.RegionString(aa.Region), aa.LHS)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	prog := parseOK(t, miniProgram)
+	formatted := ast.Format(prog)
+	prog2 := parseOK(t, formatted)
+	formatted2 := ast.Format(prog2)
+	if formatted != formatted2 {
+		t.Errorf("format not stable:\nfirst:\n%s\nsecond:\n%s", formatted, formatted2)
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	tests := []struct{ src, want string }{
+		{"a + b * c", "a + b * c"},
+		{"(a + b) * c", "(a + b) * c"},
+		{"a - b - c", "a - b - c"},
+		{"a / b / c", "a / b / c"},
+		{"-a + b", "-a + b"},
+		{"-(a + b)", "-(a + b)"},
+		{"a < b & c < d", "a < b & c < d"},
+		{"a * b + c * d", "a * b + c * d"},
+	}
+	for _, tt := range tests {
+		var errs source.ErrorList
+		e := ParseExpr(tt.src, &errs)
+		if errs.HasErrors() {
+			t.Fatalf("ParseExpr(%q): %v", tt.src, errs.Error())
+		}
+		if got := ast.ExprString(e); got != tt.want {
+			t.Errorf("ParseExpr(%q) prints %q, want %q", tt.src, got, tt.want)
+		}
+	}
+}
+
+func TestLeftAssociativity(t *testing.T) {
+	var errs source.ErrorList
+	e := ParseExpr("a - b - c", &errs)
+	bin, ok := e.(*ast.BinaryExpr)
+	if !ok {
+		t.Fatalf("not binary: %T", e)
+	}
+	// (a-b)-c: left child is itself a binary expr.
+	if _, ok := bin.X.(*ast.BinaryExpr); !ok {
+		t.Errorf("a-b-c parsed right-associatively")
+	}
+}
+
+func TestAtExpr(t *testing.T) {
+	var errs source.ErrorList
+	e := ParseExpr("A@north + B@(0, -1)", &errs)
+	if errs.HasErrors() {
+		t.Fatal(errs.Error())
+	}
+	bin := e.(*ast.BinaryExpr)
+	at1 := bin.X.(*ast.AtExpr)
+	if at1.Array != "A" || at1.DirName != "north" {
+		t.Errorf("lhs = %s@%s", at1.Array, at1.DirName)
+	}
+	at2 := bin.Y.(*ast.AtExpr)
+	if at2.Array != "B" || len(at2.Offsets) != 2 {
+		t.Errorf("rhs = %s with %d offsets", at2.Array, len(at2.Offsets))
+	}
+}
+
+func TestReduceExpr(t *testing.T) {
+	var errs source.ErrorList
+	e := ParseExpr("+<< [R] A * A", &errs)
+	if errs.HasErrors() {
+		t.Fatal(errs.Error())
+	}
+	// The reduction body extends to the end of the expression:
+	// +<< [R] (A * A), matching ZPL.
+	red, ok := e.(*ast.ReduceExpr)
+	if !ok {
+		t.Fatalf("top is %T, want ReduceExpr", e)
+	}
+	if _, ok := red.Body.(*ast.BinaryExpr); !ok {
+		t.Fatalf("body is %T, want BinaryExpr", red.Body)
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	src := `
+program cf;
+var i, s : integer;
+proc main()
+begin
+  s := 0;
+  for i := 1 to 10 do
+    s := s + i;
+  end;
+  while s > 0 do
+    s := s - 1;
+  end;
+  if s = 0 then
+    writeln("zero");
+  elsif s > 0 then
+    writeln("pos");
+  else
+    writeln("neg");
+  end;
+end;
+`
+	prog := parseOK(t, src)
+	main := prog.Proc("main")
+	if len(main.Body) != 4 {
+		t.Fatalf("got %d stmts, want 4", len(main.Body))
+	}
+	ifs, ok := main.Body[3].(*ast.IfStmt)
+	if !ok {
+		t.Fatalf("stmt 4 is %T", main.Body[3])
+	}
+	if ifs.Else == nil {
+		t.Fatal("missing elsif arm")
+	}
+	inner, ok := ifs.Else[0].(*ast.IfStmt)
+	if !ok || inner.Else == nil {
+		t.Fatal("elsif chain not nested as if/else")
+	}
+}
+
+func TestInlineRegion(t *testing.T) {
+	src := `
+program inline;
+config n : integer = 4;
+var A : [1..n, 1..n] double;
+proc main()
+begin
+  [1..n, 1..n] A := 0.0;
+end;
+`
+	prog := parseOK(t, src)
+	vd := prog.Decls[1].(*ast.VarDecl)
+	if vd.Region == nil || vd.Region.Lit == nil || len(vd.Region.Lit.Ranges) != 2 {
+		t.Errorf("var region literal not parsed: %+v", vd.Region)
+	}
+	aa := prog.Proc("main").Body[0].(*ast.ArrayAssign)
+	if aa.Region.Lit == nil {
+		t.Errorf("statement region literal not parsed")
+	}
+}
+
+func TestProcWithParamsAndResult(t *testing.T) {
+	src := `
+program procs;
+proc f(x : double; y : double) : double
+begin
+  return x + y;
+end;
+proc main()
+var z : double;
+begin
+  z := f(1.0, 2.0);
+end;
+`
+	prog := parseOK(t, src)
+	f := prog.Proc("f")
+	if f == nil || len(f.Params) != 2 || f.Result.Kind != ast.Double {
+		t.Fatalf("f not parsed correctly: %+v", f)
+	}
+	main := prog.Proc("main")
+	if len(main.Locals) != 1 {
+		t.Fatalf("main locals = %d, want 1", len(main.Locals))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"program p; var : double;",
+		"program p; region R = [1..];",
+		"program p; proc main() begin [R] := 1.0; end;",
+		"program p; proc main() begin x := ; end;",
+		"program p; proc main() begin for i := 1 do end; end;",
+	}
+	for _, src := range bad {
+		var errs source.ErrorList
+		Parse(src, &errs)
+		if !errs.HasErrors() {
+			t.Errorf("no error reported for %q", src)
+		}
+	}
+}
+
+func TestErrorRecovery(t *testing.T) {
+	// One bad statement must not prevent parsing the rest.
+	src := `
+program rec;
+var s : double;
+proc main()
+begin
+  s := $bad$;
+  s := 2.0;
+end;
+`
+	var errs source.ErrorList
+	prog := Parse(src, &errs)
+	if !errs.HasErrors() {
+		t.Fatal("expected errors")
+	}
+	if prog == nil || prog.Proc("main") == nil {
+		t.Fatal("recovery failed: no main proc")
+	}
+}
+
+func TestFormatContainsSource(t *testing.T) {
+	prog := parseOK(t, miniProgram)
+	out := ast.Format(prog)
+	for _, want := range []string{"program mini;", "region R = [1..n, 1..n];", "[R] B := A@north + A@east * 2.0;", "+<< [R] B"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted output missing %q:\n%s", want, out)
+		}
+	}
+}

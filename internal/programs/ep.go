@@ -1,0 +1,79 @@
+package programs
+
+// EP is the NAS "embarrassingly parallel" kernel: generate pairs of
+// uniform deviates, accept those inside the unit disk, transform them
+// to Gaussian deviates, and tally counts and sums. The NAS
+// linear-congruential generator is replaced by a deterministic
+// index-hash (same code-path shape: element-wise transcendentals into
+// fresh arrays). Every array is a per-batch temporary consumed by
+// reductions in the same block, so full fusion contracts *all* of
+// them — the paper's Fig. 7 shows exactly that for EP (22 → 0).
+const EP = `
+program ep;
+
+config n : integer = 8192;        -- pairs per batch
+config batches : integer = 4;
+
+region R = [1..n];
+
+var H1, H2, U1, U2 : [R] double;  -- uniform deviate pipeline
+var X, Y, X2, Y2, T : [R] double; -- candidate points
+var ACC, F, GX, GY : [R] double;  -- acceptance and transform
+var AX, AY, MA : [R] double;      -- magnitudes
+var B0, B1, B2, B3 : [R] double;  -- concentric ring tallies
+
+var sx, sy, cnt : double;
+var q0, q1, q2, q3 : double;
+var chk : double;
+
+proc main()
+begin
+  sx := 0.0;
+  sy := 0.0;
+  cnt := 0.0;
+  q0 := 0.0;
+  q1 := 0.0;
+  q2 := 0.0;
+  q3 := 0.0;
+  for b := 1 to batches do
+    -- Pseudo-random uniforms in (0,1) from an index hash.
+    [R] H1 := sin(index1 * 12.9898 + b * 78.233) * 43758.5453;
+    [R] U1 := H1 - floor(H1);
+    [R] H2 := sin(index1 * 39.3468 + b * 11.135) * 24634.6345;
+    [R] U2 := H2 - floor(H2);
+
+    -- Candidate point in the square [-1,1)^2.
+    [R] X := 2.0 * U1 - 1.0;
+    [R] Y := 2.0 * U2 - 1.0;
+    [R] X2 := X * X;
+    [R] Y2 := Y * Y;
+    [R] T := X2 + Y2;
+
+    -- Acceptance mask (t < 1) and Box-Muller factor (clamped to the
+    -- acceptance disk so rejected points cannot generate NaNs).
+    [R] ACC := max(0.0, sign(1.0 - T));
+    [R] F := sqrt(max(0.0, -2.0 * log(max(T, 1.0e-12)) / max(T, 1.0e-12)));
+    [R] GX := X * F * ACC;
+    [R] GY := Y * F * ACC;
+
+    -- Ring tallies |max(|gx|,|gy|)| in [k, k+1).
+    [R] AX := abs(GX);
+    [R] AY := abs(GY);
+    [R] MA := max(AX, AY);
+    [R] B0 := ACC * max(0.0, sign(1.0 - MA));
+    [R] B1 := ACC * max(0.0, sign(2.0 - MA)) - B0;
+    [R] B2 := ACC * max(0.0, sign(3.0 - MA)) - B1 - B0;
+    [R] B3 := ACC * max(0.0, sign(4.0 - MA)) - B2 - B1 - B0;
+
+    cnt := cnt + +<< [R] ACC;
+    sx := sx + +<< [R] GX;
+    sy := sy + +<< [R] GY;
+    q0 := q0 + +<< [R] B0;
+    q1 := q1 + +<< [R] B1;
+    q2 := q2 + +<< [R] B2;
+    q3 := q3 + +<< [R] B3;
+  end;
+  chk := cnt + q0 + q1 + q2 + q3 + sx * 0.001 + sy * 0.001;
+  writeln("ep", cnt, q0, q1, q2, q3, chk);
+end;
+`

@@ -1,0 +1,76 @@
+package programs
+
+// Fibro models the dynamic structure of fibroblast populations
+// (Dikaiakos, Lin, Manoussaki & Woodward, ICS'95) — a two-species
+// reaction-diffusion system: fibroblast density F migrates up the
+// gradient of a chemical C while both diffuse with variable,
+// density-dependent coefficients.
+//
+// The original was written directly in ZPL, so no scalar-language
+// comparison exists (the paper's Fig. 7 marks it "na"). Its array
+// profile is all user arrays, no compiler temporaries, with roughly
+// half contractible: variable diffusivities and flux slabs are read at
+// neighbor offsets (they survive), while reaction and migration
+// temporaries are consumed in place (they contract). Fig. 7: 49 → 27.
+const Fibro = `
+program fibro;
+
+config n : integer = 64;
+config steps : integer = 3;
+config dt : double = 0.02;
+
+region R = [1..n, 1..n];
+region I = [2..n-1, 2..n-1];
+
+direction up = (-1, 0); down = (1, 0); left = (0, -1); right = (0, 1);
+
+var F, C : [R] double;              -- species (live)
+var KF, KC : [R] double;            -- variable diffusivities (live: offset reads)
+var FFX, FFY : [R] double;          -- fibroblast diffusive fluxes (live)
+var FCX, FCY : [R] double;          -- chemical diffusive fluxes (live)
+var DIFF, DIFC : [R] double;        -- flux divergences (contract)
+var GRW, DEC : [R] double;          -- reaction terms (contract)
+var CHX, CHY, MIG : [R] double;     -- chemotaxis pipeline (contract)
+var FN, CN : [R] double;            -- next-step fields (contract)
+
+var totf, totc, chk : double;
+
+proc main()
+begin
+  [R] F := 0.5 + 0.25 * sin(0.3 * index1) * sin(0.3 * index2);
+  [R] C := 0.2 + 0.1 * cos(0.2 * index1 + 0.1 * index2);
+
+  for s := 1 to steps do
+    -- Density-dependent diffusivities (read at offsets below).
+    [I] KF := 0.20 + 0.05 * F;
+    [I] KC := 0.50 + 0.02 * F;
+
+    -- Flux-form diffusion.
+    [I] FFX := (KF + KF@right) * 0.5 * (F@right - F);
+    [I] FFY := (KF + KF@down) * 0.5 * (F@down - F);
+    [I] FCX := (KC + KC@right) * 0.5 * (C@right - C);
+    [I] FCY := (KC + KC@down) * 0.5 * (C@down - C);
+    [I] DIFF := FFX - FFX@left + FFY - FFY@up;
+    [I] DIFC := FCX - FCX@left + FCY - FCY@up;
+
+    -- Reaction and chemotactic migration.
+    [I] GRW := F * (1.0 - F) * (0.2 + 0.8 * C);
+    [I] DEC := 0.1 * C * F;
+    [I] CHX := (C@right - C@left) * 0.5;
+    [I] CHY := (C@down - C@up) * 0.5;
+    [I] MIG := CHX * CHX + CHY * CHY;
+
+    -- Advance both species.
+    [I] FN := F + dt * (DIFF + GRW - 0.5 * F * MIG);
+    [I] CN := C + dt * (DIFC + 0.3 * F - DEC);
+    [I] F := FN;
+    [I] C := CN;
+
+    totf := +<< [I] F;
+    totc := +<< [I] C;
+  end;
+
+  chk := totf + totc;
+  writeln("fibro", totf, totc, chk);
+end;
+`

@@ -1,0 +1,48 @@
+package programs
+
+// Frac estimates the area of a Mandelbrot-style fractal: each grid
+// point carries a complex parameter c derived from its coordinates,
+// the quadratic map z -> z^2 + c is applied a fixed number of steps
+// (expressed as a chain of fresh array temporaries, the array-language
+// idiom for an unrolled iteration), and the escape magnitude M is
+// stored. Only M is live beyond the block, so contraction removes
+// every other array — the paper reports 8 of Frac's 9 arrays
+// eliminated (Fig. 7 shows 8 static arrays falling to 1).
+const Frac = `
+program frac;
+
+config n : integer = 96;
+config passes : integer = 3;
+
+region G = [1..n, 1..n];
+
+var CR, CI : [G] double;                   -- complex parameter
+var ZR1, ZI1, ZR2, ZI2, ZR3, ZI3 : [G] double;
+var M : [G] double;                        -- escape magnitude (live)
+
+var area, chk : double;
+
+proc main()
+begin
+  for p := 1 to passes do
+    -- The parameter plane, jittered a little per pass.
+    [G] CR := -2.0 + 2.5 * (index2 - 1) / n + 0.001 * p;
+    [G] CI := -1.25 + 2.5 * (index1 - 1) / n;
+
+    -- Three unrolled steps of z := z^2 + c.
+    [G] ZR1 := CR * CR - CI * CI + CR;
+    [G] ZI1 := 2.0 * CR * CI + CI;
+    [G] ZR2 := ZR1 * ZR1 - ZI1 * ZI1 + CR;
+    [G] ZI2 := 2.0 * ZR1 * ZI1 + CI;
+    [G] ZR3 := ZR2 * ZR2 - ZI2 * ZI2 + CR;
+    [G] ZI3 := 2.0 * ZR2 * ZI2 + CI;
+
+    [G] M := ZR3 * ZR3 + ZI3 * ZI3;
+  end;
+
+  -- Points still bounded approximate the fractal's area.
+  area := +<< [G] max(0.0, sign(4.0 - M));
+  chk := area;
+  writeln("frac", area);
+end;
+`

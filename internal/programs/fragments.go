@@ -1,0 +1,122 @@
+package programs
+
+import "fmt"
+
+// Fragment is one of the eight Fig. 5 code fragments used in §5.1 to
+// probe commercial compilers. Each is wrapped in a tiny program: the
+// inputs are initialized in a preceding block, the fragment body sits
+// in its own block (a 1-trip loop), and the "live" outputs are
+// consumed afterwards — so arrays B, T1, T2 are dead beyond the
+// fragment, exactly as the paper specifies.
+type Fragment struct {
+	Num    int
+	Title  string
+	Source string
+	// What "proper" handling means for this fragment (Fig. 6).
+	Expect Expectation
+}
+
+// Expectation says which observation the Fig. 6 check mark rests on.
+type Expectation struct {
+	// FusePair, when both names are nonempty, requires the statements
+	// defining these two arrays to share a loop nest.
+	FusePair [2]string
+	// ContractCompilerTemp requires every compiler temporary in the
+	// fragment block to be contracted.
+	ContractCompilerTemp bool
+	// ContractUser lists user arrays that must be contracted.
+	ContractUser []string
+}
+
+func fragmentProgram(num int, decls, body, live string) string {
+	return fmt.Sprintf(`
+program frag%d;
+config n : integer = 32;
+config m : integer = 32;
+region R = [1..n, 1..m];
+%s
+var chk : double;
+proc main()
+begin
+  [R] A := index1 * 0.1 + index2 * 0.01;
+  for p := 1 to 1 do
+%s
+  end;
+  chk := +<< [R] %s;
+  writeln(chk);
+end;
+`, num, decls, body, live)
+}
+
+// Fragments returns the eight fragments of Fig. 5.
+func Fragments() []Fragment {
+	return []Fragment{
+		{
+			Num: 1, Title: "B=A+A; C=A*A (fusion for temporal locality)",
+			Source: fragmentProgram(1,
+				"var A, B, C : [R] double;",
+				"    [R] B := A + A;\n    [R] C := A * A;",
+				"C"),
+			Expect: Expectation{FusePair: [2]string{"B", "C"}},
+		},
+		{
+			Num: 2, Title: "B=A@(-1,0)+A@(-1,0); C=A*A (fusion with shifted reads)",
+			Source: fragmentProgram(2,
+				"var A, B, C : [R] double;",
+				"    [R] B := A@(-1,0) + A@(-1,0);\n    [R] C := A * A;",
+				"C"),
+			Expect: Expectation{FusePair: [2]string{"B", "C"}},
+		},
+		{
+			Num: 3, Title: "B=A@(-1,0)+C@(-1,0); C=A*A (fusion carrying an anti dependence)",
+			Source: fragmentProgram(3,
+				"var A, B, C : [R] double;",
+				"    [R] B := A@(-1,0) + C@(-1,0);\n    [R] C := A * A;",
+				"C"),
+			Expect: Expectation{FusePair: [2]string{"B", "C"}},
+		},
+		{
+			Num: 4, Title: "A=A+A (compiler temporary, null anti dependence)",
+			Source: fragmentProgram(4,
+				"var A : [R] double;",
+				"    [R] A := A + A;",
+				"A"),
+			Expect: Expectation{ContractCompilerTemp: true},
+		},
+		{
+			Num: 5, Title: "A=A@(-1,0)+A@(-1,0) (compiler temporary, carried anti dependence)",
+			Source: fragmentProgram(5,
+				"var A : [R] double;",
+				"    [R] A := A@(-1,0) + A@(-1,0);",
+				"A"),
+			Expect: Expectation{ContractCompilerTemp: true},
+		},
+		{
+			Num: 6, Title: "B=A+A; C=B (user temporary)",
+			Source: fragmentProgram(6,
+				"var A, B, C : [R] double;",
+				"    [R] B := A + A;\n    [R] C := B;",
+				"C"),
+			Expect: Expectation{ContractUser: []string{"B"}},
+		},
+		{
+			Num: 7, Title: "B=A+A+C@(-1,0); C=B (user temporary with anti dependence)",
+			Source: fragmentProgram(7,
+				"var A, B, C : [R] double;",
+				"    [R] B := A + A + C@(-1,0);\n    [R] C := B;",
+				"C"),
+			Expect: Expectation{ContractUser: []string{"B"}},
+		},
+		{
+			Num: 8, Title: "T1=B; T2=B; A=A@(1,0)+T1@(1,0)+T2@(1,0) (alignment trade-off)",
+			// T1 and T2 are defined over the rows the final statement
+			// actually consumes ([2..n+1]), the ZA rendering of the
+			// F90 sections T1(2:n+1,1:m).
+			Source: fragmentProgram(8,
+				"var A, B : [R] double;\nvar T1, T2 : [2..n+1, 1..m] double;",
+				"    [R] B := A * 0.5;\n    [2..n+1, 1..m] T1 := B;\n    [2..n+1, 1..m] T2 := B;\n    [R] A := A@(1,0) + T1@(1,0) + T2@(1,0);",
+				"A + B"),
+			Expect: Expectation{ContractUser: []string{"T1", "T2"}},
+		},
+	}
+}

@@ -1,0 +1,82 @@
+package programs
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/driver"
+	"repro/internal/vm"
+)
+
+// smallConfigs shrinks each benchmark for test speed.
+func smallConfigs(b Benchmark) map[string]int64 {
+	size := int64(24)
+	if b.Rank == 1 {
+		size = 512
+	}
+	return map[string]int64{b.SizeConfig: size}
+}
+
+func runBench(t *testing.T, b Benchmark, lvl core.Level) (string, *driver.Compilation) {
+	t.Helper()
+	c, err := driver.Compile(b.Source, driver.Options{Level: lvl, Configs: smallConfigs(b)})
+	if err != nil {
+		t.Fatalf("%s at %v: %v", b.Name, lvl, err)
+	}
+	var out bytes.Buffer
+	if _, _, err := c.Run(vm.Options{Out: &out}); err != nil {
+		t.Fatalf("%s at %v: run: %v", b.Name, lvl, err)
+	}
+	return out.String(), c
+}
+
+// TestBenchmarksSoundAtAllLevels is the suite-wide transformation
+// soundness check: every benchmark computes identical output at every
+// optimization level.
+func TestBenchmarksSoundAtAllLevels(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			want, _ := runBench(t, b, core.Baseline)
+			if want == "" {
+				t.Fatalf("%s produced no output", b.Name)
+			}
+			for _, lvl := range core.Levels()[1:] {
+				got, _ := runBench(t, b, lvl)
+				if got != want {
+					t.Errorf("%s at %v: output %q != baseline %q", b.Name, lvl, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestContractionProfile checks the Fig. 7 shape: every benchmark
+// contracts a substantial share of its arrays at c2; EP contracts all;
+// every compiler temporary is eliminated.
+func TestContractionProfile(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			_, c := runBench(t, b, core.C2F3)
+			counts := core.CountStaticArrays(c.AIR, c.Plan)
+			if counts.ContractedCompiler != counts.TotalCompiler {
+				t.Errorf("%s: %d/%d compiler temps contracted",
+					b.Name, counts.ContractedCompiler, counts.TotalCompiler)
+			}
+			before, after := counts.Before(), counts.After()
+			t.Logf("%s: %d arrays (%d compiler/%d user) -> %d after contraction",
+				b.Name, before, counts.TotalCompiler, counts.TotalUser, after)
+			if b.Name == "ep" && after != 0 {
+				t.Errorf("ep: %d arrays survive, want 0 (paper: all eliminated)", after)
+			}
+			if b.Name == "frac" && after > 2 {
+				t.Errorf("frac: %d arrays survive, want <=2 (paper: 8 -> 1)", after)
+			}
+			if after >= before {
+				t.Errorf("%s: no contraction at all (%d -> %d)", b.Name, before, after)
+			}
+		})
+	}
+}

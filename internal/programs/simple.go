@@ -1,0 +1,81 @@
+package programs
+
+// Simple is the Lawrence Livermore hydrodynamics + heat-conduction
+// benchmark (Crowley et al., UCID-17715), a staple of the ZPL papers.
+// Each time step computes artificial viscosity and an augmented
+// pressure, accelerates the velocity field from the pressure gradient,
+// advances energy with a flux-form heat-conduction term, and updates
+// density from the velocity divergence.
+//
+// Contraction structure: divergence/viscosity/gradient temporaries are
+// consumed at offset zero and contract; the augmented pressure PT,
+// conductivity KAP, and the heat fluxes FLX/FLY are consumed at
+// neighbor offsets, so they must stay in memory — which is why Simple,
+// like the paper's version, keeps a substantial fraction of its arrays
+// (85 → 32 in Fig. 7).
+const Simple = `
+program simple;
+
+config n : integer = 64;
+config steps : integer = 3;
+config dt : double = 0.01;
+
+region R = [1..n, 1..n];
+region I = [2..n-1, 2..n-1];
+
+direction up = (-1, 0); down = (1, 0); left = (0, -1); right = (0, 1);
+
+var RHO, E, P, U, V : [R] double;   -- state (live)
+var CS : [R] double;                -- sound speed (contracts)
+var DUX, DVY, DIV : [R] double;     -- divergence pipeline (contract)
+var QV : [R] double;                -- artificial viscosity (contracts)
+var PT : [R] double;                -- augmented pressure (live: offset reads)
+var GPX, GPY : [R] double;          -- pressure gradient (contract)
+var WRK : [R] double;               -- pdV work (contracts)
+var KAP : [R] double;               -- conductivity (live: offset reads)
+var FLX, FLY : [R] double;          -- heat fluxes (live: offset reads)
+
+var ek, ei, chk : double;
+
+proc main()
+begin
+  [R] RHO := 1.0 + 0.1 * sin(0.2 * index1) * cos(0.2 * index2);
+  [R] E := 2.0 + 0.5 * sin(0.1 * (index1 + index2));
+  [R] P := 0.4 * RHO * E;
+  [R] U := 0.01 * (index2 - n / 2);
+  [R] V := 0.01 * (n / 2 - index1);
+
+  for s := 1 to steps do
+    -- Viscosity and augmented pressure.
+    [I] CS := sqrt(1.4 * max(P, 0.001) / max(RHO, 0.001));
+    [I] DUX := (U@right - U@left) * 0.5;
+    [I] DVY := (V@down - V@up) * 0.5;
+    [I] DIV := DUX + DVY;
+    [I] QV := RHO * max(0.0, -DIV) * (0.1 * CS + 0.2 * abs(DIV));
+    [I] PT := P + QV;
+
+    -- Momentum from the pressure gradient.
+    [I] GPX := (PT@right - PT@left) * 0.5;
+    [I] GPY := (PT@down - PT@up) * 0.5;
+    [I] U := U - dt * GPX;
+    [I] V := V - dt * GPY;
+
+    -- Energy: pdV work plus flux-form heat conduction.
+    [I] WRK := PT * DIV;
+    [I] KAP := 0.3 + 0.01 * E;
+    [I] FLX := (KAP + KAP@right) * 0.5 * (E@right - E);
+    [I] FLY := (KAP + KAP@down) * 0.5 * (E@down - E);
+    [I] E := E - dt * WRK + dt * (FLX - FLX@left + FLY - FLY@up);
+
+    -- Density and equation of state.
+    [I] RHO := RHO * (1.0 - dt * DIV);
+    [I] P := 0.4 * max(RHO, 0.001) * max(E, 0.0);
+
+    ek := +<< [I] 0.5 * RHO * (U * U + V * V);
+    ei := +<< [I] RHO * E;
+  end;
+
+  chk := ek + ei;
+  writeln("simple", ek, ei, chk);
+end;
+`

@@ -1,0 +1,150 @@
+package programs
+
+// SP is a scaled-down NAS SP: sets of uncoupled scalar pentadiagonal
+// systems solved along each grid dimension, driven by a CFD-style
+// right-hand-side computation over a five-component state vector.
+//
+// The structure keeps SP's signature properties from the paper:
+//
+//   - a large population of user arrays: five state components, five
+//     right-hand sides, per-direction flux slabs consumed at neighbor
+//     offsets (they survive), and elimination carriers in the sweep
+//     loops (they survive);
+//   - many arrays that could contract to *lower-dimensional* arrays
+//     but not to scalars — the deficiency §5.2 discusses: SP is the
+//     one benchmark where the compiled code keeps more arrays than the
+//     hand-written scalar version;
+//   - independent per-component statements that only arbitrary (f4)
+//     fusion brings together, the reason SP alone benefits from c2+f4.
+//
+// The pentadiagonal coefficients, which NAS SP derives from state
+// slices, are synthesized from index expressions with the same
+// reference pattern (see DESIGN.md substitutions).
+const SP = `
+program sp;
+
+config n : integer = 48;
+config steps : integer = 2;
+config dt : double = 0.002;
+
+region R = [1..n, 1..n];
+region I = [2..n-1, 2..n-1];
+region C = [1..n];
+
+direction up = (-1, 0); down = (1, 0); left = (0, -1); right = (0, 1);
+
+var U1, U2, U3, U4, U5 : [R] double;        -- state (live)
+var RHS1, RHS2, RHS3, RHS4, RHS5 : [R] double; -- right-hand sides (live)
+var PRS, VX, VY : [R] double;               -- pressure, velocities (live: offset reads)
+var FX1, FX2, FX3, FX4, FX5 : [R] double;   -- x-direction fluxes (live: offset reads)
+var FY1, FY2, FY3, FY4, FY5 : [R] double;   -- y-direction fluxes (live: offset reads)
+var SQ, EKIN : [R] double;                  -- EOS temporaries (contract)
+
+var XA, XB, XC : [C] double;                -- x-sweep coefficients (contract)
+var XM : [C] double;                        -- x-sweep multiplier (contracts)
+var XD1, XD2, XD3, XD4, XD5 : [C] double;   -- x-sweep carriers (live)
+var XN1, XN2, XN3, XN4, XN5 : [C] double;   -- x-sweep updates (contract)
+
+var YA, YB, YC : [C] double;                -- y-sweep coefficients (contract)
+var YM : [C] double;                        -- y-sweep multiplier (contracts)
+var YD1, YD2, YD3, YD4, YD5 : [C] double;   -- y-sweep carriers (live)
+var YN1, YN2, YN3, YN4, YN5 : [C] double;   -- y-sweep updates (contract)
+
+var rnorm, chk : double;
+
+proc main()
+begin
+  [R] U1 := 1.0 + 0.02 * sin(0.1 * index1) * sin(0.1 * index2);
+  [R] U2 := 0.10 * sin(0.05 * index2);
+  [R] U3 := 0.10 * cos(0.05 * index1);
+  [R] U4 := 0.01 * sin(0.02 * (index1 + index2));
+  [R] U5 := 2.0 + 0.05 * cos(0.1 * index1);
+
+  for s := 1 to steps do
+    -- Equation of state and primitive variables.
+    [I] SQ := U2 * U2 + U3 * U3 + U4 * U4;
+    [I] EKIN := 0.5 * SQ / max(U1, 0.01);
+    [I] PRS := 0.4 * (U5 - EKIN);
+    [I] VX := U2 / max(U1, 0.01);
+    [I] VY := U3 / max(U1, 0.01);
+
+    -- Component fluxes (independent statements: only f4 fuses them).
+    [I] FX1 := U2;
+    [I] FX2 := U2 * VX + PRS;
+    [I] FX3 := U3 * VX;
+    [I] FX4 := U4 * VX;
+    [I] FX5 := (U5 + PRS) * VX;
+    [I] FY1 := U3;
+    [I] FY2 := U2 * VY;
+    [I] FY3 := U3 * VY + PRS;
+    [I] FY4 := U4 * VY;
+    [I] FY5 := (U5 + PRS) * VY;
+
+    -- Right-hand sides from flux differences.
+    [I] RHS1 := (FX1@left - FX1@right) * 0.5 + (FY1@up - FY1@down) * 0.5;
+    [I] RHS2 := (FX2@left - FX2@right) * 0.5 + (FY2@up - FY2@down) * 0.5;
+    [I] RHS3 := (FX3@left - FX3@right) * 0.5 + (FY3@up - FY3@down) * 0.5;
+    [I] RHS4 := (FX4@left - FX4@right) * 0.5 + (FY4@up - FY4@down) * 0.5;
+    [I] RHS5 := (FX5@left - FX5@right) * 0.5 + (FY5@up - FY5@down) * 0.5;
+
+    -- x-sweep: forward elimination of the pentadiagonal systems,
+    -- row by row (the Fig. 1 wavefront pattern).
+    [C] XD1 := 0.001 * index1;
+    [C] XD2 := 0.001 * index1 + 0.1;
+    [C] XD3 := 0.001 * index1 + 0.2;
+    [C] XD4 := 0.001 * index1 + 0.3;
+    [C] XD5 := 0.001 * index1 + 0.4;
+    for i := 2 to n-1 do
+      [C] XA := -0.05 - 0.001 * sin(0.01 * i * index1);
+      [C] XB := 1.0 + 0.004 * i + 0.0001 * index1;
+      [C] XC := -0.05 - 0.002 * cos(0.01 * i);
+      [C] XM := XA / XB;
+      [C] XN1 := 0.01 * i - XM * XD1;
+      [C] XN2 := 0.01 * i - XM * XD2 + XC * 0.001;
+      [C] XN3 := 0.01 * i - XM * XD3;
+      [C] XN4 := 0.01 * i - XM * XD4 + XC * 0.001;
+      [C] XN5 := 0.01 * i - XM * XD5;
+      [C] XD1 := XN1;
+      [C] XD2 := XN2;
+      [C] XD3 := XN3;
+      [C] XD4 := XN4;
+      [C] XD5 := XN5;
+    end;
+
+    -- y-sweep, structurally identical.
+    [C] YD1 := 0.001 * index1;
+    [C] YD2 := 0.001 * index1 + 0.1;
+    [C] YD3 := 0.001 * index1 + 0.2;
+    [C] YD4 := 0.001 * index1 + 0.3;
+    [C] YD5 := 0.001 * index1 + 0.4;
+    for j := 2 to n-1 do
+      [C] YA := -0.05 - 0.001 * sin(0.01 * j * index1);
+      [C] YB := 1.0 + 0.004 * j + 0.0001 * index1;
+      [C] YC := -0.05 - 0.002 * cos(0.01 * j);
+      [C] YM := YA / YB;
+      [C] YN1 := 0.01 * j - YM * YD1;
+      [C] YN2 := 0.01 * j - YM * YD2 + YC * 0.001;
+      [C] YN3 := 0.01 * j - YM * YD3;
+      [C] YN4 := 0.01 * j - YM * YD4 + YC * 0.001;
+      [C] YN5 := 0.01 * j - YM * YD5;
+      [C] YD1 := YN1;
+      [C] YD2 := YN2;
+      [C] YD3 := YN3;
+      [C] YD4 := YN4;
+      [C] YD5 := YN5;
+    end;
+
+    -- Advance the state.
+    [I] U1 := U1 + dt * RHS1;
+    [I] U2 := U2 + dt * RHS2;
+    [I] U3 := U3 + dt * RHS3;
+    [I] U4 := U4 + dt * RHS4;
+    [I] U5 := U5 + dt * RHS5;
+
+    rnorm := +<< [I] RHS1 * RHS1 + RHS2 * RHS2 + RHS3 * RHS3 + RHS4 * RHS4 + RHS5 * RHS5;
+  end;
+
+  chk := rnorm + +<< [I] U1 + U5;
+  writeln("sp", rnorm, chk);
+end;
+`

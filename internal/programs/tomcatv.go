@@ -1,0 +1,99 @@
+package programs
+
+// Tomcatv is the SPEC CFP95 vectorized mesh-generation benchmark the
+// paper uses as its running example (Fig. 1 shows its tridiagonal
+// phase). The structure here mirrors the original's three phases:
+//
+//  1. residual computation: 2-D stencils of the mesh X, Y through a
+//     pipeline of finite-difference temporaries (all contractible);
+//  2. tridiagonal forward elimination: a sequential wavefront over
+//     rows, expressed as 1-D array statements inside a scalar loop.
+//     This is exactly Fig. 1: the multiplier row R is written and then
+//     consumed at offset zero, so it contracts to a scalar, while the
+//     previous-row carriers (D, RXP, RYP) stay live across iterations;
+//  3. relaxation update of X and Y, whose self-referencing statements
+//     make the compiler insert temporaries that later contract.
+//
+// The row coefficients, which the original derives from mesh slices
+// (unavailable without dynamic regions), are synthesized from index
+// expressions with the same reference pattern.
+const Tomcatv = `
+program tomcatv;
+
+config n : integer = 64;
+config iters : integer = 3;
+
+region R = [1..n, 1..n];
+region I = [2..n-1, 2..n-1];
+region C = [1..n];
+
+direction up = (-1, 0); down = (1, 0); left = (0, -1); right = (0, 1);
+
+var X, Y : [R] double;            -- the mesh (live)
+var XX, YX, XY, YY : [R] double;  -- first differences (contract)
+var A2, B2, C2 : [R] double;      -- metric coefficients (contract)
+var PXX, QXX, SXX : [R] double;   -- second differences (contract)
+var PYY, QYY, SYY : [R] double;
+var RXA, RYA : [R] double;        -- residuals (live: used in phase 3)
+
+var AAR, DDR, RROW : [C] double;  -- per-row coefficients (contract)
+var RMUL, DCUR, RXN, RYN : [C] double; -- eliminations (RMUL is Fig. 1's R)
+var DPRV, RXP, RYP : [C] double;  -- previous-row carriers (live)
+
+var rxm, rym, relax : double;
+var chk, chkm, chkr : double;
+
+proc main()
+begin
+  relax := 0.05;
+  [R] X := (index2 - 1) * 1.0 + 0.01 * index1;
+  [R] Y := (index1 - 1) * 1.0 + 0.01 * index2;
+
+  for it := 1 to iters do
+    -- Phase 1: residuals over the interior.
+    [I] XX := (X@right - X@left) * 0.5;
+    [I] YX := (Y@right - Y@left) * 0.5;
+    [I] XY := (X@down - X@up) * 0.5;
+    [I] YY := (Y@down - Y@up) * 0.5;
+    [I] A2 := XX * XX + YX * YX;
+    [I] B2 := XX * XY + YX * YY;
+    [I] C2 := XY * XY + YY * YY;
+    [I] PXX := X@right - 2.0 * X + X@left;
+    [I] QXX := X@down - 2.0 * X + X@up;
+    [I] SXX := X@(1,1) - X@(1,-1) - X@(-1,1) + X@(-1,-1);
+    [I] PYY := Y@right - 2.0 * Y + Y@left;
+    [I] QYY := Y@down - 2.0 * Y + Y@up;
+    [I] SYY := Y@(1,1) - Y@(1,-1) - Y@(-1,1) + Y@(-1,-1);
+    [I] RXA := A2 * PXX + C2 * QXX - 0.5 * B2 * SXX;
+    [I] RYA := A2 * PYY + C2 * QYY - 0.5 * B2 * SYY;
+    rxm := max<< [I] abs(RXA);
+    rym := max<< [I] abs(RYA);
+
+    -- Phase 2: tridiagonal forward elimination, row by row (Fig. 1).
+    [C] DPRV := 1.0 / (4.0 + 0.01 * index1);
+    [C] RXP := 0.001 * index1;
+    [C] RYP := 0.002 * index1;
+    for i := 2 to n-1 do
+      [C] AAR := -1.0 - 0.05 * sin(0.01 * i * index1);
+      [C] DDR := 4.0 + 0.002 * i + 0.001 * index1;
+      [C] RROW := 0.01 * i * sin(index1 * 0.1);
+      [C] RMUL := AAR * DPRV;                -- R(i,:) = AA(i,:)*D(i-1,:)
+      [C] DCUR := 1.0 / (DDR - AAR * RMUL);  -- D(i,:) = 1/(DD - AA*R)
+      [C] RXN := RROW - RXP * RMUL;          -- Rx(i,:) = Rx - Rx(i-1,:)*R
+      [C] RYN := RROW - RYP * RMUL;
+      [C] DPRV := DCUR;
+      [C] RXP := RXN;
+      [C] RYP := RYN;
+    end;
+
+    -- Phase 3: relax the mesh toward the residuals.
+    [I] X := X + relax * RXA;
+    [I] Y := Y + relax * RYA;
+  end;
+
+  chkm := +<< [R] X * 0.001 + Y * 0.001;
+  chkr := +<< [C] DPRV + RXP + RYP;
+  chk := rxm + rym + chkm + chkr;
+  writeln("tomcatv", rxm, rym, chk);
+end;
+`

@@ -1,0 +1,124 @@
+package scalarize
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/air"
+	"repro/internal/ast"
+	"repro/internal/lir"
+)
+
+// ScalarReplace installs scalar replacement (Carr & Kennedy, discussed
+// in the paper's §6): within each loop nest, an array element read
+// more than once per iteration — by one statement or by several fused
+// statements — is loaded into a register once and the reads are
+// redirected there. Arrays written inside the nest are left alone
+// (a preloaded value could go stale mid-iteration).
+//
+// Contraction subsumes this for the arrays it eliminates; scalar
+// replacement picks up the repeated reads of arrays that must stay in
+// memory. It mutates the program in place and registers the synthetic
+// registers in the source program's scalar table.
+func ScalarReplace(p *lir.Program) int {
+	installed := 0
+	next := 0
+	for _, pr := range p.Procs {
+		for _, nest := range lir.Nests(pr.Body) {
+			installed += replaceInNest(p, nest, &next)
+		}
+	}
+	return installed
+}
+
+type refKey struct {
+	array string
+	off   string
+}
+
+func replaceInNest(p *lir.Program, n *lir.Nest, next *int) int {
+	written := map[string]bool{}
+	for _, s := range n.Body {
+		if !s.IsReduce && !s.Contracted {
+			written[s.LHS] = true
+		}
+	}
+	counts := map[refKey]int{}
+	sample := map[refKey]air.Ref{}
+	for _, s := range n.Body {
+		if s.Guard != nil {
+			// Guarded statements execute on a sub-region; preloading
+			// their reads over the whole nest could touch storage the
+			// allocation never covers.
+			continue
+		}
+		air.Walk(s.RHS, func(e air.Expr) {
+			r, ok := e.(*air.RefExpr)
+			if !ok {
+				return
+			}
+			info := p.Source.Arrays[r.Ref.Array]
+			if info == nil || info.Contracted || written[r.Ref.Array] {
+				return
+			}
+			k := refKey{r.Ref.Array, r.Ref.Off.String()}
+			counts[k]++
+			sample[k] = r.Ref
+		})
+	}
+
+	var keys []refKey
+	for k, c := range counts {
+		if c >= 2 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].array != keys[j].array {
+			return keys[i].array < keys[j].array
+		}
+		return keys[i].off < keys[j].off
+	})
+	if len(keys) == 0 {
+		return 0
+	}
+
+	regOf := map[refKey]string{}
+	for _, k := range keys {
+		*next++
+		reg := fmt.Sprintf("_r%d", *next)
+		regOf[k] = reg
+		p.Source.Scalars[reg] = &air.ScalarInfo{Name: reg, Type: ast.Double}
+		ref := sample[k]
+		n.Preloads = append(n.Preloads, lir.Preload{Var: reg, Array: ref.Array, Off: ref.Off.Clone()})
+	}
+	for _, s := range n.Body {
+		if s.Guard != nil {
+			continue
+		}
+		s.RHS = rewriteReads(s.RHS, regOf)
+	}
+	return len(keys)
+}
+
+// rewriteReads replaces matching array reads with register reads.
+func rewriteReads(e air.Expr, regOf map[refKey]string) air.Expr {
+	switch x := e.(type) {
+	case *air.RefExpr:
+		if reg, ok := regOf[refKey{x.Ref.Array, x.Ref.Off.String()}]; ok {
+			return &air.ScalarExpr{Name: reg}
+		}
+		return x
+	case *air.BinExpr:
+		return &air.BinExpr{Op: x.Op, X: rewriteReads(x.X, regOf), Y: rewriteReads(x.Y, regOf)}
+	case *air.UnExpr:
+		return &air.UnExpr{Op: x.Op, X: rewriteReads(x.X, regOf)}
+	case *air.CallExpr:
+		args := make([]air.Expr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = rewriteReads(a, regOf)
+		}
+		return &air.CallExpr{Name: x.Name, Args: args}
+	}
+	return e
+}

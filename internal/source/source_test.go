@@ -1,0 +1,71 @@
+package source
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPosBasics(t *testing.T) {
+	var zero Pos
+	if zero.IsValid() {
+		t.Error("zero Pos is valid")
+	}
+	p := Pos{Line: 3, Col: 7}
+	if !p.IsValid() || p.String() != "3:7" {
+		t.Errorf("p = %v", p)
+	}
+	if zero.String() != "-" {
+		t.Errorf("zero String = %q", zero.String())
+	}
+	if !(Pos{1, 9}).Before(Pos{2, 1}) {
+		t.Error("line ordering broken")
+	}
+	if !(Pos{2, 1}).Before(Pos{2, 5}) {
+		t.Error("column ordering broken")
+	}
+	if (Pos{2, 5}).Before(Pos{2, 5}) {
+		t.Error("Before not strict")
+	}
+}
+
+func TestErrorList(t *testing.T) {
+	var l ErrorList
+	if l.HasErrors() || l.Err() != nil {
+		t.Error("empty list reports errors")
+	}
+	l.Warnf(Pos{1, 1}, "just a warning")
+	if l.HasErrors() {
+		t.Error("warning counted as error")
+	}
+	l.Errorf(Pos{2, 1}, "bad %s", "thing")
+	l.Notef(Pos{2, 2}, "context")
+	if !l.HasErrors() || l.ErrorCount() != 1 {
+		t.Errorf("error accounting broken: %d", l.ErrorCount())
+	}
+	if l.Err() == nil {
+		t.Error("Err() nil despite errors")
+	}
+	msg := l.Error()
+	if !strings.Contains(msg, "bad thing") || !strings.Contains(msg, "warning") {
+		t.Errorf("rendered: %q", msg)
+	}
+}
+
+func TestErrorListSortAndFile(t *testing.T) {
+	l := ErrorList{File: "x.za"}
+	l.Errorf(Pos{5, 1}, "later")
+	l.Errorf(Pos{1, 1}, "earlier")
+	l.Sort()
+	if l.Diags[0].Message != "earlier" {
+		t.Error("Sort did not order by position")
+	}
+	if !strings.HasPrefix(l.Error(), "x.za:1:1") {
+		t.Errorf("file prefix missing: %q", l.Error())
+	}
+}
+
+func TestSeverityString(t *testing.T) {
+	if Error.String() != "error" || Warning.String() != "warning" || Note.String() != "note" {
+		t.Error("severity names broken")
+	}
+}

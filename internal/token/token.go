@@ -1,0 +1,221 @@
+// Package token defines the lexical tokens of the ZA array language.
+package token
+
+import "fmt"
+
+// Kind enumerates the token kinds produced by the lexer.
+type Kind int
+
+// The complete token set of the language.
+const (
+	ILLEGAL Kind = iota
+	EOF
+
+	// Literals and identifiers.
+	IDENT  // tomcatv
+	INT    // 42
+	FLOAT  // 3.14, 1e-6
+	STRING // "boundary"
+
+	// Operators and punctuation.
+	PLUS    // +
+	MINUS   // -
+	STAR    // *
+	SLASH   // /
+	PERCENT // %
+	CARET   // ^   (power)
+	ASSIGN  // :=
+	EQ      // =
+	NEQ     // !=
+	LT      // <
+	LE      // <=
+	GT      // >
+	GE      // >=
+	AND     // &
+	OR      // |
+	NOT     // !
+	AT      // @
+	LPAREN  // (
+	RPAREN  // )
+	LBRACK  // [
+	RBRACK  // ]
+	LBRACE  // {
+	RBRACE  // }
+	COMMA   // ,
+	SEMI    // ;
+	COLON   // :
+	DOTDOT  // ..
+	REDPLUS // +<<
+	REDSTAR // *<<
+	REDMAX  // max<<
+	REDMIN  // min<<
+
+	// Keywords.
+	PROGRAM
+	CONFIG
+	REGION
+	DIRECTION
+	VAR
+	PROC
+	BEGIN
+	END
+	IF
+	THEN
+	ELSE
+	ELSIF
+	FOR
+	TO
+	DOWNTO
+	DO
+	WHILE
+	RETURN
+	INTEGER
+	DOUBLE
+	BOOLEAN
+	TRUE
+	FALSE
+	WRITELN
+	OF
+)
+
+var names = map[Kind]string{
+	ILLEGAL: "ILLEGAL",
+	EOF:     "EOF",
+	IDENT:   "IDENT",
+	INT:     "INT",
+	FLOAT:   "FLOAT",
+	STRING:  "STRING",
+
+	PLUS:    "+",
+	MINUS:   "-",
+	STAR:    "*",
+	SLASH:   "/",
+	PERCENT: "%",
+	CARET:   "^",
+	ASSIGN:  ":=",
+	EQ:      "=",
+	NEQ:     "!=",
+	LT:      "<",
+	LE:      "<=",
+	GT:      ">",
+	GE:      ">=",
+	AND:     "&",
+	OR:      "|",
+	NOT:     "!",
+	AT:      "@",
+	LPAREN:  "(",
+	RPAREN:  ")",
+	LBRACK:  "[",
+	RBRACK:  "]",
+	LBRACE:  "{",
+	RBRACE:  "}",
+	COMMA:   ",",
+	SEMI:    ";",
+	COLON:   ":",
+	DOTDOT:  "..",
+	REDPLUS: "+<<",
+	REDSTAR: "*<<",
+	REDMAX:  "max<<",
+	REDMIN:  "min<<",
+
+	PROGRAM:   "program",
+	CONFIG:    "config",
+	REGION:    "region",
+	DIRECTION: "direction",
+	VAR:       "var",
+	PROC:      "proc",
+	BEGIN:     "begin",
+	END:       "end",
+	IF:        "if",
+	THEN:      "then",
+	ELSE:      "else",
+	ELSIF:     "elsif",
+	FOR:       "for",
+	TO:        "to",
+	DOWNTO:    "downto",
+	DO:        "do",
+	WHILE:     "while",
+	RETURN:    "return",
+	INTEGER:   "integer",
+	DOUBLE:    "double",
+	BOOLEAN:   "boolean",
+	TRUE:      "true",
+	FALSE:     "false",
+	WRITELN:   "writeln",
+	OF:        "of",
+}
+
+// String returns the canonical spelling of the token kind.
+func (k Kind) String() string {
+	if s, ok := names[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+var keywords = map[string]Kind{
+	"program":   PROGRAM,
+	"config":    CONFIG,
+	"region":    REGION,
+	"direction": DIRECTION,
+	"var":       VAR,
+	"proc":      PROC,
+	"begin":     BEGIN,
+	"end":       END,
+	"if":        IF,
+	"then":      THEN,
+	"else":      ELSE,
+	"elsif":     ELSIF,
+	"for":       FOR,
+	"to":        TO,
+	"downto":    DOWNTO,
+	"do":        DO,
+	"while":     WHILE,
+	"return":    RETURN,
+	"integer":   INTEGER,
+	"double":    DOUBLE,
+	"boolean":   BOOLEAN,
+	"true":      TRUE,
+	"false":     FALSE,
+	"writeln":   WRITELN,
+	"of":        OF,
+}
+
+// Lookup maps an identifier spelling to its keyword kind, or IDENT.
+func Lookup(ident string) Kind {
+	if k, ok := keywords[ident]; ok {
+		return k
+	}
+	return IDENT
+}
+
+// IsKeyword reports whether k is a reserved word.
+func (k Kind) IsKeyword() bool { return k >= PROGRAM && k <= OF }
+
+// IsLiteral reports whether k is a literal or identifier token.
+func (k Kind) IsLiteral() bool { return k >= IDENT && k <= STRING }
+
+// IsReduction reports whether k is a reduction operator token.
+func (k Kind) IsReduction() bool {
+	return k == REDPLUS || k == REDSTAR || k == REDMAX || k == REDMIN
+}
+
+// Precedence returns the binary-operator precedence of k (higher binds
+// tighter), or 0 if k is not a binary operator.
+func (k Kind) Precedence() int {
+	switch k {
+	case OR:
+		return 1
+	case AND:
+		return 2
+	case EQ, NEQ, LT, LE, GT, GE:
+		return 3
+	case PLUS, MINUS:
+		return 4
+	case STAR, SLASH, PERCENT:
+		return 5
+	case CARET:
+		return 6
+	}
+	return 0
+}

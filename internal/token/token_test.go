@@ -1,0 +1,76 @@
+package token
+
+import "testing"
+
+func TestLookup(t *testing.T) {
+	if Lookup("program") != PROGRAM || Lookup("region") != REGION {
+		t.Error("keyword lookup broken")
+	}
+	if Lookup("frobnicate") != IDENT {
+		t.Error("non-keyword not IDENT")
+	}
+	// Keywords are case-sensitive.
+	if Lookup("Program") != IDENT {
+		t.Error("keywords should be case-sensitive")
+	}
+}
+
+func TestClassification(t *testing.T) {
+	if !PROGRAM.IsKeyword() || PLUS.IsKeyword() || IDENT.IsKeyword() {
+		t.Error("IsKeyword broken")
+	}
+	if !IDENT.IsLiteral() || !FLOAT.IsLiteral() || PLUS.IsLiteral() {
+		t.Error("IsLiteral broken")
+	}
+	for _, k := range []Kind{REDPLUS, REDSTAR, REDMAX, REDMIN} {
+		if !k.IsReduction() {
+			t.Errorf("%v not a reduction", k)
+		}
+	}
+	if PLUS.IsReduction() {
+		t.Error("PLUS is not a reduction")
+	}
+}
+
+func TestPrecedenceOrdering(t *testing.T) {
+	// | < & < comparisons < additive < multiplicative < power.
+	chain := []Kind{OR, AND, EQ, PLUS, STAR, CARET}
+	for i := 1; i < len(chain); i++ {
+		if !(chain[i-1].Precedence() < chain[i].Precedence()) {
+			t.Errorf("%v should bind looser than %v", chain[i-1], chain[i])
+		}
+	}
+	if LPAREN.Precedence() != 0 || IDENT.Precedence() != 0 {
+		t.Error("non-operators must have precedence 0")
+	}
+	if NEQ.Precedence() != EQ.Precedence() || LT.Precedence() != GE.Precedence() {
+		t.Error("comparison operators must share a level")
+	}
+	if PLUS.Precedence() != MINUS.Precedence() || STAR.Precedence() != SLASH.Precedence() {
+		t.Error("additive/multiplicative groups must share levels")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	cases := map[Kind]string{
+		ASSIGN: ":=", DOTDOT: "..", REDPLUS: "+<<", REDMAX: "max<<",
+		PROGRAM: "program", EOF: "EOF", NEQ: "!=",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+	if Kind(9999).String() == "" {
+		t.Error("unknown kind must still render")
+	}
+}
+
+// Every keyword's String round-trips through Lookup.
+func TestKeywordRoundTrip(t *testing.T) {
+	for k := PROGRAM; k <= OF; k++ {
+		if Lookup(k.String()) != k {
+			t.Errorf("Lookup(%q) != %v", k.String(), k)
+		}
+	}
+}

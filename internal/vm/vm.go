@@ -1,0 +1,281 @@
+// Package vm executes scalarized (LIR) programs on real data. It
+// compiles expressions and statements to closures once, then runs
+// them; every array element access can be streamed to a Tracer, which
+// is how the machine models observe the memory behavior that fusion
+// and contraction change.
+//
+// All values are float64 (integers are exact up to 2^53; booleans are
+// 0/1), matching the ZA surface language's numeric model.
+package vm
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/air"
+	"repro/internal/lir"
+)
+
+// Tracer observes the execution's memory and communication behavior.
+// Addr is a byte address in the simulated address space.
+type Tracer interface {
+	// Access reports one array element access (8 bytes at addr).
+	Access(addr int64, write bool)
+	// Flops reports n floating-point operations.
+	Flops(n int64)
+	// Comm reports a communication primitive (ghost exchange of the
+	// halo slab for array/off over region elems elements). msgID pairs
+	// pipelined send/recv halves; piggyback marks a combined message
+	// that pays no startup cost.
+	Comm(array string, off air.Offset, elems int, phase air.CommPhase, msgID int, piggyback bool)
+	// Reduce reports the global combine of one full reduction.
+	Reduce()
+}
+
+// Options configures a run.
+type Options struct {
+	Out      io.Writer // writeln destination; nil discards
+	Tracer   Tracer    // nil disables tracing
+	MaxSteps int64     // statement-execution budget; 0 means default (1e10)
+}
+
+// Result summarizes an execution.
+type Result struct {
+	Steps int64 // executed element-statements + scalar statements
+}
+
+// Machine holds the compiled program and its storage, so callers can
+// run once and then inspect final values.
+type Machine struct {
+	prog    *lir.Program
+	slots   []float64
+	slotIdx map[string]int
+	arrays  map[string]*arrayStore
+	procs   map[string]*compiledProc
+
+	out    io.Writer
+	tracer Tracer
+	steps  int64
+	max    int64
+
+	// idx holds the current loop-nest indices (absolute region
+	// coordinates) while a Nest executes.
+	idx [4]int
+
+	// curResult is the result slot of the procedure currently being
+	// compiled (-1 when none); used by return-with-value.
+	curResult int
+}
+
+type arrayStore struct {
+	name    string
+	data    []float64
+	lo      []int
+	strides []int
+	base    int64 // byte base address in the simulated address space
+}
+
+type compiledProc struct {
+	params []int // slot indices
+	result int   // $result slot, or -1
+	body   []execFn
+}
+
+// control signals returned by statement execution.
+type signal int
+
+const (
+	sigNext signal = iota
+	sigReturn
+)
+
+type execFn func(m *Machine) signal
+
+type evalFn func(m *Machine) float64
+
+// New compiles the program. The returned machine is single-use: call
+// Run once; storage persists for inspection afterwards.
+func New(p *lir.Program, opt Options) (*Machine, error) {
+	m := &Machine{
+		prog:    p,
+		slotIdx: map[string]int{},
+		arrays:  map[string]*arrayStore{},
+		procs:   map[string]*compiledProc{},
+		out:     opt.Out,
+		tracer:  opt.Tracer,
+		max:     opt.MaxSteps,
+	}
+	if m.max == 0 {
+		m.max = 1e10
+	}
+
+	// Scalar slots: declared scalars, then contracted arrays.
+	names := make([]string, 0, len(p.Source.Scalars))
+	for n := range p.Source.Scalars {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		m.slotIdx[n] = len(m.slotIdx)
+	}
+	arrNames := make([]string, 0, len(p.Source.Arrays))
+	for n := range p.Source.Arrays {
+		arrNames = append(arrNames, n)
+	}
+	sort.Strings(arrNames)
+	for _, n := range arrNames {
+		if p.Source.Arrays[n].Contracted {
+			m.slotIdx[n] = len(m.slotIdx)
+		}
+	}
+	m.slots = make([]float64, len(m.slotIdx))
+	for _, n := range names {
+		if s := p.Source.Scalars[n]; s.Config {
+			m.slots[m.slotIdx[n]] = s.Init
+		}
+	}
+
+	// Array storage over allocation bounds, row-major, with bases laid
+	// out sequentially in a simulated byte address space.
+	var nextBase int64
+	for _, n := range arrNames {
+		a := p.Source.Arrays[n]
+		if a.Contracted {
+			continue
+		}
+		rank := a.Alloc.Rank()
+		strides := make([]int, rank)
+		size := 1
+		for d := rank - 1; d >= 0; d-- {
+			strides[d] = size
+			size *= a.Alloc.Extent(d)
+		}
+		m.arrays[n] = &arrayStore{
+			name:    n,
+			data:    make([]float64, size),
+			lo:      append([]int(nil), a.Alloc.Lo...),
+			strides: strides,
+			base:    nextBase,
+		}
+		nextBase += int64(size) * 8
+	}
+
+	// Compile procedures.
+	for name, pr := range p.Procs {
+		cp := &compiledProc{result: -1}
+		for _, pa := range pr.Params {
+			slot, ok := m.slotIdx[pa]
+			if !ok {
+				return nil, fmt.Errorf("vm: unknown parameter slot %s", pa)
+			}
+			cp.params = append(cp.params, slot)
+		}
+		if pr.HasResult {
+			slot, ok := m.slotIdx[pr.Name+".$result"]
+			if !ok {
+				return nil, fmt.Errorf("vm: missing result slot for %s", pr.Name)
+			}
+			cp.result = slot
+		}
+		m.procs[name] = cp
+	}
+	for name, pr := range p.Procs {
+		m.curResult = m.procs[name].result
+		body, err := m.compileNodes(pr.Body)
+		if err != nil {
+			return nil, fmt.Errorf("vm: compile %s: %w", name, err)
+		}
+		m.procs[name].body = body
+	}
+	m.curResult = -1
+	if m.procs["main"] == nil {
+		return nil, fmt.Errorf("vm: program has no main")
+	}
+	return m, nil
+}
+
+// Run executes main. It is not reentrant.
+func Run(p *lir.Program, opt Options) (*Machine, *Result, error) {
+	m, err := New(p, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := m.Run()
+	return m, res, err
+}
+
+// Run executes the compiled main procedure.
+func (m *Machine) Run() (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("vm: runtime fault: %v", r)
+		}
+	}()
+	for _, fn := range m.procs["main"].body {
+		if fn(m) == sigReturn {
+			break
+		}
+	}
+	return &Result{Steps: m.steps}, nil
+}
+
+// Scalar returns the final value of a scalar (or contracted array
+// register) by mangled name.
+func (m *Machine) Scalar(name string) (float64, bool) {
+	if i, ok := m.slotIdx[name]; ok {
+		return m.slots[i], true
+	}
+	return 0, false
+}
+
+// ArrayData exposes an array's backing storage for tests: data in
+// row-major order over the allocation bounds.
+func (m *Machine) ArrayData(name string) []float64 {
+	if a := m.arrays[name]; a != nil {
+		return a.data
+	}
+	return nil
+}
+
+// At reads one logical element of an array.
+func (m *Machine) At(name string, idx ...int) (float64, bool) {
+	a := m.arrays[name]
+	if a == nil || len(idx) != len(a.lo) {
+		return 0, false
+	}
+	pos := 0
+	for d, i := range idx {
+		pos += (i - a.lo[d]) * a.strides[d]
+	}
+	if pos < 0 || pos >= len(a.data) {
+		return 0, false
+	}
+	return a.data[pos], true
+}
+
+// MemoryFootprint returns the total bytes of allocated array storage —
+// the quantity contraction reduces (Fig. 8).
+func (m *Machine) MemoryFootprint() int64 {
+	var n int64
+	for _, a := range m.arrays {
+		n += int64(len(a.data)) * 8
+	}
+	return n
+}
+
+func (m *Machine) step() {
+	m.steps++
+	if m.steps > m.max {
+		panic(fmt.Sprintf("execution budget exceeded (%d steps)", m.max))
+	}
+}
+
+func truthy(v float64) bool { return v != 0 }
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
