@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: all build test vet race ci experiments
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+# Tier-1: the gate every change must keep green.
+test: build
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The distributed interpreter and the experiment harness are
+# concurrent; the race detector is part of the bar, not optional.
+race:
+	$(GO) test -race ./...
+
+ci: vet test race
+
+experiments:
+	$(GO) run ./cmd/experiments

@@ -210,6 +210,58 @@ func TestZplrunDistributed(t *testing.T) {
 	}
 }
 
+// TestZplrunFlagConflicts: flag combinations that used to be silently
+// half-ignored must be rejected with a diagnostic naming the conflict.
+func TestZplrunFlagConflicts(t *testing.T) {
+	// -machine with -dist: the model was constructed and then never
+	// consulted on the distributed path.
+	_, stderr, err := runTool(t, "zplrun", "-bench", "fibro", "-config", "n=16",
+		"-p", "4", "-dist", "-machine", "t3e")
+	if err == nil {
+		t.Error("-machine with -dist accepted")
+	}
+	if !strings.Contains(stderr, "-machine") || !strings.Contains(stderr, "-dist") {
+		t.Errorf("conflict diagnostic does not name both flags: %q", stderr)
+	}
+
+	// -bench with a positional file: the file was silently dropped.
+	_, stderr, err = runTool(t, "zplrun", "-bench", "fibro", "-config", "n=16",
+		"testdata/heat.za")
+	if err == nil {
+		t.Error("-bench with positional file accepted")
+	}
+	if !strings.Contains(stderr, "-bench") || !strings.Contains(stderr, "heat.za") {
+		t.Errorf("conflict diagnostic does not name the sources: %q", stderr)
+	}
+
+	// The valid single-source forms still work.
+	if _, _, err := runTool(t, "zplrun", "-bench", "fibro", "-config", "n=16"); err != nil {
+		t.Errorf("-bench alone rejected: %v", err)
+	}
+	if _, _, err := runTool(t, "zplrun", "testdata/heat.za"); err != nil {
+		t.Errorf("file alone rejected: %v", err)
+	}
+}
+
+// TestExperimentsJobsFlag: the worker-pool width is a real flag and a
+// parallel run produces the same table as a serial one.
+func TestExperimentsJobsFlag(t *testing.T) {
+	serial, _, err := runTool(t, "experiments", "-run", "fig8", "-jobs", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, _, err := runTool(t, "experiments", "-run", "fig8", "-jobs", "4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial != parallel {
+		t.Errorf("-jobs changed the result:\nserial:\n%s\nparallel:\n%s", serial, parallel)
+	}
+	if _, _, err := runTool(t, "experiments", "-run", "fig6", "-jobs", "0"); err != nil {
+		t.Errorf("-jobs 0 (default width) rejected: %v", err)
+	}
+}
+
 // TestZplcFig2ASDG checks the Fig. 2(d) dependence graph end to end:
 // the exact (variable, unconstrained distance vector, kind) labels the
 // paper derives.

@@ -3,11 +3,12 @@
 //
 // Usage:
 //
-//	experiments [-run id] [-size f] [-out dir]
+//	experiments [-run id] [-size f] [-jobs n] [-out dir]
 //
 //	-run id    which experiment: fig6, fig7, fig8, fig9, fig10, fig11,
 //	           sec55, origin (latency sensitivity), or all (default all)
 //	-size f    problem-size factor for the runtime studies (default 1.0)
+//	-jobs n    measurements to run concurrently (default: all CPUs)
 //	-out dir   also write each table to dir/<id>.txt
 package main
 
@@ -16,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 
 	"repro/internal/harness"
 )
@@ -23,8 +25,10 @@ import (
 func main() {
 	run := flag.String("run", "all", "experiment to run")
 	size := flag.Float64("size", 1.0, "problem-size factor for runtime studies")
+	jobs := flag.Int("jobs", runtime.NumCPU(), "measurements to run concurrently")
 	out := flag.String("out", "", "directory to write tables into")
 	flag.Parse()
+	harness.SetJobs(*jobs)
 
 	want := func(id string) bool { return *run == "all" || *run == id }
 	emit := func(id, text string) {

@@ -12,8 +12,11 @@
 //	              decomposition and ghost exchanges) instead of the
 //	              sequential VM; requires -p > 1
 //	-machine m    t3e | sp2 | paragon: print modeled cycles/time
+//	              (applies to the sequential traced execution only;
+//	              rejected together with -dist)
 //	-bench name   run a built-in benchmark instead of a file:
 //	              ep, frac, sp, tomcatv, simple, fibro
+//	              (rejected together with a positional file argument)
 package main
 
 import (
@@ -61,6 +64,10 @@ func main() {
 
 	var src string
 	switch {
+	case *bench != "" && flag.NArg() > 0:
+		// A silent choice between the two sources would run something
+		// other than what the user named.
+		fatal(fmt.Errorf("-bench %s conflicts with file argument %q: pass one program source, not both", *bench, flag.Arg(0)))
 	case *bench != "":
 		b, ok := programs.ByName(*bench)
 		if !ok {
@@ -112,6 +119,12 @@ func main() {
 	if *distributed {
 		if *procs < 2 {
 			fatal(fmt.Errorf("-dist requires -p > 1"))
+		}
+		if model != nil {
+			// The machine models price a traced sequential execution;
+			// the distributed interpreter performs real exchanges and
+			// has no tracer, so the model would be silently ignored.
+			fatal(fmt.Errorf("-machine %s cannot be combined with -dist: cost models apply to the sequential (traced) execution only", *mach))
 		}
 		dm, err := distvm.Run(c.LIR, distvm.Options{Procs: *procs, Out: os.Stdout})
 		if err != nil {

@@ -1,0 +1,188 @@
+package distvm
+
+import (
+	"fmt"
+	"time"
+)
+
+// haloMsg carries one slab of ghost-cell values from its owner to a
+// requiring processor. The element order is the receiver's row-major
+// slab enumeration, which both sides derive independently from the
+// static block geometry — messages need no index lists or handshakes.
+type haloMsg struct {
+	from  int
+	array string
+	msgID int
+	vals  []float64
+}
+
+// ctrlKind tags the synchronization messages.
+type ctrlKind int
+
+const (
+	ctrlArrive  ctrlKind = iota // worker -> processor 0: barrier/reduce entry
+	ctrlRelease                 // processor 0 -> worker: combined result
+)
+
+func (k ctrlKind) String() string {
+	if k == ctrlArrive {
+		return "arrive"
+	}
+	return "release"
+}
+
+// ctrlMsg is one barrier or reduction message. vals carries the
+// reduction partials on arrival and the combined result on release;
+// nil for a pure barrier.
+type ctrlMsg struct {
+	kind ctrlKind
+	from int
+	seq  int
+	vals []float64
+}
+
+// timeoutErr describes a watchdog expiry: some processor stopped
+// participating in the protocol (died, diverged, or deadlocked).
+func (w *worker) timeoutErr(what string) error {
+	return fmt.Errorf("distvm: processor %d timed out after %v waiting for %s (sync #%d) — lost processor or protocol mismatch",
+		w.id, w.m.timeout, what, w.syncSeq)
+}
+
+// recvCtrl blocks on this worker's control mailbox under the watchdog.
+func (w *worker) recvCtrl(what string) (ctrlMsg, error) {
+	select {
+	case msg := <-w.m.ctrl[w.id]:
+		return msg, nil
+	case <-w.m.done:
+		return ctrlMsg{}, errAborted
+	case <-time.After(w.m.timeout):
+		return ctrlMsg{}, w.timeoutErr(what)
+	}
+}
+
+// sendCtrl delivers a control message under the watchdog. The mailbox
+// is sized for the regular protocol, so a blocked send already means
+// something is wrong; the watchdog reports it instead of deadlocking.
+func (w *worker) sendCtrl(to int, msg ctrlMsg) error {
+	select {
+	case w.m.ctrl[to] <- msg:
+		return nil
+	case <-w.m.done:
+		return errAborted
+	case <-time.After(w.m.timeout):
+		return w.timeoutErr(fmt.Sprintf("space in processor %d's control mailbox", to))
+	}
+}
+
+// barrier blocks until every processor reaches the same point.
+func (w *worker) barrier() error {
+	_, err := w.allCombine(nil, nil)
+	return err
+}
+
+// allCombine is the machine's gather-combine-broadcast primitive: every
+// processor contributes part, processor 0 combines the parts in
+// processor order (so the result is deterministic no matter how the
+// goroutines are scheduled), and every processor returns the combined
+// vector. A nil combine (with nil parts) degenerates to a barrier.
+func (w *worker) allCombine(part []float64, combine func(parts [][]float64) []float64) ([]float64, error) {
+	w.syncSeq++
+	seq := w.syncSeq
+	if w.id != 0 {
+		if err := w.sendCtrl(0, ctrlMsg{kind: ctrlArrive, from: w.id, seq: seq, vals: part}); err != nil {
+			return nil, err
+		}
+		msg, err := w.recvCtrl("release from processor 0")
+		if err != nil {
+			return nil, err
+		}
+		if msg.kind != ctrlRelease || msg.seq != seq {
+			return nil, fmt.Errorf("distvm: processor %d: protocol mismatch: got %s #%d, want release #%d",
+				w.id, msg.kind, msg.seq, seq)
+		}
+		return msg.vals, nil
+	}
+
+	parts := make([][]float64, w.m.procs)
+	parts[0] = part
+	seen := make([]bool, w.m.procs)
+	for n := 1; n < w.m.procs; n++ {
+		msg, err := w.recvCtrl("arrivals from the other processors")
+		if err != nil {
+			return nil, err
+		}
+		if msg.kind != ctrlArrive || msg.seq != seq {
+			return nil, fmt.Errorf("distvm: processor 0: protocol mismatch: got %s #%d from processor %d, want arrive #%d",
+				msg.kind, msg.seq, msg.from, seq)
+		}
+		if msg.from <= 0 || msg.from >= w.m.procs || seen[msg.from] {
+			return nil, fmt.Errorf("distvm: processor 0: protocol mismatch: bad arrival from processor %d", msg.from)
+		}
+		seen[msg.from] = true
+		parts[msg.from] = msg.vals
+	}
+	var result []float64
+	if combine != nil {
+		result = combine(parts)
+	}
+	for q := 1; q < w.m.procs; q++ {
+		if err := w.sendCtrl(q, ctrlMsg{kind: ctrlRelease, seq: seq, vals: result}); err != nil {
+			return nil, err
+		}
+	}
+	return result, nil
+}
+
+// sendHalo posts one ghost-cell message under the watchdog.
+func (w *worker) sendHalo(to int, msg haloMsg) error {
+	select {
+	case w.m.halo[to] <- msg:
+		return nil
+	case <-w.m.done:
+		return errAborted
+	case <-time.After(w.m.timeout):
+		return w.timeoutErr(fmt.Sprintf("space in processor %d's halo mailbox", to))
+	}
+}
+
+// maxStash bounds the early-arrival buffer; exceeding it means the
+// processors disagree about the communication schedule.
+const maxStash = 1024
+
+// recvHaloFrom returns the next halo message from the given owner for
+// (array, msgID), in per-sender FIFO order. Messages that belong to a
+// later receive (pipelined sends overtaking this one) are stashed.
+func (w *worker) recvHaloFrom(from int, array string, msgID int, wantElems int) ([]float64, error) {
+	for i, msg := range w.stash {
+		if msg.from == from && msg.array == array && msg.msgID == msgID {
+			w.stash = append(w.stash[:i], w.stash[i+1:]...)
+			return w.checkHalo(msg, wantElems)
+		}
+	}
+	for {
+		select {
+		case msg := <-w.m.halo[w.id]:
+			if msg.from == from && msg.array == array && msg.msgID == msgID {
+				return w.checkHalo(msg, wantElems)
+			}
+			if len(w.stash) >= maxStash {
+				return nil, fmt.Errorf("distvm: processor %d: protocol mismatch: %d unexpected halo messages stashed while waiting for %s (msg %d) from processor %d",
+					w.id, len(w.stash), array, msgID, from)
+			}
+			w.stash = append(w.stash, msg)
+		case <-w.m.done:
+			return nil, errAborted
+		case <-time.After(w.m.timeout):
+			return nil, w.timeoutErr(fmt.Sprintf("halo of %s (msg %d) from processor %d", array, msgID, from))
+		}
+	}
+}
+
+// checkHalo validates a matched message's payload size.
+func (w *worker) checkHalo(msg haloMsg, wantElems int) ([]float64, error) {
+	if len(msg.vals) != wantElems {
+		return nil, fmt.Errorf("distvm: processor %d: protocol mismatch: halo of %s from processor %d carries %d elements, want %d",
+			w.id, msg.array, msg.from, len(msg.vals), wantElems)
+	}
+	return msg.vals, nil
+}

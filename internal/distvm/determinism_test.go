@@ -1,0 +1,84 @@
+package distvm_test
+
+// Cross-interpreter determinism: the parallel engine must Gather
+// BIT-identically to the sequential VM. Every array element is
+// computed by exactly one owner from the same inputs in the same
+// order as the sequential interpreter, so float nonassociativity
+// never enters: equality here is exact (Float64bits), not tolerance.
+// (Reduction scalars may differ in the last ulp — partials combine in
+// processor order, not iteration order — and tomcatv and simple never
+// feed reduction results back into array values, which is what makes
+// the bit-exact array guarantee possible.)
+
+import (
+	"io"
+	"math"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/distvm"
+	"repro/internal/driver"
+	"repro/internal/programs"
+	"repro/internal/vm"
+)
+
+func TestGatherBitIdentical(t *testing.T) {
+	for _, name := range []string{"tomcatv", "simple"} {
+		b, ok := programs.ByName(name)
+		if !ok {
+			t.Fatalf("unknown benchmark %s", name)
+		}
+		cfg := map[string]int64{b.SizeConfig: 16}
+		for _, lvl := range []core.Level{core.Baseline, core.C2F3} {
+			ref, err := driver.Compile(b.Source, driver.Options{Level: lvl, Configs: cfg})
+			if err != nil {
+				t.Fatalf("%s %v: sequential compile: %v", name, lvl, err)
+			}
+			refM, _, err := vm.Run(ref.LIR, vm.Options{Out: io.Discard})
+			if err != nil {
+				t.Fatalf("%s %v: sequential run: %v", name, lvl, err)
+			}
+			for _, procs := range []int{2, 4, 7} {
+				co := comm.DefaultOptions(procs)
+				dc, err := driver.Compile(b.Source, driver.Options{Level: lvl, Configs: cfg, Comm: &co})
+				if err != nil {
+					t.Fatalf("%s %v p=%d: distributed compile: %v", name, lvl, procs, err)
+				}
+				dm, err := distvm.Run(dc.LIR, distvm.Options{Procs: procs})
+				if err != nil {
+					t.Fatalf("%s %v p=%d: distributed run: %v", name, lvl, procs, err)
+				}
+				compared := 0
+				for arr, info := range ref.AIR.Arrays {
+					if info.Contracted {
+						continue
+					}
+					dinfo := dc.AIR.Arrays[arr]
+					if dinfo == nil || dinfo.Contracted {
+						continue
+					}
+					want := refM.ArrayData(arr)
+					got := dm.Gather(arr)
+					if len(want) != len(got) {
+						t.Errorf("%s %v p=%d %s: size %d vs %d", name, lvl, procs, arr, len(want), len(got))
+						continue
+					}
+					compared++
+					for i := range want {
+						if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+							t.Errorf("%s %v p=%d %s[%d]: %v (%#x) != sequential %v (%#x)",
+								name, lvl, procs, arr, i,
+								got[i], math.Float64bits(got[i]),
+								want[i], math.Float64bits(want[i]))
+							break
+						}
+					}
+				}
+				if compared == 0 {
+					t.Errorf("%s %v p=%d: no arrays compared — test is vacuous", name, lvl, procs)
+				}
+			}
+		}
+	}
+}

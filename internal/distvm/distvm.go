@@ -1,21 +1,46 @@
-// Package distvm executes a scalarized program on a simulated
-// distributed-memory machine: every array dimension is block
-// distributed over a processor grid (package dist), each processor
-// stores only its block plus halo, and the compiler-inserted
-// communication primitives perform real ghost-cell exchanges.
+// Package distvm executes a scalarized program on a distributed-memory
+// machine: every array dimension is block distributed over a processor
+// grid (package dist), each processor stores only its block plus halo,
+// and the compiler-inserted communication primitives perform real
+// ghost-cell exchanges.
 //
-// The interpreter walks the LIR once (scalar state is replicated and
-// deterministic, so control flow is identical on every processor) and
-// executes each loop nest processor by processor over its owned
-// portion. Running a program here and on the sequential VM and
-// comparing every array element is the strongest validation of the
-// communication-insertion machinery: a missing or misplaced exchange
-// leaves stale halo values and the results diverge.
+// Each of the p processors runs as its own goroutine over its block.
+// Scalar state is replicated and deterministic, so control flow is
+// identical on every processor; the only cross-processor interactions
+// are channel-based messages mirroring the machine's communication
+// primitives:
+//
+//   - ghost-cell exchange: the owner captures its boundary values at
+//     the send phase and the requiring processor installs them at the
+//     receive phase, matching the lir.Comm send/receive split;
+//   - reductions: partials gather at processor 0, combine in processor
+//     order (deterministic regardless of goroutine scheduling), and
+//     broadcast back;
+//   - a barrier at every statement-group boundary (loop nests and
+//     dimensional reductions), which keeps the processors in lockstep
+//     and surfaces divergent control flow as a protocol error.
+//
+// A watchdog timeout converts a lost processor or a protocol mismatch
+// into a descriptive error instead of a deadlock, and the first
+// processor to fail aborts the others promptly.
+//
+// Running a program here and on the sequential VM and comparing every
+// array element is the strongest validation of the communication-
+// insertion machinery: a missing or misplaced exchange leaves stale
+// halo values and the results diverge. Because every array element is
+// computed by exactly one owner from bit-identical inputs, a parallel
+// run Gathers bit-identically to the sequential VM whenever reduction
+// results do not feed back into array values (see the determinism
+// tests).
 package distvm
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/air"
 	"repro/internal/dist"
@@ -26,11 +51,15 @@ import (
 // Options configures a distributed run.
 type Options struct {
 	Procs    int
-	Out      io.Writer // processor 0's writeln output; nil discards
-	MaxSteps int64     // element-execution budget; 0 = default 1e9
+	Out      io.Writer     // processor 0's writeln output; nil discards
+	MaxSteps int64         // element-execution budget; 0 = default 1e9
+	Timeout  time.Duration // watchdog for lost processors; 0 = default 30s
 }
 
-// Machine is the distributed interpreter state.
+// Machine is the distributed interpreter state. During a run the only
+// mutable shared state is the step counter (atomic) and the channels;
+// every processor goroutine owns its scalar map and its local array
+// slices exclusively, and halo data moves only by message.
 type Machine struct {
 	prog  *lir.Program
 	procs int
@@ -43,8 +72,35 @@ type Machine struct {
 	scalars []map[string]float64 // per-processor scalar state
 	arrays  map[string][]*localArray
 
-	steps int64
-	max   int64
+	steps   atomic.Int64
+	max     int64
+	timeout time.Duration
+
+	// Per-processor mailboxes: halo carries ghost-cell data, ctrl
+	// carries barrier arrivals, reduction partials, and releases.
+	halo []chan haloMsg
+	ctrl []chan ctrlMsg
+
+	// First failure aborts every processor.
+	done     chan struct{}
+	failOnce sync.Once
+	failErr  error
+}
+
+// errAborted is returned by a processor unwinding because another
+// processor failed first; it never becomes the run's reported error.
+var errAborted = errors.New("distvm: aborted by another processor's failure")
+
+// abort records the first real failure and releases every processor
+// blocked on a channel operation.
+func (m *Machine) abort(err error) {
+	if err == nil || errors.Is(err, errAborted) {
+		return
+	}
+	m.failOnce.Do(func() {
+		m.failErr = err
+		close(m.done)
+	})
 }
 
 // localArray is one processor's slice of an array: its block expanded
@@ -73,8 +129,8 @@ func (a *localArray) at(idx []int) int {
 	return p
 }
 
-// Run executes the program on p processors and returns the machine
-// for inspection.
+// Run executes the program on p processors — one goroutine each — and
+// returns the machine for inspection.
 func Run(prog *lir.Program, opt Options) (*Machine, error) {
 	if opt.Procs < 1 {
 		return nil, fmt.Errorf("distvm: need at least one processor")
@@ -86,27 +142,51 @@ func Run(prog *lir.Program, opt Options) (*Machine, error) {
 		decomps: map[int]*dist.Decomp{},
 		arrays:  map[string][]*localArray{},
 		max:     opt.MaxSteps,
+		timeout: opt.Timeout,
 	}
 	if m.max == 0 {
 		m.max = 1e9
+	}
+	if m.timeout == 0 {
+		m.timeout = 30 * time.Second
 	}
 	if err := m.decompose(); err != nil {
 		return nil, err
 	}
 	m.allocate()
+	m.openChannels()
+
 	m.scalars = make([]map[string]float64, m.procs)
+	var wg sync.WaitGroup
 	for p := 0; p < m.procs; p++ {
-		m.scalars[p] = map[string]float64{}
-		for name, s := range prog.Source.Scalars {
-			if s.Config {
-				m.scalars[p][name] = s.Init
-			}
-		}
+		w := newWorker(m, p)
+		m.scalars[p] = w.scalars
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m.abort(w.run())
+		}()
 	}
-	if err := m.execNodes(prog.Main.Body); err != nil {
-		return nil, err
+	wg.Wait()
+	if m.failErr != nil {
+		return nil, m.failErr
 	}
 	return m, nil
+}
+
+// openChannels sizes the mailboxes so that the regular protocol never
+// blocks a sender: ctrl sees at most p-1 in-flight arrivals plus one
+// release, halo at most a handful of pipelined slabs per neighbor.
+// Should a protocol bug overflow them anyway, the watchdog turns the
+// stalled send into an error instead of a deadlock.
+func (m *Machine) openChannels() {
+	m.done = make(chan struct{})
+	m.halo = make([]chan haloMsg, m.procs)
+	m.ctrl = make([]chan ctrlMsg, m.procs)
+	for p := 0; p < m.procs; p++ {
+		m.halo[p] = make(chan haloMsg, 4*m.procs+64)
+		m.ctrl[p] = make(chan ctrlMsg, m.procs+1)
+	}
 }
 
 // decompose builds one anchor per rank covering every declared region
@@ -270,247 +350,6 @@ func (m *Machine) allocate() {
 		}
 		m.arrays[name] = locals
 	}
-}
-
-// ---------------------------------------------------------------------------
-// Execution
-
-type signal int
-
-const (
-	sigNext signal = iota
-	sigReturn
-)
-
-func (m *Machine) execNodes(nodes []lir.Node) error {
-	_, err := m.execList(nodes)
-	return err
-}
-
-func (m *Machine) execList(nodes []lir.Node) (signal, error) {
-	for _, n := range nodes {
-		sig, err := m.execNode(n)
-		if err != nil || sig == sigReturn {
-			return sig, err
-		}
-	}
-	return sigNext, nil
-}
-
-func (m *Machine) execNode(n lir.Node) (signal, error) {
-	switch x := n.(type) {
-	case *lir.Nest:
-		return sigNext, m.execNest(x)
-	case *lir.ScalarAssign:
-		for p := 0; p < m.procs; p++ {
-			v, err := m.evalScalar(p, x.RHS)
-			if err != nil {
-				return sigNext, err
-			}
-			m.scalars[p][x.LHS] = v
-		}
-		return sigNext, nil
-	case *lir.Loop:
-		lo, err := m.evalScalar(0, x.Lo)
-		if err != nil {
-			return sigNext, err
-		}
-		hi, err := m.evalScalar(0, x.Hi)
-		if err != nil {
-			return sigNext, err
-		}
-		a, b := int64(lo), int64(hi)
-		step := int64(1)
-		if x.Down {
-			step = -1
-		}
-		for v := a; (step > 0 && v <= b) || (step < 0 && v >= b); v += step {
-			for p := 0; p < m.procs; p++ {
-				m.scalars[p][x.Var] = float64(v)
-			}
-			sig, err := m.execList(x.Body)
-			if err != nil || sig == sigReturn {
-				return sig, err
-			}
-		}
-		return sigNext, nil
-	case *lir.While:
-		for {
-			c, err := m.evalScalar(0, x.Cond)
-			if err != nil {
-				return sigNext, err
-			}
-			if c == 0 {
-				return sigNext, nil
-			}
-			if err := m.step(1); err != nil {
-				return sigNext, err
-			}
-			sig, err := m.execList(x.Body)
-			if err != nil || sig == sigReturn {
-				return sig, err
-			}
-		}
-	case *lir.If:
-		c, err := m.evalScalar(0, x.Cond)
-		if err != nil {
-			return sigNext, err
-		}
-		if c != 0 {
-			return m.execList(x.Then)
-		}
-		return m.execList(x.Else)
-	case *lir.PartialReduce:
-		return sigNext, m.partialReduce(x)
-	case *lir.Comm:
-		return sigNext, m.exchange(x)
-	case *lir.Call:
-		return sigNext, m.call(x)
-	case *lir.Return:
-		if x.Value != nil {
-			// The caller reads the result from the $result slot; the
-			// enclosing call wired it (see call()).
-			return sigReturn, fmt.Errorf("distvm: internal: unbound return")
-		}
-		return sigReturn, nil
-	case *lir.Writeln:
-		if m.out == nil {
-			return sigNext, nil
-		}
-		for i, a := range x.Args {
-			if i > 0 {
-				fmt.Fprint(m.out, " ")
-			}
-			if a.Expr != nil {
-				v, err := m.evalScalar(0, a.Expr)
-				if err != nil {
-					return sigNext, err
-				}
-				fmt.Fprintf(m.out, "%g", v)
-			} else {
-				fmt.Fprint(m.out, a.Str)
-			}
-		}
-		fmt.Fprintln(m.out)
-		return sigNext, nil
-	}
-	return sigNext, fmt.Errorf("distvm: unknown node %T", n)
-}
-
-// call executes a procedure body; recursion is rejected at lowering.
-func (m *Machine) call(x *lir.Call) error {
-	pr, ok := m.prog.Procs[x.Proc]
-	if !ok {
-		return fmt.Errorf("distvm: unknown procedure %s", x.Proc)
-	}
-	for i, param := range pr.Params {
-		for p := 0; p < m.procs; p++ {
-			v, err := m.evalScalar(p, x.Args[i])
-			if err != nil {
-				return err
-			}
-			m.scalars[p][param] = v
-		}
-	}
-	if _, err := m.execProcBody(pr); err != nil {
-		return err
-	}
-	if x.Target != "" && pr.HasResult {
-		for p := 0; p < m.procs; p++ {
-			m.scalars[p][x.Target] = m.scalars[p][pr.Name+".$result"]
-		}
-	}
-	return nil
-}
-
-// execProcBody runs a procedure, translating return-with-value into
-// the proc's $result slot.
-func (m *Machine) execProcBody(pr *lir.Proc) (signal, error) {
-	var run func(nodes []lir.Node) (signal, error)
-	run = func(nodes []lir.Node) (signal, error) {
-		for _, n := range nodes {
-			if ret, ok := n.(*lir.Return); ok {
-				if ret.Value != nil {
-					for p := 0; p < m.procs; p++ {
-						v, err := m.evalScalar(p, ret.Value)
-						if err != nil {
-							return sigReturn, err
-						}
-						m.scalars[p][pr.Name+".$result"] = v
-					}
-				}
-				return sigReturn, nil
-			}
-			// Control nodes may contain returns; handle recursively.
-			switch x := n.(type) {
-			case *lir.If:
-				c, err := m.evalScalar(0, x.Cond)
-				if err != nil {
-					return sigNext, err
-				}
-				branch := x.Else
-				if c != 0 {
-					branch = x.Then
-				}
-				sig, err := run(branch)
-				if err != nil || sig == sigReturn {
-					return sig, err
-				}
-			case *lir.Loop:
-				lo, err := m.evalScalar(0, x.Lo)
-				if err != nil {
-					return sigNext, err
-				}
-				hi, err := m.evalScalar(0, x.Hi)
-				if err != nil {
-					return sigNext, err
-				}
-				a, b := int64(lo), int64(hi)
-				step := int64(1)
-				if x.Down {
-					step = -1
-				}
-				for v := a; (step > 0 && v <= b) || (step < 0 && v >= b); v += step {
-					for p := 0; p < m.procs; p++ {
-						m.scalars[p][x.Var] = float64(v)
-					}
-					sig, err := run(x.Body)
-					if err != nil || sig == sigReturn {
-						return sig, err
-					}
-				}
-			case *lir.While:
-				for {
-					c, err := m.evalScalar(0, x.Cond)
-					if err != nil {
-						return sigNext, err
-					}
-					if c == 0 {
-						break
-					}
-					sig, err := run(x.Body)
-					if err != nil || sig == sigReturn {
-						return sig, err
-					}
-				}
-			default:
-				sig, err := m.execNode(n)
-				if err != nil || sig == sigReturn {
-					return sig, err
-				}
-			}
-		}
-		return sigNext, nil
-	}
-	return run(pr.Body)
-}
-
-func (m *Machine) step(n int64) error {
-	m.steps += n
-	if m.steps > m.max {
-		return fmt.Errorf("distvm: execution budget exceeded (%d steps)", m.max)
-	}
-	return nil
 }
 
 func maxInt(a, b int) int {

@@ -9,83 +9,132 @@ import (
 	"repro/internal/sema"
 )
 
-// exchange performs the real data movement of one ghost-cell exchange:
-// for the direction the primitive names, every processor refreshes the
-// halo slab adjacent to its block with the owners' current values. A
-// pipelined pair moves the data at receive time (sends carry no halo
-// yet: insertion guarantees the array is not rewritten between the
-// send and its receive, so receive-time data equals send-time data).
-func (m *Machine) exchange(c *lir.Comm) error {
-	if c.Phase == air.CommSend { // posting only; data moves at receive
-		return nil
-	}
-	locals, ok := m.arrays[c.Array]
+// exchange performs the real data movement of one ghost-cell exchange
+// as message passing between the processor goroutines. The send phase
+// captures the owner's current boundary values and posts them (legal
+// because insertion guarantees the array is not rewritten between a
+// send and its receive, so send-time data equals receive-time data);
+// the receive phase installs the matching messages into this
+// processor's halo. A whole (unpipelined) primitive does both at once.
+func (w *worker) exchange(c *lir.Comm) error {
+	locals, ok := w.m.arrays[c.Array]
 	if !ok {
 		return fmt.Errorf("distvm: exchange of unknown array %s", c.Array)
 	}
+	switch c.Phase {
+	case air.CommSend:
+		return w.postHalo(c, locals)
+	case air.CommRecv:
+		return w.acceptHalo(c, locals)
+	default:
+		if err := w.postHalo(c, locals); err != nil {
+			return err
+		}
+		return w.acceptHalo(c, locals)
+	}
+}
+
+// haloPlan computes, for the receiver of one exchange, the halo slab
+// indices it must refresh, grouped by owning processor, in row-major
+// slab order. The plan is a pure function of the static block
+// geometry, so the owner and the requirer derive identical plans
+// independently — messages carry only values, no index lists.
+func (m *Machine) haloPlan(c *lir.Comm, recv int) map[int][][]int {
+	locals := m.arrays[c.Array]
 	info := m.prog.Source.Arrays[c.Array]
 	d := m.decomps[info.Declared.Rank()]
 	rank := info.Declared.Rank()
+	la := locals[recv]
 
-	for p := 0; p < m.procs; p++ {
-		la := locals[p]
-		// The halo slab for this direction, relative to p's block,
-		// clipped to p's local storage.
-		slab := &sema.Region{Lo: make([]int, rank), Hi: make([]int, rank)}
-		empty := false
-		for k := 0; k < rank; k++ {
-			switch {
-			case c.Off[k] > 0:
-				slab.Lo[k] = la.block.Hi[k] + 1
-				slab.Hi[k] = la.block.Hi[k] + c.Off[k]
-			case c.Off[k] < 0:
-				slab.Lo[k] = la.block.Lo[k] + c.Off[k]
-				slab.Hi[k] = la.block.Lo[k] - 1
-			default:
-				slab.Lo[k] = la.block.Lo[k]
-				slab.Hi[k] = la.block.Hi[k]
-			}
-			if slab.Lo[k] < la.lo[k] {
-				slab.Lo[k] = la.lo[k]
-			}
-			if slab.Hi[k] > la.hi[k] {
-				slab.Hi[k] = la.hi[k]
-			}
-			if slab.Lo[k] > slab.Hi[k] {
-				empty = true
-			}
+	// The halo slab for this direction, relative to the receiver's
+	// block, clipped to the receiver's local storage.
+	slab := &sema.Region{Lo: make([]int, rank), Hi: make([]int, rank)}
+	for k := 0; k < rank; k++ {
+		switch {
+		case c.Off[k] > 0:
+			slab.Lo[k] = la.block.Hi[k] + 1
+			slab.Hi[k] = la.block.Hi[k] + c.Off[k]
+		case c.Off[k] < 0:
+			slab.Lo[k] = la.block.Lo[k] + c.Off[k]
+			slab.Hi[k] = la.block.Lo[k] - 1
+		default:
+			slab.Lo[k] = la.block.Lo[k]
+			slab.Hi[k] = la.block.Hi[k]
 		}
-		if empty {
+		if slab.Lo[k] < la.lo[k] {
+			slab.Lo[k] = la.lo[k]
+		}
+		if slab.Hi[k] > la.hi[k] {
+			slab.Hi[k] = la.hi[k]
+		}
+		if slab.Lo[k] > slab.Hi[k] {
+			return nil
+		}
+	}
+
+	plan := map[int][][]int{}
+	idx := make([]int, rank)
+	var walk func(k int)
+	walk = func(k int) {
+		if k == rank {
+			owner := d.Owner(idx)
+			if owner < 0 {
+				return // beyond the anchor: stays zero (global halo)
+			}
+			src := locals[owner]
+			if !src.contains(idx) {
+				return // owner clipped it away (outside alloc)
+			}
+			plan[owner] = append(plan[owner], append([]int(nil), idx...))
+			return
+		}
+		for i := slab.Lo[k]; i <= slab.Hi[k]; i++ {
+			idx[k] = i
+			walk(k + 1)
+		}
+	}
+	walk(0)
+	return plan
+}
+
+// postHalo sends this processor's contribution to every requirer of
+// the exchange: the owned values of each receiver's halo slab.
+func (w *worker) postHalo(c *lir.Comm, locals []*localArray) error {
+	src := locals[w.id]
+	for r := 0; r < w.m.procs; r++ {
+		if r == w.id {
 			continue
 		}
-		idx := make([]int, rank)
-		if err := m.copySlab(locals, d, la, slab, idx, 0); err != nil {
+		idxs := w.m.haloPlan(c, r)[w.id]
+		if len(idxs) == 0 {
+			continue
+		}
+		vals := make([]float64, len(idxs))
+		for i, idx := range idxs {
+			vals[i] = src.data[src.at(idx)]
+		}
+		if err := w.sendHalo(r, haloMsg{from: w.id, array: c.Array, msgID: c.MsgID, vals: vals}); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// copySlab copies every element of the slab from its owner into la.
-func (m *Machine) copySlab(locals []*localArray, d interface {
-	Owner([]int) int
-}, la *localArray, slab *sema.Region, idx []int, k int) error {
-	if k == slab.Rank() {
-		owner := d.Owner(idx)
-		if owner < 0 {
-			return nil // beyond the anchor: stays zero (global halo)
+// acceptHalo installs every owner's message into this processor's halo.
+func (w *worker) acceptHalo(c *lir.Comm, locals []*localArray) error {
+	la := locals[w.id]
+	plan := w.m.haloPlan(c, w.id)
+	for o := 0; o < w.m.procs; o++ {
+		idxs := plan[o]
+		if len(idxs) == 0 || o == w.id {
+			continue // nothing needed, or already our own data
 		}
-		src := locals[owner]
-		if !src.contains(idx) {
-			return nil // owner clipped it away (outside alloc)
-		}
-		la.data[la.at(idx)] = src.data[src.at(idx)]
-		return nil
-	}
-	for i := slab.Lo[k]; i <= slab.Hi[k]; i++ {
-		idx[k] = i
-		if err := m.copySlab(locals, d, la, slab, idx, k+1); err != nil {
+		vals, err := w.recvHaloFrom(o, c.Array, c.MsgID, len(idxs))
+		if err != nil {
 			return err
+		}
+		for i, idx := range idxs {
+			la.data[la.at(idx)] = vals[i]
 		}
 	}
 	return nil
@@ -152,8 +201,10 @@ func (m *Machine) Scalar(name string) (float64, bool) {
 }
 
 // ScalarsConsistent verifies the replicated-scalar invariant: every
-// processor holds identical scalar state. Returns the first
-// discrepancy found.
+// processor holds identical scalar state. A scalar that is missing on
+// some processor is just as much a violation as one that differs —
+// replication means every processor executed the same assignments.
+// Returns the first discrepancy found.
 func (m *Machine) ScalarsConsistent() error {
 	for name, v0 := range m.scalars[0] {
 		// Contracted-array registers are per-iteration scratch and
@@ -163,7 +214,10 @@ func (m *Machine) ScalarsConsistent() error {
 		}
 		for p := 1; p < m.procs; p++ {
 			v, ok := m.scalars[p][name]
-			if !ok || v == v0 || (math.IsNaN(v) && math.IsNaN(v0)) {
+			if !ok {
+				return fmt.Errorf("scalar %s missing on proc %d (replicated-scalar violation)", name, p)
+			}
+			if v == v0 || (math.IsNaN(v) && math.IsNaN(v0)) {
 				continue
 			}
 			return fmt.Errorf("scalar %s differs: proc0=%v proc%d=%v", name, v0, p, v)

@@ -12,52 +12,77 @@ import (
 
 // execNest runs one loop nest: each processor iterates its owned
 // portion of the nest region in the nest's loop-structure order;
-// reductions accumulate locally and then combine across processors
-// (the local-sum/global-combine split of a distributed reduction).
-func (m *Machine) execNest(n *lir.Nest) error {
+// reductions accumulate locally and then combine across processors in
+// processor order (the local-sum/global-combine split of a distributed
+// reduction, deterministic regardless of goroutine scheduling). A nest
+// with no reductions still ends in a barrier: statement groups are the
+// machine's synchronization boundaries, and the barrier also surfaces
+// divergent control flow as a protocol error rather than corruption.
+func (w *worker) execNest(n *lir.Nest) error {
 	rank := n.Region.Rank()
-	d, ok := m.decomps[rank]
+	d, ok := w.m.decomps[rank]
 	if !ok {
 		return fmt.Errorf("distvm: no decomposition for rank %d", rank)
 	}
 
-	// Local reduction partials, indexed by statement position.
-	partials := make([][]float64, len(n.Body))
+	var reduceIdx []int
 	for si, s := range n.Body {
 		if s.IsReduce {
-			partials[si] = make([]float64, m.procs)
-			for p := range partials[si] {
-				partials[si][p] = s.Op.Identity()
-			}
+			reduceIdx = append(reduceIdx, si)
 		}
 	}
 
-	for p := 0; p < m.procs; p++ {
-		portion := dist.Intersect(n.Region, d.Block(p))
-		if dist.Empty(portion) {
-			continue
-		}
-		if err := m.step(int64(portion.Size()) * int64(len(n.Body))); err != nil {
+	// Local reduction partials, indexed by statement position.
+	partials := make([]float64, len(n.Body))
+	for _, si := range reduceIdx {
+		partials[si] = n.Body[si].Op.Identity()
+	}
+
+	portion := dist.Intersect(n.Region, d.Block(w.id))
+	if !dist.Empty(portion) {
+		if err := w.addSteps(int64(portion.Size()) * int64(len(n.Body))); err != nil {
 			return err
 		}
 		idx := make([]int, rank)
-		if err := m.loop(n, p, portion, idx, 0, partials); err != nil {
+		if err := w.loop(n, portion, idx, 0, partials); err != nil {
 			return err
 		}
 	}
 
-	// Global combine + broadcast for reductions.
-	for si, s := range n.Body {
-		if !s.IsReduce {
-			continue
+	if len(reduceIdx) == 0 {
+		return w.barrier()
+	}
+
+	// Gather the partials at processor 0, combine in processor order
+	// starting from the identity, broadcast the result back, and store
+	// it in every processor's replicated scalar state.
+	part := make([]float64, len(reduceIdx))
+	for j, si := range reduceIdx {
+		part[j] = partials[si]
+	}
+	combined, err := w.allCombine(part, func(parts [][]float64) []float64 {
+		acc := make([]float64, len(reduceIdx))
+		for j, si := range reduceIdx {
+			acc[j] = n.Body[si].Op.Identity()
 		}
-		acc := s.Op.Identity()
-		for p := 0; p < m.procs; p++ {
-			acc = combine(s.Op, acc, partials[si][p])
+		for p := 0; p < w.m.procs; p++ {
+			if len(parts[p]) != len(reduceIdx) {
+				return nil
+			}
+			for j, si := range reduceIdx {
+				acc[j] = combine(n.Body[si].Op, acc[j], parts[p][j])
+			}
 		}
-		for p := 0; p < m.procs; p++ {
-			m.scalars[p][s.Target] = acc
-		}
+		return acc
+	})
+	if err != nil {
+		return err
+	}
+	if len(combined) != len(reduceIdx) {
+		return fmt.Errorf("distvm: processor %d: protocol mismatch: reduction arity differs across processors", w.id)
+	}
+	for j, si := range reduceIdx {
+		w.scalars[n.Body[si].Target] = combined[j]
 	}
 	return nil
 }
@@ -65,9 +90,9 @@ func (m *Machine) execNest(n *lir.Nest) error {
 // loop recursively iterates loop level `depth` of the nest (outermost
 // first) over the processor's portion, honoring the loop structure
 // vector's dimension assignment and direction.
-func (m *Machine) loop(n *lir.Nest, proc int, portion *sema.Region, idx []int, depth int, partials [][]float64) error {
+func (w *worker) loop(n *lir.Nest, portion *sema.Region, idx []int, depth int, partials []float64) error {
 	if depth == portion.Rank() {
-		return m.element(n, proc, idx, partials)
+		return w.element(n, idx, partials)
 	}
 	pi := n.Order[depth]
 	dim := pi
@@ -79,14 +104,14 @@ func (m *Machine) loop(n *lir.Nest, proc int, portion *sema.Region, idx []int, d
 	if pi > 0 {
 		for i := lo; i <= hi; i++ {
 			idx[k] = i
-			if err := m.loop(n, proc, portion, idx, depth+1, partials); err != nil {
+			if err := w.loop(n, portion, idx, depth+1, partials); err != nil {
 				return err
 			}
 		}
 	} else {
 		for i := hi; i >= lo; i-- {
 			idx[k] = i
-			if err := m.loop(n, proc, portion, idx, depth+1, partials); err != nil {
+			if err := w.loop(n, portion, idx, depth+1, partials); err != nil {
 				return err
 			}
 		}
@@ -94,32 +119,32 @@ func (m *Machine) loop(n *lir.Nest, proc int, portion *sema.Region, idx []int, d
 	return nil
 }
 
-// element executes every nest statement for one index on one processor.
-func (m *Machine) element(n *lir.Nest, proc int, idx []int, partials [][]float64) error {
+// element executes every nest statement for one index on this processor.
+func (w *worker) element(n *lir.Nest, idx []int, partials []float64) error {
 	for _, pl := range n.Preloads {
-		v, err := m.evalElem(proc, &air.RefExpr{Ref: air.Ref{Array: pl.Array, Off: pl.Off}}, idx)
+		v, err := w.evalElem(&air.RefExpr{Ref: air.Ref{Array: pl.Array, Off: pl.Off}}, idx)
 		if err != nil {
 			return err
 		}
-		m.scalars[proc][pl.Var] = v
+		w.scalars[pl.Var] = v
 	}
 	for si, s := range n.Body {
 		if s.Guard != nil && !inRegion(s.Guard, idx) {
 			continue
 		}
-		v, err := m.evalElem(proc, s.RHS, idx)
+		v, err := w.evalElem(s.RHS, idx)
 		if err != nil {
 			return err
 		}
 		switch {
 		case s.IsReduce:
-			partials[si][proc] = combine(s.Op, partials[si][proc], v)
+			partials[si] = combine(s.Op, partials[si], v)
 		case s.Contracted:
-			m.scalars[proc][s.LHS] = v
+			w.scalars[s.LHS] = v
 		default:
-			la := m.arrays[s.LHS][proc]
+			la := w.m.arrays[s.LHS][w.id]
 			if la == nil || !la.contains(idx) {
-				return fmt.Errorf("distvm: write to %s%v outside local storage of proc %d", s.LHS, idx, proc)
+				return fmt.Errorf("distvm: write to %s%v outside local storage of proc %d", s.LHS, idx, w.id)
 			}
 			la.data[la.at(idx)] = v
 		}
@@ -152,11 +177,12 @@ func combine(op air.ReduceOp, a, b float64) float64 {
 
 // partialReduce executes a dimensional reduction: each processor
 // accumulates partials for its portion of the source region into a
-// dense buffer over the destination slab, the buffers combine across
-// processors, and owners store the result.
-func (m *Machine) partialReduce(x *lir.PartialReduce) error {
+// dense buffer over the destination slab, the buffers combine at
+// processor 0 in processor order, and after the broadcast every owner
+// stores its own destination elements.
+func (w *worker) partialReduce(x *lir.PartialReduce) error {
 	rank := x.Region.Rank()
-	d, ok := m.decomps[rank]
+	d, ok := w.m.decomps[rank]
 	if !ok {
 		return fmt.Errorf("distvm: no decomposition for rank %d", rank)
 	}
@@ -183,25 +209,20 @@ func (m *Machine) partialReduce(x *lir.PartialReduce) error {
 		return p
 	}
 
-	partials := make([][]float64, m.procs)
-	for p := 0; p < m.procs; p++ {
-		buf := make([]float64, size)
-		for i := range buf {
-			buf[i] = x.Op.Identity()
-		}
-		partials[p] = buf
-		portion := dist.Intersect(x.Region, d.Block(p))
-		if dist.Empty(portion) {
-			continue
-		}
-		if err := m.step(int64(portion.Size())); err != nil {
+	buf := make([]float64, size)
+	for i := range buf {
+		buf[i] = x.Op.Identity()
+	}
+	portion := dist.Intersect(x.Region, d.Block(w.id))
+	if !dist.Empty(portion) {
+		if err := w.addSteps(int64(portion.Size())); err != nil {
 			return err
 		}
 		idx := make([]int, rank)
 		var sweep func(k int) error
 		sweep = func(k int) error {
 			if k == rank {
-				v, err := m.evalElem(p, x.Body, idx)
+				v, err := w.evalElem(x.Body, idx)
 				if err != nil {
 					return err
 				}
@@ -222,27 +243,43 @@ func (m *Machine) partialReduce(x *lir.PartialReduce) error {
 		}
 	}
 
-	// Global combine, then store each destination element at its owner.
-	locals := m.arrays[x.LHS]
+	combined, err := w.allCombine(buf, func(parts [][]float64) []float64 {
+		acc := make([]float64, size)
+		for i := range acc {
+			acc[i] = x.Op.Identity()
+		}
+		for p := 0; p < w.m.procs; p++ {
+			if len(parts[p]) != size {
+				return nil
+			}
+			for i := range acc {
+				acc[i] = combine(x.Op, acc[i], parts[p][i])
+			}
+		}
+		return acc
+	})
+	if err != nil {
+		return err
+	}
+	if len(combined) != size {
+		return fmt.Errorf("distvm: processor %d: protocol mismatch: partial-reduce extent differs across processors", w.id)
+	}
+
+	// Store this processor's owned destination elements.
+	locals := w.m.arrays[x.LHS]
 	if locals == nil {
 		return fmt.Errorf("distvm: partial reduction into unknown array %s", x.LHS)
 	}
+	la := locals[w.id]
 	idx := make([]int, rank)
 	var store func(k int) error
 	store = func(k int) error {
 		if k == rank {
-			acc := x.Op.Identity()
-			pos := flat(idx)
-			for p := 0; p < m.procs; p++ {
-				acc = combine(x.Op, acc, partials[p][pos])
-			}
-			owner := d.Owner(idx)
-			if owner < 0 {
+			if d.Owner(idx) != w.id {
 				return nil
 			}
-			la := locals[owner]
 			if la.contains(idx) {
-				la.data[la.at(idx)] = acc
+				la.data[la.at(idx)] = combined[flat(idx)]
 			}
 			return nil
 		}
@@ -260,26 +297,26 @@ func (m *Machine) partialReduce(x *lir.PartialReduce) error {
 // ---------------------------------------------------------------------------
 // Expression evaluation
 
-// evalElem evaluates an element-wise expression at idx on processor
-// proc. Reads outside the local storage but inside the array's halo
-// return zero, matching the sequential VM's zero-filled halos.
-func (m *Machine) evalElem(proc int, e air.Expr, idx []int) (float64, error) {
+// evalElem evaluates an element-wise expression at idx on this
+// processor. Reads outside the local storage but inside the array's
+// halo return zero, matching the sequential VM's zero-filled halos.
+func (w *worker) evalElem(e air.Expr, idx []int) (float64, error) {
 	switch x := e.(type) {
 	case *air.ConstExpr:
 		return x.Val, nil
 	case *air.ScalarExpr:
-		return m.scalars[proc][x.Name], nil
+		return w.scalars[x.Name], nil
 	case *air.IndexExpr:
 		return float64(idx[x.Dim-1]), nil
 	case *air.RefExpr:
-		if info := m.prog.Source.Arrays[x.Ref.Array]; info != nil && info.Contracted {
-			return m.scalars[proc][x.Ref.Array], nil
+		if info := w.m.prog.Source.Arrays[x.Ref.Array]; info != nil && info.Contracted {
+			return w.scalars[x.Ref.Array], nil
 		}
-		locals, ok := m.arrays[x.Ref.Array]
+		locals, ok := w.m.arrays[x.Ref.Array]
 		if !ok {
 			return 0, fmt.Errorf("distvm: unknown array %s", x.Ref.Array)
 		}
-		la := locals[proc]
+		la := locals[w.id]
 		target := make([]int, len(idx))
 		for k := range idx {
 			target[k] = idx[k] + x.Ref.Off[k]
@@ -289,25 +326,25 @@ func (m *Machine) evalElem(proc int, e air.Expr, idx []int) (float64, error) {
 			// zero-filled, so reads there are zero. Reads inside the
 			// allocation but outside local storage would be a
 			// compilation bug (missing halo) — surface them.
-			alloc := m.prog.Source.Arrays[x.Ref.Array].Alloc
+			alloc := w.m.prog.Source.Arrays[x.Ref.Array].Alloc
 			if inRegion(alloc, target) {
-				return 0, fmt.Errorf("distvm: proc %d reads %s%v outside its halo", proc, x.Ref.Array, target)
+				return 0, fmt.Errorf("distvm: proc %d reads %s%v outside its halo", w.id, x.Ref.Array, target)
 			}
 			return 0, nil
 		}
 		return la.data[la.at(target)], nil
 	case *air.BinExpr:
-		a, err := m.evalElem(proc, x.X, idx)
+		a, err := w.evalElem(x.X, idx)
 		if err != nil {
 			return 0, err
 		}
-		b, err := m.evalElem(proc, x.Y, idx)
+		b, err := w.evalElem(x.Y, idx)
 		if err != nil {
 			return 0, err
 		}
 		return binOp(x.Op, a, b)
 	case *air.UnExpr:
-		a, err := m.evalElem(proc, x.X, idx)
+		a, err := w.evalElem(x.X, idx)
 		if err != nil {
 			return 0, err
 		}
@@ -318,7 +355,7 @@ func (m *Machine) evalElem(proc int, e air.Expr, idx []int) (float64, error) {
 	case *air.CallExpr:
 		args := make([]float64, len(x.Args))
 		for i, a := range x.Args {
-			v, err := m.evalElem(proc, a, idx)
+			v, err := w.evalElem(a, idx)
 			if err != nil {
 				return 0, err
 			}
@@ -331,8 +368,8 @@ func (m *Machine) evalElem(proc int, e air.Expr, idx []int) (float64, error) {
 
 // evalScalar evaluates a scalar expression (no array references other
 // than contracted registers).
-func (m *Machine) evalScalar(proc int, e air.Expr) (float64, error) {
-	return m.evalElem(proc, e, nil)
+func (w *worker) evalScalar(e air.Expr) (float64, error) {
+	return w.evalElem(e, nil)
 }
 
 func binOp(op air.Op, a, b float64) (float64, error) {

@@ -1,0 +1,274 @@
+package distvm
+
+import (
+	"fmt"
+
+	"repro/internal/lir"
+)
+
+// worker is one processor: a goroutine walking the LIR over its own
+// block. All fields are owned exclusively by the worker's goroutine;
+// cross-processor data moves only through the machine's channels.
+type worker struct {
+	m       *Machine
+	id      int
+	scalars map[string]float64
+
+	// syncSeq numbers the barrier/reduction operations this processor
+	// has entered. Replicated control flow gives every processor the
+	// same sequence; a mismatch is a protocol error.
+	syncSeq int
+
+	// stash holds halo messages that arrived ahead of the receive
+	// operation that consumes them (pipelined sends can overtake).
+	stash []haloMsg
+}
+
+func newWorker(m *Machine, id int) *worker {
+	return &worker{m: m, id: id, scalars: map[string]float64{}}
+}
+
+// run initializes the replicated scalar state and executes main.
+func (w *worker) run() error {
+	for name, s := range w.m.prog.Source.Scalars {
+		if s.Config {
+			w.scalars[name] = s.Init
+		}
+	}
+	_, err := w.execList(w.m.prog.Main.Body)
+	return err
+}
+
+// addSteps charges n element-statements against the shared budget and
+// polls the abort channel so a failed peer stops this processor even
+// outside a communication point.
+func (w *worker) addSteps(n int64) error {
+	if w.m.steps.Add(n) > w.m.max {
+		return fmt.Errorf("distvm: execution budget exceeded (%d steps)", w.m.max)
+	}
+	select {
+	case <-w.m.done:
+		return errAborted
+	default:
+		return nil
+	}
+}
+
+type signal int
+
+const (
+	sigNext signal = iota
+	sigReturn
+)
+
+func (w *worker) execList(nodes []lir.Node) (signal, error) {
+	for _, n := range nodes {
+		sig, err := w.execNode(n)
+		if err != nil || sig == sigReturn {
+			return sig, err
+		}
+	}
+	return sigNext, nil
+}
+
+func (w *worker) execNode(n lir.Node) (signal, error) {
+	switch x := n.(type) {
+	case *lir.Nest:
+		return sigNext, w.execNest(x)
+	case *lir.ScalarAssign:
+		v, err := w.evalScalar(x.RHS)
+		if err != nil {
+			return sigNext, err
+		}
+		w.scalars[x.LHS] = v
+		return sigNext, nil
+	case *lir.Loop:
+		lo, err := w.evalScalar(x.Lo)
+		if err != nil {
+			return sigNext, err
+		}
+		hi, err := w.evalScalar(x.Hi)
+		if err != nil {
+			return sigNext, err
+		}
+		a, b := int64(lo), int64(hi)
+		step := int64(1)
+		if x.Down {
+			step = -1
+		}
+		for v := a; (step > 0 && v <= b) || (step < 0 && v >= b); v += step {
+			w.scalars[x.Var] = float64(v)
+			sig, err := w.execList(x.Body)
+			if err != nil || sig == sigReturn {
+				return sig, err
+			}
+		}
+		return sigNext, nil
+	case *lir.While:
+		for {
+			c, err := w.evalScalar(x.Cond)
+			if err != nil {
+				return sigNext, err
+			}
+			if c == 0 {
+				return sigNext, nil
+			}
+			// Every processor executes the (replicated) scalar loop, so
+			// each charges its iteration against the shared budget —
+			// which also guarantees each one independently trips the
+			// budget on a runaway loop with no communication inside.
+			if err := w.addSteps(1); err != nil {
+				return sigNext, err
+			}
+			sig, err := w.execList(x.Body)
+			if err != nil || sig == sigReturn {
+				return sig, err
+			}
+		}
+	case *lir.If:
+		c, err := w.evalScalar(x.Cond)
+		if err != nil {
+			return sigNext, err
+		}
+		if c != 0 {
+			return w.execList(x.Then)
+		}
+		return w.execList(x.Else)
+	case *lir.PartialReduce:
+		return sigNext, w.partialReduce(x)
+	case *lir.Comm:
+		return sigNext, w.exchange(x)
+	case *lir.Call:
+		return sigNext, w.call(x)
+	case *lir.Return:
+		if x.Value != nil {
+			// The caller reads the result from the $result slot; the
+			// enclosing call wired it (see call()).
+			return sigReturn, fmt.Errorf("distvm: internal: unbound return")
+		}
+		return sigReturn, nil
+	case *lir.Writeln:
+		// Output is processor 0's; evaluation has no side effects, so
+		// the other processors skip the node entirely.
+		if w.id != 0 || w.m.out == nil {
+			return sigNext, nil
+		}
+		for i, a := range x.Args {
+			if i > 0 {
+				fmt.Fprint(w.m.out, " ")
+			}
+			if a.Expr != nil {
+				v, err := w.evalScalar(a.Expr)
+				if err != nil {
+					return sigNext, err
+				}
+				fmt.Fprintf(w.m.out, "%g", v)
+			} else {
+				fmt.Fprint(w.m.out, a.Str)
+			}
+		}
+		fmt.Fprintln(w.m.out)
+		return sigNext, nil
+	}
+	return sigNext, fmt.Errorf("distvm: unknown node %T", n)
+}
+
+// call executes a procedure body; recursion is rejected at lowering.
+func (w *worker) call(x *lir.Call) error {
+	pr, ok := w.m.prog.Procs[x.Proc]
+	if !ok {
+		return fmt.Errorf("distvm: unknown procedure %s", x.Proc)
+	}
+	for i, param := range pr.Params {
+		v, err := w.evalScalar(x.Args[i])
+		if err != nil {
+			return err
+		}
+		w.scalars[param] = v
+	}
+	if _, err := w.execProcBody(pr); err != nil {
+		return err
+	}
+	if x.Target != "" && pr.HasResult {
+		w.scalars[x.Target] = w.scalars[pr.Name+".$result"]
+	}
+	return nil
+}
+
+// execProcBody runs a procedure, translating return-with-value into
+// the proc's $result slot.
+func (w *worker) execProcBody(pr *lir.Proc) (signal, error) {
+	var run func(nodes []lir.Node) (signal, error)
+	run = func(nodes []lir.Node) (signal, error) {
+		for _, n := range nodes {
+			if ret, ok := n.(*lir.Return); ok {
+				if ret.Value != nil {
+					v, err := w.evalScalar(ret.Value)
+					if err != nil {
+						return sigReturn, err
+					}
+					w.scalars[pr.Name+".$result"] = v
+				}
+				return sigReturn, nil
+			}
+			// Control nodes may contain returns; handle recursively.
+			switch x := n.(type) {
+			case *lir.If:
+				c, err := w.evalScalar(x.Cond)
+				if err != nil {
+					return sigNext, err
+				}
+				branch := x.Else
+				if c != 0 {
+					branch = x.Then
+				}
+				sig, err := run(branch)
+				if err != nil || sig == sigReturn {
+					return sig, err
+				}
+			case *lir.Loop:
+				lo, err := w.evalScalar(x.Lo)
+				if err != nil {
+					return sigNext, err
+				}
+				hi, err := w.evalScalar(x.Hi)
+				if err != nil {
+					return sigNext, err
+				}
+				a, b := int64(lo), int64(hi)
+				step := int64(1)
+				if x.Down {
+					step = -1
+				}
+				for v := a; (step > 0 && v <= b) || (step < 0 && v >= b); v += step {
+					w.scalars[x.Var] = float64(v)
+					sig, err := run(x.Body)
+					if err != nil || sig == sigReturn {
+						return sig, err
+					}
+				}
+			case *lir.While:
+				for {
+					c, err := w.evalScalar(x.Cond)
+					if err != nil {
+						return sigNext, err
+					}
+					if c == 0 {
+						break
+					}
+					sig, err := run(x.Body)
+					if err != nil || sig == sigReturn {
+						return sig, err
+					}
+				}
+			default:
+				sig, err := w.execNode(n)
+				if err != nil || sig == sigReturn {
+					return sig, err
+				}
+			}
+		}
+		return sigNext, nil
+	}
+	return run(pr.Body)
+}

@@ -31,10 +31,11 @@ type Fig8Row struct {
 // same scaling law.)
 const Fig8Budget = int64(64 << 20) // 64 MB
 
-// RunFig8 computes predicted and measured problem-size scaling.
+// RunFig8 computes predicted and measured problem-size scaling. The
+// per-benchmark binary searches are independent and run on the
+// harness worker pool.
 func RunFig8() ([]Fig8Row, error) {
-	var rows []Fig8Row
-	for _, b := range programs.All() {
+	return parallelMap(programs.All(), func(_ int, b programs.Benchmark) (Fig8Row, error) {
 		row := Fig8Row{Benchmark: b.Name}
 
 		// lb and la: arrays allocated at baseline versus c2, counting
@@ -43,11 +44,11 @@ func RunFig8() ([]Fig8Row, error) {
 		// sweep carriers, which we exclude from the count).
 		base, err := driver.Compile(b.Source, driver.Options{Level: core.Baseline})
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", b.Name, err)
+			return Fig8Row{}, fmt.Errorf("%s: %w", b.Name, err)
 		}
 		opt, err := driver.Compile(b.Source, driver.Options{Level: core.C2F3})
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", b.Name, err)
+			return Fig8Row{}, fmt.Errorf("%s: %w", b.Name, err)
 		}
 		row.LB = countMainArrays(base, b.Rank)
 		row.LA = countMainArrays(opt, b.Rank)
@@ -61,11 +62,11 @@ func RunFig8() ([]Fig8Row, error) {
 
 		row.MaxWithout, err = maxProblemSize(b, core.Baseline)
 		if err != nil {
-			return nil, err
+			return Fig8Row{}, err
 		}
 		row.MaxWith, err = maxProblemSize(b, core.C2F3)
 		if err != nil {
-			return nil, err
+			return Fig8Row{}, err
 		}
 		if row.MaxWithout > 0 {
 			d := float64(row.MaxWith)/float64(row.MaxWithout) - 1
@@ -76,9 +77,8 @@ func RunFig8() ([]Fig8Row, error) {
 			}
 			row.VolPct = 100 * (vol - 1)
 		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 // countMainArrays counts allocated (non-contracted) arrays of the

@@ -72,7 +72,18 @@ func RunPerfStudy(opt StudyOptions) (*PerfResult, error) {
 		factor = 1
 	}
 
-	res := &PerfResult{}
+	// Flatten the study into independent (benchmark, procs, level)
+	// measurements, run them on the worker pool, then assemble the
+	// ladder in the original order — improvements are computed after
+	// the fact from each (benchmark, procs) group's baseline point, so
+	// the result is identical to the sequential traversal.
+	type task struct {
+		bench programs.Benchmark
+		cfg   map[string]int64
+		procs int
+		level core.Level
+	}
+	var tasks []task
 	for _, b := range benches {
 		size := int64(float64(b.DefaultSize) * factor)
 		if size < 8 {
@@ -80,33 +91,46 @@ func RunPerfStudy(opt StudyOptions) (*PerfResult, error) {
 		}
 		cfg := map[string]int64{b.SizeConfig: size}
 		for _, p := range procs {
-			baseline := map[string]float64{}
 			for _, lvl := range levels {
-				co := comm.DefaultOptions(p)
-				meas, err := Measure(b.Source, driver.Options{
-					Level: lvl, Configs: cfg, Comm: &co,
-				}, p)
-				if err != nil {
-					return nil, fmt.Errorf("%s p=%d %v: %w", b.Name, p, lvl, err)
-				}
-				if lvl == core.Baseline {
-					for m, c := range meas.Cycles {
-						baseline[m] = c
-					}
-				}
-				pt := PerfPoint{
-					Benchmark:   b.Name,
-					Procs:       p,
-					Level:       lvl,
-					Improvement: map[string]float64{},
-					Cycles:      meas.Cycles,
-				}
-				for m, c := range meas.Cycles {
-					pt.Improvement[m] = Improvement(baseline[m], c)
-				}
-				res.Points = append(res.Points, pt)
+				tasks = append(tasks, task{bench: b, cfg: cfg, procs: p, level: lvl})
 			}
 		}
+	}
+
+	meas, err := parallelMap(tasks, func(_ int, t task) (*Measurement, error) {
+		co := comm.DefaultOptions(t.procs)
+		m, err := Measure(t.bench.Source, driver.Options{
+			Level: t.level, Configs: t.cfg, Comm: &co,
+		}, t.procs)
+		if err != nil {
+			return nil, fmt.Errorf("%s p=%d %v: %w", t.bench.Name, t.procs, t.level, err)
+		}
+		return m, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &PerfResult{}
+	baselines := map[string]map[string]float64{}
+	for i, t := range tasks {
+		if t.level == core.Baseline {
+			baselines[fmt.Sprintf("%s/%d", t.bench.Name, t.procs)] = meas[i].Cycles
+		}
+	}
+	for i, t := range tasks {
+		baseline := baselines[fmt.Sprintf("%s/%d", t.bench.Name, t.procs)]
+		pt := PerfPoint{
+			Benchmark:   t.bench.Name,
+			Procs:       t.procs,
+			Level:       t.level,
+			Improvement: map[string]float64{},
+			Cycles:      meas[i].Cycles,
+		}
+		for m, c := range meas[i].Cycles {
+			pt.Improvement[m] = Improvement(baseline[m], c)
+		}
+		res.Points = append(res.Points, pt)
 	}
 	return res, nil
 }

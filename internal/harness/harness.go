@@ -7,6 +7,7 @@ package harness
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/air"
 	"repro/internal/core"
@@ -50,33 +51,114 @@ type Measurement struct {
 }
 
 // multiTracer fans one VM trace out to several machine cost models,
-// so a single execution prices all three paper machines.
+// so a single execution prices all three paper machines. Each model's
+// cache simulation runs on its own goroutine (CostTracer is
+// single-goroutine state — see the machine package); the VM thread
+// only appends events to a batch and hands full batches to every
+// model's channel. Batches are written once and then only read, so
+// sharing one slice across the replay goroutines is safe.
 type multiTracer struct {
-	ts []*machine.CostTracer
+	ts    []*machine.CostTracer
+	chs   []chan []traceEvent
+	wg    sync.WaitGroup
+	batch []traceEvent
+}
+
+// traceEvent is one recorded Tracer callback. n doubles as the address
+// for accesses and the count for flops.
+type traceEvent struct {
+	kind      uint8
+	write     bool
+	piggyback bool
+	n         int64
+	elems     int
+	msgID     int
+	phase     air.CommPhase
+	array     string
+	off       air.Offset
+}
+
+const (
+	evAccess = iota
+	evFlops
+	evComm
+	evReduce
+)
+
+// traceBatch is the fan-out granularity: large enough to amortize the
+// channel handoff over the per-event simulation cost, small enough to
+// keep the replay goroutines busy during the run.
+const traceBatch = 4096
+
+func newMultiTracer(ts []*machine.CostTracer) *multiTracer {
+	m := &multiTracer{ts: ts, chs: make([]chan []traceEvent, len(ts))}
+	for i, t := range ts {
+		ch := make(chan []traceEvent, 4)
+		m.chs[i] = ch
+		m.wg.Add(1)
+		go func(t *machine.CostTracer, ch chan []traceEvent) {
+			defer m.wg.Done()
+			for batch := range ch {
+				for _, e := range batch {
+					switch e.kind {
+					case evAccess:
+						t.Access(e.n, e.write)
+					case evFlops:
+						t.Flops(e.n)
+					case evComm:
+						t.Comm(e.array, e.off, e.elems, e.phase, e.msgID, e.piggyback)
+					case evReduce:
+						t.Reduce()
+					}
+				}
+			}
+		}(t, ch)
+	}
+	return m
+}
+
+func (m *multiTracer) emit(e traceEvent) {
+	m.batch = append(m.batch, e)
+	if len(m.batch) >= traceBatch {
+		m.flush()
+	}
+}
+
+func (m *multiTracer) flush() {
+	if len(m.batch) == 0 {
+		return
+	}
+	b := m.batch
+	m.batch = make([]traceEvent, 0, traceBatch)
+	for _, ch := range m.chs {
+		ch <- b
+	}
+}
+
+// drain flushes the tail batch and waits for every model to finish
+// replaying. The tracers must not be read before drain returns.
+func (m *multiTracer) drain() {
+	m.flush()
+	for _, ch := range m.chs {
+		close(ch)
+	}
+	m.wg.Wait()
 }
 
 func (m *multiTracer) Access(addr int64, write bool) {
-	for _, t := range m.ts {
-		t.Access(addr, write)
-	}
+	m.emit(traceEvent{kind: evAccess, n: addr, write: write})
 }
 
 func (m *multiTracer) Flops(n int64) {
-	for _, t := range m.ts {
-		t.Flops(n)
-	}
+	m.emit(traceEvent{kind: evFlops, n: n})
 }
 
 func (m *multiTracer) Comm(array string, off air.Offset, elems int, phase air.CommPhase, msgID int, piggyback bool) {
-	for _, t := range m.ts {
-		t.Comm(array, off, elems, phase, msgID, piggyback)
-	}
+	m.emit(traceEvent{kind: evComm, array: array, off: off, elems: elems, phase: phase, msgID: msgID, piggyback: piggyback})
 }
 
 func (m *multiTracer) Reduce() {
-	for _, t := range m.ts {
-		t.Reduce()
-	}
+	m.emit(traceEvent{kind: evReduce})
 }
 
 // Measure compiles src with the given options and executes it once,
@@ -87,11 +169,13 @@ func Measure(src string, opt driver.Options, procs int) (*Measurement, error) {
 		return nil, err
 	}
 	models := machine.Models()
-	mt := &multiTracer{}
-	for _, mdl := range models {
-		mt.ts = append(mt.ts, machine.NewCostTracer(mdl, procs))
+	ts := make([]*machine.CostTracer, len(models))
+	for i, mdl := range models {
+		ts[i] = machine.NewCostTracer(mdl, procs)
 	}
+	mt := newMultiTracer(ts)
 	mach, _, err := vm.Run(c.LIR, vm.Options{Tracer: mt})
+	mt.drain()
 	if err != nil {
 		return nil, err
 	}

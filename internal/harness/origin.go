@@ -44,23 +44,24 @@ func RunLatencySensitivity(bench string, procs int, alphas []float64) ([]Latency
 		return nil, err
 	}
 
-	var out []LatencyPoint
-	for _, alpha := range alphas {
+	// Each α point replays both compilations on fresh tracers; the
+	// points share only the (immutable) compilations, so the sweep
+	// runs on the worker pool.
+	return parallelMap(alphas, func(_ int, alpha float64) (LatencyPoint, error) {
 		model := machine.Origin().WithCommAlpha(alpha)
 		fuse := machine.NewCostTracer(model, procs)
 		if _, _, err := vm.Run(cf.LIR, vm.Options{Tracer: fuse}); err != nil {
-			return nil, err
+			return LatencyPoint{}, err
 		}
 		commT := machine.NewCostTracer(model, procs)
 		if _, _, err := vm.Run(cc.LIR, vm.Options{Tracer: commT}); err != nil {
-			return nil, err
+			return LatencyPoint{}, err
 		}
-		out = append(out, LatencyPoint{
+		return LatencyPoint{
 			Alpha:    alpha,
 			Slowdown: (commT.Cycles/fuse.Cycles - 1) * 100,
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // FormatLatency renders the sensitivity sweep.

@@ -1,0 +1,71 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// jobsN is the configured worker-pool width; 0 means runtime.NumCPU().
+var jobsN atomic.Int32
+
+// SetJobs sets the number of measurements the harness runs
+// concurrently. n < 1 restores the default (the machine's CPU count).
+func SetJobs(n int) {
+	if n < 1 {
+		n = 0
+	}
+	jobsN.Store(int32(n))
+}
+
+// Jobs reports the effective worker-pool width.
+func Jobs() int {
+	if n := int(jobsN.Load()); n > 0 {
+		return n
+	}
+	return runtime.NumCPU()
+}
+
+// parallelMap applies f to every item on a pool of Jobs() workers and
+// returns the results in input order. Each Measure is independent — a
+// compilation plus an emulated execution sharing no mutable state —
+// which is what makes this safe. All items run to completion even when
+// some fail; the error reported is the first failing item's in input
+// order, so results and diagnostics are deterministic regardless of
+// scheduling.
+func parallelMap[T, R any](items []T, f func(int, T) (R, error)) ([]R, error) {
+	out := make([]R, len(items))
+	errs := make([]error, len(items))
+	workers := Jobs()
+	if workers > len(items) {
+		workers = len(items)
+	}
+	if workers <= 1 {
+		for i, it := range items {
+			out[i], errs[i] = f(i, it)
+		}
+	} else {
+		idxs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idxs {
+					out[i], errs[i] = f(i, items[i])
+				}
+			}()
+		}
+		for i := range items {
+			idxs <- i
+		}
+		close(idxs)
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}

@@ -30,8 +30,9 @@ func RunSec55(procs int, sizeFactor float64) ([]Sec55Row, error) {
 	if sizeFactor == 0 {
 		sizeFactor = 1
 	}
-	var rows []Sec55Row
-	for _, name := range Sec55Benchmarks {
+	// Each benchmark's pair of strategy measurements is independent;
+	// run them on the worker pool.
+	rows, err := parallelMap(Sec55Benchmarks, func(_ int, name string) (Sec55Row, error) {
 		b, _ := programs.ByName(name)
 		cfg := map[string]int64{b.SizeConfig: int64(float64(b.DefaultSize) * sizeFactor)}
 
@@ -39,24 +40,24 @@ func RunSec55(procs int, sizeFactor float64) ([]Sec55Row, error) {
 		fuse.Strategy = comm.FavorFusion
 		fm, err := Measure(b.Source, driver.Options{Level: core.C2F3, Configs: cfg, Comm: &fuse}, procs)
 		if err != nil {
-			return nil, fmt.Errorf("%s favor-fusion: %w", name, err)
+			return Sec55Row{}, fmt.Errorf("%s favor-fusion: %w", name, err)
 		}
 
 		cm := comm.DefaultOptions(procs)
 		cm.Strategy = comm.FavorComm
 		cc, err := driver.Compile(b.Source, driver.Options{Level: core.C2F3, Configs: cfg, Comm: &cm})
 		if err != nil {
-			return nil, fmt.Errorf("%s favor-comm: %w", name, err)
+			return Sec55Row{}, fmt.Errorf("%s favor-comm: %w", name, err)
 		}
 		cmMeas, err := Measure(b.Source, driver.Options{Level: core.C2F3, Configs: cfg, Comm: &cm}, procs)
 		if err != nil {
-			return nil, fmt.Errorf("%s favor-comm: %w", name, err)
+			return Sec55Row{}, fmt.Errorf("%s favor-comm: %w", name, err)
 		}
 
 		// Count the contraction opportunities favor-comm disables.
 		ff, err := driver.Compile(b.Source, driver.Options{Level: core.C2F3, Configs: cfg, Comm: &fuse})
 		if err != nil {
-			return nil, err
+			return Sec55Row{}, err
 		}
 		lost := len(ff.Plan.Contracted) - len(cc.Plan.Contracted)
 
@@ -67,7 +68,10 @@ func RunSec55(procs int, sizeFactor float64) ([]Sec55Row, error) {
 				row.Slowdown[m.Name] = (cmMeas.Cycles[m.Name]/base - 1) * 100
 			}
 		}
-		rows = append(rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

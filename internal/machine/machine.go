@@ -125,6 +125,13 @@ func (m Model) WithCommAlpha(alpha float64) Model {
 }
 
 // CostTracer implements vm.Tracer, accumulating modeled cycles.
+//
+// Concurrency contract: a CostTracer is single-goroutine state — the
+// cache hierarchy and the cycle accumulators are mutated on every
+// callback with no internal locking. Drive each tracer from exactly
+// one goroutine and read its results only after that goroutine is
+// done. (The harness's concurrent fan-out honors this by giving every
+// model its own tracer and its own replay goroutine.)
 type CostTracer struct {
 	Model Model
 	Procs int // processor count; 1 disables communication cost

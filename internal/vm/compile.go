@@ -38,7 +38,9 @@ func (m *Machine) compileNode(n lir.Node) (execFn, error) {
 			return nil, err
 		}
 		return func(m *Machine) signal {
-			m.step()
+			if !m.step() {
+				return sigFault
+			}
 			if m.tracer != nil && flops > 0 {
 				m.tracer.Flops(flops)
 			}
@@ -58,10 +60,12 @@ func (m *Machine) compileNode(n lir.Node) (execFn, error) {
 		}
 		return func(m *Machine) signal {
 			for truthy(cond(m)) {
-				m.step()
+				if !m.step() {
+					return sigFault
+				}
 				for _, fn := range body {
-					if fn(m) == sigReturn {
-						return sigReturn
+					if s := fn(m); s != sigNext {
+						return s
 					}
 				}
 			}
@@ -81,14 +85,16 @@ func (m *Machine) compileNode(n lir.Node) (execFn, error) {
 			return nil, err
 		}
 		return func(m *Machine) signal {
-			m.step()
+			if !m.step() {
+				return sigFault
+			}
 			branch := els
 			if truthy(cond(m)) {
 				branch = then
 			}
 			for _, fn := range branch {
-				if fn(m) == sigReturn {
-					return sigReturn
+				if s := fn(m); s != sigNext {
+					return s
 				}
 			}
 			return sigNext
@@ -101,7 +107,12 @@ func (m *Machine) compileNode(n lir.Node) (execFn, error) {
 		return m.compileCall(x)
 	case *lir.Return:
 		if x.Value == nil {
-			return func(m *Machine) signal { m.step(); return sigReturn }, nil
+			return func(m *Machine) signal {
+				if !m.step() {
+					return sigFault
+				}
+				return sigReturn
+			}, nil
 		}
 		val, _, err := m.compileExpr(x.Value)
 		if err != nil {
@@ -112,7 +123,9 @@ func (m *Machine) compileNode(n lir.Node) (execFn, error) {
 		}
 		slot := m.curResult
 		return func(m *Machine) signal {
-			m.step()
+			if !m.step() {
+				return sigFault
+			}
 			m.slots[slot] = val(m)
 			return sigReturn
 		}, nil
@@ -145,21 +158,25 @@ func (m *Machine) compileLoop(x *lir.Loop) (execFn, error) {
 		b := int64(hi(m))
 		if down {
 			for v := a; v >= b; v-- {
-				m.step()
+				if !m.step() {
+					return sigFault
+				}
 				m.slots[slot] = float64(v)
 				for _, fn := range body {
-					if fn(m) == sigReturn {
-						return sigReturn
+					if s := fn(m); s != sigNext {
+						return s
 					}
 				}
 			}
 		} else {
 			for v := a; v <= b; v++ {
-				m.step()
+				if !m.step() {
+					return sigFault
+				}
 				m.slots[slot] = float64(v)
 				for _, fn := range body {
-					if fn(m) == sigReturn {
-						return sigReturn
+					if s := fn(m); s != sigNext {
+						return s
 					}
 				}
 			}
@@ -194,7 +211,9 @@ func (m *Machine) compileCall(x *lir.Call) (execFn, error) {
 	}
 	params := cp.params
 	return func(m *Machine) signal {
-		m.step()
+		if !m.step() {
+			return sigFault
+		}
 		// Evaluate args before binding (no aliasing of param slots by
 		// the caller since recursion is rejected at lowering).
 		vals := make([]float64, len(args))
@@ -205,7 +224,11 @@ func (m *Machine) compileCall(x *lir.Call) (execFn, error) {
 			m.slots[slot] = vals[i]
 		}
 		for _, fn := range cp.body {
-			if fn(m) == sigReturn {
+			s := fn(m)
+			if s == sigFault {
+				return sigFault
+			}
+			if s == sigReturn {
 				break
 			}
 		}
@@ -234,7 +257,9 @@ func (m *Machine) compileWriteln(x *lir.Writeln) (execFn, error) {
 		}
 	}
 	return func(m *Machine) signal {
-		m.step()
+		if !m.step() {
+			return sigFault
+		}
 		if m.out == nil {
 			return sigNext
 		}
@@ -261,7 +286,9 @@ func (m *Machine) compileComm(x *lir.Comm) (execFn, error) {
 	arr, off, phase := x.Array, x.Off.Clone(), x.Phase
 	msgID, piggy := x.MsgID, x.Piggyback
 	return func(m *Machine) signal {
-		m.step()
+		if !m.step() {
+			return sigFault
+		}
 		if m.tracer != nil {
 			m.tracer.Comm(arr, off, elems, phase, msgID, piggy)
 		}
@@ -321,7 +348,7 @@ func (m *Machine) compilePartialReduce(x *lir.PartialReduce) (execFn, error) {
 	return func(m *Machine) signal {
 		m.steps += elems
 		if m.steps > m.max {
-			panic(fmt.Sprintf("execution budget exceeded (%d steps)", m.max))
+			return m.budgetFault()
 		}
 		// Initialize the destination slab.
 		var init func(k int)
@@ -504,7 +531,7 @@ func (m *Machine) compileNest(x *lir.Nest) (execFn, error) {
 	return func(m *Machine) signal {
 		m.steps += elemSteps
 		if m.steps > m.max {
-			panic(fmt.Sprintf("execution budget exceeded (%d steps)", m.max))
+			return m.budgetFault()
 		}
 		for i := range stmts {
 			if stmts[i].init != nil {

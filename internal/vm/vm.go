@@ -58,6 +58,7 @@ type Machine struct {
 	tracer Tracer
 	steps  int64
 	max    int64
+	fault  error // set when a sigFault is raised (budget exhaustion)
 
 	// idx holds the current loop-nest indices (absolute region
 	// coordinates) while a Nest executes.
@@ -88,6 +89,11 @@ type signal int
 const (
 	sigNext signal = iota
 	sigReturn
+	// sigFault aborts execution; the fault cause is in Machine.fault.
+	// Budget exhaustion uses this explicit path rather than panic so
+	// that execution can safely span goroutines (a panic in a worker
+	// goroutine would kill the whole process).
+	sigFault
 )
 
 type execFn func(m *Machine) signal
@@ -205,7 +211,9 @@ func Run(p *lir.Program, opt Options) (*Machine, *Result, error) {
 	return m, res, err
 }
 
-// Run executes the compiled main procedure.
+// Run executes the compiled main procedure. Budget exhaustion is
+// reported as an ordinary error; the recover only guards against
+// genuine runtime faults in compiled closures.
 func (m *Machine) Run() (res *Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -213,9 +221,12 @@ func (m *Machine) Run() (res *Result, err error) {
 		}
 	}()
 	for _, fn := range m.procs["main"].body {
-		if fn(m) == sigReturn {
+		if fn(m) != sigNext {
 			break
 		}
+	}
+	if m.fault != nil {
+		return nil, m.fault
 	}
 	return &Result{Steps: m.steps}, nil
 }
@@ -264,11 +275,23 @@ func (m *Machine) MemoryFootprint() int64 {
 	return n
 }
 
-func (m *Machine) step() {
+// step charges one statement execution; false means the budget is
+// exhausted and the caller must unwind with sigFault.
+func (m *Machine) step() bool {
 	m.steps++
 	if m.steps > m.max {
-		panic(fmt.Sprintf("execution budget exceeded (%d steps)", m.max))
+		m.budgetFault()
+		return false
 	}
+	return true
+}
+
+// budgetFault records budget exhaustion and returns sigFault.
+func (m *Machine) budgetFault() signal {
+	if m.fault == nil {
+		m.fault = fmt.Errorf("vm: execution budget exceeded (%d steps)", m.max)
+	}
+	return sigFault
 }
 
 func truthy(v float64) bool { return v != 0 }
