@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race ci experiments
+.PHONY: all build test vet race check ci experiments
 
 all: build test
 
@@ -19,7 +19,15 @@ vet:
 race:
 	$(GO) test -race ./...
 
-ci: vet test race
+# Static verification: zplcheck independently re-proves every
+# optimizer claim (ASDG edges, fusion legality, contraction safety,
+# comm schedule) over the testdata programs and the built-in
+# benchmarks, sequential and distributed, at every level.
+check: build
+	$(GO) run ./cmd/zplcheck -O baseline,c1,c2,c2+f3 -p 4 testdata/*.za
+	$(GO) run ./cmd/zplcheck -bench all -O all -p 4
+
+ci: vet test race check
 
 experiments:
 	$(GO) run ./cmd/experiments

@@ -58,7 +58,7 @@ func buildTools(t *testing.T) string {
 			return
 		}
 		binDir = dir
-		for _, tool := range []string{"zplc", "zplrun", "experiments"} {
+		for _, tool := range []string{"zplc", "zplrun", "zplcheck", "experiments"} {
 			cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "./cmd/"+tool)
 			var errb bytes.Buffer
 			cmd.Stderr = &errb
@@ -290,6 +290,81 @@ func TestZplrunPartialReductions(t *testing.T) {
 	// column max = 80+j, total = 8*80 + 36 = 676.
 	if !strings.Contains(out, "3168") || !strings.Contains(out, "676") {
 		t.Errorf("partial reduction totals wrong: %q", out)
+	}
+}
+
+// TestZplcCheckFlag: a clean program must still compile (exit 0) when
+// the inline verifier runs between every phase, sequential and
+// distributed.
+func TestZplcCheckFlag(t *testing.T) {
+	out, _, err := runTool(t, "zplc", "-check", "-O", "c2+f3", "testdata/heat.za")
+	if err != nil {
+		t.Fatalf("-check rejected a clean program: %v", err)
+	}
+	if !strings.Contains(out, "program heat") {
+		t.Errorf("plan output missing under -check:\n%s", out)
+	}
+	if _, _, err := runTool(t, "zplc", "-check", "-p", "4", "-O", "c2+f3", "testdata/heat.za"); err != nil {
+		t.Errorf("-check -p 4 rejected a clean program: %v", err)
+	}
+	if _, _, err := runTool(t, "zplrun", "-check", "-O", "c2+f3", "testdata/heat.za"); err != nil {
+		t.Errorf("zplrun -check rejected a clean program: %v", err)
+	}
+}
+
+// TestZplcCheckFault: each verifier pass must catch its seeded bug and
+// drive the nonzero exit path with a diagnostic naming the pass.
+func TestZplcCheckFault(t *testing.T) {
+	passes := []string{
+		"air-wellformed", "asdg-crosscheck", "fusion-legality",
+		"contraction-safety", "comm-schedule",
+	}
+	for _, pass := range passes {
+		_, stderr, err := runTool(t, "zplc", "-O", "c2", "-checkfault", pass, "testdata/fig2.za")
+		if err == nil {
+			t.Errorf("-checkfault %s exited 0", pass)
+		}
+		if !strings.Contains(stderr, "["+pass+"]") {
+			t.Errorf("-checkfault %s diagnostic does not name the pass:\n%s", pass, stderr)
+		}
+	}
+	// The distributed comm fault drops a real receive.
+	_, stderr, err := runTool(t, "zplc", "-p", "4", "-O", "c2+f3",
+		"-checkfault", "comm-schedule", "testdata/heat.za")
+	if err == nil {
+		t.Error("distributed -checkfault comm-schedule exited 0")
+	}
+	if !strings.Contains(stderr, "halo") {
+		t.Errorf("dropped receive not reported as a halo gap:\n%s", stderr)
+	}
+	// Unknown pass names are usage errors, not silent no-ops.
+	if _, _, err := runTool(t, "zplc", "-checkfault", "bogus", "testdata/fig2.za"); err == nil {
+		t.Error("-checkfault bogus accepted")
+	}
+}
+
+// TestZplcheckCLI: the standalone verifier over the testdata corpus.
+func TestZplcheckCLI(t *testing.T) {
+	files, err := filepath.Glob("testdata/*.za")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no testdata: %v", err)
+	}
+	out, _, err := runTool(t, "zplcheck", files...)
+	if err != nil {
+		t.Fatalf("zplcheck found problems in testdata:\n%s", out)
+	}
+	if !strings.Contains(out, "0 with findings") {
+		t.Errorf("summary missing:\n%s", out)
+	}
+	out, _, err = runTool(t, "zplcheck", "-bench", "all", "-O", "all", "-p", "4")
+	if err != nil {
+		t.Fatalf("zplcheck found problems in the benchmarks:\n%s", out)
+	}
+	if _, _, err := runTool(t, "zplcheck", "-bench", "bogus"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if _, _, err := runTool(t, "zplcheck"); err == nil {
+		t.Error("no inputs accepted")
 	}
 }
 

@@ -12,6 +12,13 @@
 //	-config k=v   override a config constant (repeatable)
 //	-p n          compile for n processors (inserts communication)
 //	-comm strat   favor-fusion | favor-comm (with -p > 1)
+//	-check        run the static verifier (zplcheck's passes) between
+//	              pipeline phases; any finding fails the compilation
+//	-checkfault p verifier self-test: compile, inject a known bug
+//	              aimed at pass p (air-wellformed, asdg-crosscheck,
+//	              fusion-legality, contraction-safety, comm-schedule),
+//	              and exit nonzero when — and only when — the pass
+//	              catches it
 package main
 
 import (
@@ -23,8 +30,10 @@ import (
 
 	"repro/internal/air"
 	"repro/internal/ast"
+	"repro/internal/check"
 	"repro/internal/comm"
 	"repro/internal/core"
+	"repro/internal/dep"
 	"repro/internal/driver"
 	"repro/internal/gogen"
 	"repro/internal/lir"
@@ -55,6 +64,8 @@ func main() {
 	procs := flag.Int("p", 1, "processor count (inserts communication when > 1)")
 	scalarRep := flag.Bool("scalarrep", false, "install scalar replacement in the loop nests")
 	strat := flag.String("comm", "favor-fusion", "communication strategy: favor-fusion | favor-comm")
+	runCheck := flag.Bool("check", false, "run the static verifier between pipeline phases")
+	checkFault := flag.String("checkfault", "", "inject a seeded bug and require the named verifier pass to catch it")
 	configs := configFlags{}
 	flag.Var(configs, "config", "override a config constant, key=value (repeatable)")
 	flag.Parse()
@@ -85,7 +96,7 @@ func main() {
 		return
 	}
 
-	opt := driver.Options{Level: lvl, Configs: configs, ScalarReplace: *scalarRep}
+	opt := driver.Options{Level: lvl, Configs: configs, ScalarReplace: *scalarRep, Check: *runCheck}
 	if *procs > 1 {
 		co := comm.DefaultOptions(*procs)
 		if *strat == "favor-comm" {
@@ -96,6 +107,11 @@ func main() {
 	c, err := driver.Compile(string(src), opt)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *checkFault != "" {
+		selfTest(c, *checkFault)
+		return
 	}
 
 	switch *emit {
@@ -152,6 +168,162 @@ func printPlan(c *driver.Compilation) {
 		fmt.Printf("\ncommunication: %d inserted, %d eliminated, %d combined, %d pipelined\n",
 			c.Comm.Inserted, c.Comm.Eliminated, c.Comm.Combined, c.Comm.Pipelined)
 	}
+}
+
+// selfTest injects a deterministic bug into the compilation aimed at
+// one verifier pass, then requires that pass to report it. Exit 1 with
+// the diagnostics when the fault is caught (the expected outcome for
+// driving the failure path in tests), exit 3 when the verifier missed
+// the fault (a verifier bug), exit 2 when the program offers no fault
+// site for the pass.
+func selfTest(c *driver.Compilation, pass string) {
+	var reps []check.Report
+	seeded := true
+	switch pass {
+	case check.PassAIR:
+		seeded = faultAIR(c)
+		reps = check.AIRWellFormed(c.AIR)
+	case check.PassASDG:
+		seeded = faultASDG(c)
+		reps = check.ASDGCrossCheck(c.AIR, c.Plan)
+	case check.PassFusion:
+		seeded = faultFusion(c)
+		reps = check.FusionLegality(c.AIR, c.Plan)
+	case check.PassContraction:
+		seeded = faultContraction(c)
+		reps = check.ContractionSafety(c.AIR, c.Plan)
+	case check.PassComm:
+		seeded = faultComm(c)
+		reps = check.CommSchedule(c.AIR, c.LIR, c.Comm != nil)
+	default:
+		fatal(fmt.Errorf("-checkfault: unknown pass %q (want %s, %s, %s, %s, or %s)",
+			pass, check.PassAIR, check.PassASDG, check.PassFusion,
+			check.PassContraction, check.PassComm))
+	}
+	if !seeded {
+		fmt.Fprintf(os.Stderr, "zplc: -checkfault %s: program offers no fault site for this pass\n", pass)
+		os.Exit(2)
+	}
+	if len(reps) == 0 {
+		fmt.Fprintf(os.Stderr, "zplc: -checkfault %s: injected fault was NOT detected (verifier bug)\n", pass)
+		os.Exit(3)
+	}
+	fmt.Fprintf(os.Stderr, "zplc: -checkfault %s: fault detected, %d report(s):\n", pass, len(reps))
+	for _, r := range reps {
+		fmt.Fprintf(os.Stderr, "  %s\n", r)
+	}
+	os.Exit(1)
+}
+
+// faultAIR renames the first array statement's target to an
+// undeclared name.
+func faultAIR(c *driver.Compilation) bool {
+	for _, b := range c.AIR.AllBlocks() {
+		for _, s := range b.Stmts {
+			if x, ok := s.(*air.ArrayStmt); ok {
+				x.LHS = "zplfault$undeclared"
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// faultASDG perturbs one unconstrained distance vector in the
+// optimizer's dependence graph.
+func faultASDG(c *driver.Compilation) bool {
+	for _, bp := range c.Plan.Blocks {
+		if bp.Graph == nil {
+			continue
+		}
+		for ei := range bp.Graph.Edges {
+			for ii := range bp.Graph.Edges[ei].Items {
+				it := &bp.Graph.Edges[ei].Items[ii]
+				if it.Vector && len(it.U) > 0 {
+					it.U[0] += 2
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// faultFusion merges two clusters joined by a non-null flow
+// dependence — exactly the fusion the optimizer must never perform.
+func faultFusion(c *driver.Compilation) bool {
+	for _, bp := range c.Plan.Blocks {
+		if bp.Graph == nil || bp.Part == nil {
+			continue
+		}
+		for _, e := range bp.Graph.Edges {
+			for _, it := range e.Items {
+				if it.Vector && it.Kind == dep.Flow && !it.U.IsZero() &&
+					bp.Graph.IsFusible(e.From) && bp.Graph.IsFusible(e.To) {
+					bp.Part.MergeSet(map[int]bool{
+						bp.Part.ClusterOf(e.From): true,
+						bp.Part.ClusterOf(e.To):   true,
+					})
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// faultContraction claims a contraction the plan never performed: the
+// bookkeeping cross-check must notice the plan/blocks disagreement
+// (and the audit usually also finds the live range escaping).
+func faultContraction(c *driver.Compilation) bool {
+	for _, b := range c.AIR.AllBlocks() {
+		for _, s := range b.Stmts {
+			if x, ok := s.(*air.ArrayStmt); ok && !c.Plan.Contracted[x.LHS] {
+				c.Plan.Contracted[x.LHS] = true
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// faultComm drops the first receive from a distributed program, or
+// injects a stray exchange into a sequential one.
+func faultComm(c *driver.Compilation) bool {
+	if c.Comm == nil {
+		for _, p := range c.LIR.Procs {
+			p.Body = append(p.Body, &lir.Comm{Array: "zplfault", Off: air.Offset{1}})
+			return true
+		}
+		return false
+	}
+	dropped := false
+	var drop func(nodes []lir.Node) []lir.Node
+	drop = func(nodes []lir.Node) []lir.Node {
+		var out []lir.Node
+		for _, nd := range nodes {
+			switch x := nd.(type) {
+			case *lir.Comm:
+				if !dropped && x.Phase == air.CommRecv {
+					dropped = true
+					continue
+				}
+			case *lir.Loop:
+				x.Body = drop(x.Body)
+			case *lir.While:
+				x.Body = drop(x.Body)
+			case *lir.If:
+				x.Then = drop(x.Then)
+				x.Else = drop(x.Else)
+			}
+			out = append(out, nd)
+		}
+		return out
+	}
+	for _, p := range c.LIR.Procs {
+		p.Body = drop(p.Body)
+	}
+	return dropped
 }
 
 func fatal(err error) {

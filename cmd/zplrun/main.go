@@ -17,6 +17,8 @@
 //	-bench name   run a built-in benchmark instead of a file:
 //	              ep, frac, sp, tomcatv, simple, fibro
 //	              (rejected together with a positional file argument)
+//	-check        run the static verifier between pipeline phases;
+//	              any finding aborts before execution
 package main
 
 import (
@@ -58,6 +60,7 @@ func main() {
 	distributed := flag.Bool("dist", false, "run on the distributed interpreter")
 	mach := flag.String("machine", "", "machine model: t3e | sp2 | paragon")
 	bench := flag.String("bench", "", "built-in benchmark name")
+	runCheck := flag.Bool("check", false, "run the static verifier between pipeline phases")
 	configs := configFlags{}
 	flag.Var(configs, "config", "override a config constant, key=value")
 	flag.Parse()
@@ -90,7 +93,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opt := driver.Options{Level: lvl, Configs: configs}
+	opt := driver.Options{Level: lvl, Configs: configs, Check: *runCheck}
 	if *procs > 1 {
 		co := comm.DefaultOptions(*procs)
 		opt.Comm = &co

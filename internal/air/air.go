@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/ast"
 	"repro/internal/sema"
+	"repro/internal/source"
 )
 
 // Offset is a constant offset vector: the d of A@d.
@@ -252,6 +253,7 @@ type ArrayStmt struct {
 	Region *sema.Region
 	LHS    string
 	RHS    Expr
+	Pos    source.Pos // source position of the originating statement
 }
 
 // Reads returns the array references on the right-hand side.
@@ -265,6 +267,7 @@ func (s *ArrayStmt) String() string {
 type ScalarStmt struct {
 	LHS string
 	RHS Expr
+	Pos source.Pos
 }
 
 func (s *ScalarStmt) String() string { return s.LHS + " := " + s.RHS.String() + ";" }
@@ -316,6 +319,7 @@ type ReduceStmt struct {
 	Op     ReduceOp
 	Region *sema.Region
 	Body   Expr
+	Pos    source.Pos
 }
 
 func (s *ReduceStmt) String() string {
@@ -333,6 +337,7 @@ type PartialReduceStmt struct {
 	Op     ReduceOp
 	Region *sema.Region // source iteration region
 	Body   Expr
+	Pos    source.Pos
 }
 
 func (s *PartialReduceStmt) String() string {
@@ -355,6 +360,8 @@ type CommStmt struct {
 	// Piggyback marks a message combined onto its predecessor: it
 	// pays bandwidth but not startup cost.
 	Piggyback bool
+	// Pos is the source position of the consuming statement.
+	Pos source.Pos
 }
 
 // CommPhase identifies whole or split (pipelined) communications.
@@ -384,6 +391,7 @@ func (s *CommStmt) String() string {
 // WritelnStmt prints scalar values and string literals.
 type WritelnStmt struct {
 	Args []WriteArg
+	Pos  source.Pos
 }
 
 // WriteArg is one writeln argument: a literal string or a scalar expr.
@@ -425,6 +433,7 @@ type CallStmt struct {
 	// Effects is the callee's transitive side-effect summary; nil
 	// means unknown (the call acts as a full barrier).
 	Effects *ProcEffects
+	Pos     source.Pos
 }
 
 func (s *CallStmt) String() string {
@@ -442,6 +451,7 @@ func (s *CallStmt) String() string {
 // ReturnStmt returns from the enclosing procedure.
 type ReturnStmt struct {
 	Value Expr // nil for plain return
+	Pos   source.Pos
 }
 
 func (s *ReturnStmt) String() string {
@@ -459,6 +469,30 @@ func (*CommStmt) stmtNode()          {}
 func (*WritelnStmt) stmtNode()       {}
 func (*CallStmt) stmtNode()          {}
 func (*ReturnStmt) stmtNode()        {}
+
+// PosOf returns the source position recorded on a statement by
+// lowering, or the zero Pos for statements that never had one.
+func PosOf(s Stmt) source.Pos {
+	switch x := s.(type) {
+	case *ArrayStmt:
+		return x.Pos
+	case *ScalarStmt:
+		return x.Pos
+	case *ReduceStmt:
+		return x.Pos
+	case *PartialReduceStmt:
+		return x.Pos
+	case *CommStmt:
+		return x.Pos
+	case *WritelnStmt:
+		return x.Pos
+	case *CallStmt:
+		return x.Pos
+	case *ReturnStmt:
+		return x.Pos
+	}
+	return source.Pos{}
+}
 
 // ---------------------------------------------------------------------------
 // Control structure

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/air"
+	"repro/internal/dep"
 	"repro/internal/sema"
 )
 
@@ -136,5 +137,87 @@ func TestString(t *testing.T) {
 		if !strings.Contains(s, want) {
 			t.Errorf("String() missing %q:\n%s", want, s)
 		}
+	}
+}
+
+// TestSelfEdges: a statement reading its own target (A := f(A@d)) is
+// unnormalized in ZA, but the graph must still never record an edge
+// from a vertex to itself — the items belong to loop-carried analysis,
+// not the ASDG.
+func TestSelfEdges(t *testing.T) {
+	r := reg2(4)
+	g := Build([]air.Stmt{
+		arrStmt(r, "A", ref("A", -1, 0)),
+		arrStmt(r, "B", ref("A", 0, -1)),
+	})
+	if g.N() != 2 {
+		t.Fatalf("N = %d", g.N())
+	}
+	for v := 0; v < g.N(); v++ {
+		if e := g.Edge(v, v); e != nil {
+			t.Errorf("self edge on v%d: %v", v, e)
+		}
+		for _, s := range g.Succ(v) {
+			if s == v {
+				t.Errorf("v%d lists itself as successor", v)
+			}
+		}
+	}
+	// The genuine cross-statement flow dependence must survive.
+	if e := g.Edge(0, 1); e == nil {
+		t.Error("flow edge 0->1 missing")
+	}
+}
+
+// TestParallelFlowAndAnti: when statement j both reads i's target and
+// writes an array i reads, the single edge i->j must carry both the
+// flow and the anti item.
+func TestParallelFlowAndAnti(t *testing.T) {
+	r := reg2(4)
+	g := Build([]air.Stmt{
+		arrStmt(r, "A", ref("B", -1, 0)),
+		arrStmt(r, "B", ref("A", 0, -1)),
+	})
+	e := g.Edge(0, 1)
+	if e == nil {
+		t.Fatal("edge 0->1 missing")
+	}
+	var flows, antis int
+	for _, it := range e.Items {
+		switch {
+		case it.Var == "A" && it.Kind == dep.Flow:
+			flows++
+		case it.Var == "B" && it.Kind == dep.Anti:
+			antis++
+		}
+	}
+	if flows != 1 || antis != 1 {
+		t.Errorf("edge 0->1 items = %v; want one A flow and one B anti", e.Items)
+	}
+	if got := len(g.DependencesOn("A")); got != 1 {
+		t.Errorf("DependencesOn(A) = %d edges, want 1", got)
+	}
+	if got := len(g.DependencesOn("B")); got != 1 {
+		t.Errorf("DependencesOn(B) = %d edges, want 1", got)
+	}
+	if got := g.DependencesOn("C"); got != nil {
+		t.Errorf("DependencesOn(C) = %v, want nil", got)
+	}
+}
+
+// TestEmptyGraph: the degenerate block.
+func TestEmptyGraph(t *testing.T) {
+	g := Build(nil)
+	if g.N() != 0 {
+		t.Fatalf("N = %d", g.N())
+	}
+	if e := g.Edge(0, 0); e != nil {
+		t.Errorf("Edge on empty graph = %v", e)
+	}
+	if deps := g.DependencesOn("A"); len(deps) != 0 {
+		t.Errorf("DependencesOn on empty graph = %v", deps)
+	}
+	if vs := g.Vertices(); len(vs) != 0 {
+		t.Errorf("Vertices on empty graph = %v", vs)
 	}
 }

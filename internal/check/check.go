@@ -1,0 +1,26 @@
+package check
+
+import (
+	"repro/internal/air"
+	"repro/internal/core"
+	"repro/internal/lir"
+)
+
+// All runs every verifier pass over one compilation's artifacts and
+// returns the concatenated reports. plan and lp may be nil when the
+// corresponding phase has not run; distributed says whether
+// communication insertion ran (so the comm-schedule pass knows whether
+// primitives are expected or forbidden).
+func All(prog *air.Program, plan *core.Plan, lp *lir.Program, distributed bool) []Report {
+	var out []Report
+	out = append(out, AIRWellFormed(prog)...)
+	if plan != nil {
+		out = append(out, ASDGCrossCheck(prog, plan)...)
+		out = append(out, FusionLegality(prog, plan)...)
+		out = append(out, ContractionSafety(prog, plan)...)
+	}
+	if lp != nil {
+		out = append(out, CommSchedule(prog, lp, distributed)...)
+	}
+	return out
+}

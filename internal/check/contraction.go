@@ -1,0 +1,215 @@
+package check
+
+import (
+	"repro/internal/air"
+	"repro/internal/core"
+	"repro/internal/liveness"
+	"repro/internal/sema"
+)
+
+// ContractionSafety audits every contraction decision against
+// Definition 6 and the liveness confinement it presumes, independently
+// of the CONTRACTIBLE? predicate. For each contracted array it
+// re-establishes: bookkeeping consistency (plan, block plans, and
+// ArrayInfo flags agree), confinement to a single block and a single
+// fused cluster, the absence of communication on the array, null
+// unconstrained vectors on every dependence due to it, zero-offset
+// reads only, and a first-access-is-a-write / every-read-covered sweep
+// re-derived from the block statements. Finally each decision is
+// cross-checked against an independent liveness.Candidates run.
+func ContractionSafety(prog *air.Program, plan *core.Plan) []Report {
+	rp := &reporter{pass: PassContraction}
+
+	// Bookkeeping: the three records of "x is contracted" must agree.
+	fromBlocks := map[string]*core.BlockPlan{}
+	for _, bp := range plan.Blocks {
+		for _, x := range bp.Contracted {
+			if prev, dup := fromBlocks[x]; dup {
+				rp.errorf(blockPos(bp.Block), "array %s contracted in two blocks (%d and %d)",
+					x, prev.Block.ID, bp.Block.ID)
+			}
+			fromBlocks[x] = bp
+		}
+	}
+	for x := range plan.Contracted {
+		if fromBlocks[x] == nil {
+			rp.errorf(blockPos(nil), "array %s marked contracted but owned by no block plan", x)
+		}
+		if info := prog.Arrays[x]; info == nil {
+			rp.errorf(blockPos(nil), "contracted array %s is undeclared", x)
+		} else if !info.Contracted {
+			rp.errorf(blockPos(nil), "array %s contracted by the plan but not flagged on its ArrayInfo", x)
+		}
+	}
+	for x, bp := range fromBlocks {
+		if !plan.Contracted[x] {
+			rp.errorf(blockPos(bp.Block), "array %s contracted in block %d but absent from the plan set",
+				x, bp.Block.ID)
+		}
+	}
+	for name, info := range prog.Arrays {
+		if info.Contracted && !plan.Contracted[name] {
+			rp.errorf(blockPos(nil), "array %s flagged contracted on its ArrayInfo but not by the plan", name)
+		}
+	}
+
+	cands := liveness.Candidates(prog)
+	for x, bp := range fromBlocks {
+		auditContraction(rp, prog, bp, x, cands)
+	}
+	return rp.reports
+}
+
+func auditContraction(rp *reporter, prog *air.Program, bp *core.BlockPlan, x string, cands map[*air.Block][]string) {
+	// Confinement: every reference program-wide lives in this block.
+	for _, b := range prog.AllBlocks() {
+		for _, s := range b.Stmts {
+			if !referencesArray(s, x) {
+				continue
+			}
+			if b != bp.Block {
+				rp.errorf(air.PosOf(s),
+					"contracted array %s referenced outside its block (block %d, owned by block %d)",
+					x, b.ID, bp.Block.ID)
+			}
+			if c, ok := s.(*air.CommStmt); ok {
+				rp.errorf(c.Pos, "contracted array %s is communicated (%s)", x, c)
+			}
+		}
+	}
+
+	// Cluster confinement: all referencing vertices share one cluster.
+	if bp.Graph != nil && bp.Part != nil {
+		cluster := -1
+		for v, s := range bp.Graph.Stmts {
+			if !referencesArray(s, x) {
+				continue
+			}
+			c := bp.Part.ClusterOf(v)
+			if cluster < 0 {
+				cluster = c
+			} else if c != cluster {
+				rp.errorf(air.PosOf(s),
+					"contracted array %s referenced across clusters {v%d...} and {v%d...}", x, cluster, c)
+			}
+		}
+		// Every dependence due to x: intra-cluster with a null vector
+		// (Definition 6, conditions (i) and (ii)).
+		for _, e := range bp.Graph.Edges {
+			for _, it := range e.Items {
+				if it.Var != x {
+					continue
+				}
+				pos := air.PosOf(bp.Graph.Stmts[e.To])
+				if bp.Part.ClusterOf(e.From) != bp.Part.ClusterOf(e.To) {
+					rp.errorf(pos, "dependence %s on contracted %s crosses clusters v%d -> v%d",
+						it, x, e.From, e.To)
+				}
+				if !it.Vector || !it.U.IsZero() {
+					rp.errorf(pos, "dependence %s on contracted %s is not a null vector", it, x)
+				}
+			}
+		}
+	}
+
+	// Per-iteration register semantics: first access writes, every read
+	// zero-offset and covered by an earlier write (independent sweep).
+	var writes []struct{ lo, hi []int }
+	noteWrite := func(lo, hi []int) {
+		writes = append(writes, struct{ lo, hi []int }{lo, hi})
+	}
+	readCovered := func(lo, hi []int) bool {
+		for _, w := range writes {
+			if rectContains(w.lo, w.hi, lo, hi) {
+				return true
+			}
+		}
+		return false
+	}
+	checkRead := func(s air.Stmt, reg *sema.Region, off air.Offset) {
+		if reg == nil {
+			return
+		}
+		if !off.IsZero() {
+			rp.errorf(air.PosOf(s), "contracted array %s read at offset %s (registers have no neighbors)", x, off)
+		}
+		lo, hi := shiftedRect(reg, off)
+		if !readCovered(lo, hi) {
+			rp.errorf(air.PosOf(s), "contracted array %s read before written over %v..%v", x, lo, hi)
+		}
+	}
+	for _, s := range bp.Block.Stmts {
+		switch st := s.(type) {
+		case *air.ArrayStmt:
+			for _, r := range st.Reads() {
+				if r.Array == x {
+					checkRead(s, st.Region, r.Off)
+				}
+			}
+			if st.LHS == x && st.Region != nil {
+				lo, hi := shiftedRect(st.Region, nil)
+				noteWrite(lo, hi)
+			}
+		case *air.ReduceStmt:
+			for _, r := range air.Refs(st.Body) {
+				if r.Array == x {
+					checkRead(s, st.Region, r.Off)
+				}
+			}
+		case *air.PartialReduceStmt:
+			for _, r := range air.Refs(st.Body) {
+				if r.Array == x {
+					checkRead(s, st.Region, r.Off)
+				}
+			}
+			if st.LHS == x {
+				rp.errorf(st.Pos, "contracted array %s written by an unfusible partial reduction", x)
+			}
+		}
+	}
+
+	// Cross-check the liveness analysis itself.
+	if !member(cands[bp.Block], x) {
+		rp.errorf(blockPos(bp.Block),
+			"contracted array %s is not a liveness candidate of block %d (live range escapes)",
+			x, bp.Block.ID)
+	}
+}
+
+// referencesArray reports whether a statement reads, writes, reduces,
+// or communicates array x (re-derived, not via asdg.References).
+func referencesArray(s air.Stmt, x string) bool {
+	switch st := s.(type) {
+	case *air.ArrayStmt:
+		if st.LHS == x {
+			return true
+		}
+		for _, r := range st.Reads() {
+			if r.Array == x {
+				return true
+			}
+		}
+	case *air.ReduceStmt:
+		for _, r := range air.Refs(st.Body) {
+			if r.Array == x {
+				return true
+			}
+		}
+	case *air.PartialReduceStmt:
+		if st.LHS == x {
+			return true
+		}
+		for _, r := range air.Refs(st.Body) {
+			if r.Array == x {
+				return true
+			}
+		}
+	case *air.CommStmt:
+		return st.Array == x
+	case *air.CallStmt:
+		if st.Effects != nil {
+			return member(st.Effects.ArraysRead, x) || member(st.Effects.ArraysWritten, x)
+		}
+	}
+	return false
+}

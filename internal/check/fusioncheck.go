@@ -1,0 +1,267 @@
+package check
+
+import (
+	"repro/internal/air"
+	"repro/internal/core"
+	"repro/internal/dep"
+	"repro/internal/sema"
+)
+
+// FusionLegality audits the chosen fusion partition of every block
+// against Definition 5 and Theorems 1–2, independently of the
+// FUSION-PARTITION? predicate that built it. For each fused cluster it
+// re-establishes: member fusibility, region conformability, the
+// absence of ordering-only and non-null-flow internal dependences, and
+// — the heart of the theorems — that the loop structure scalarization
+// will use drives every internal dependence's unconstrained vector to
+// a lexicographically nonnegative constrained vector. The cluster
+// condensation is re-proved acyclic by a different algorithm (Kahn's)
+// than the optimizer's DFS.
+func FusionLegality(prog *air.Program, plan *core.Plan) []Report {
+	rp := &reporter{pass: PassFusion}
+	for _, bp := range plan.Blocks {
+		if bp.Part == nil || bp.Graph == nil {
+			continue
+		}
+		auditPartition(rp, bp)
+	}
+	return rp.reports
+}
+
+func auditPartition(rp *reporter, bp *core.BlockPlan) {
+	part, g := bp.Part, bp.Graph
+	n := len(g.Stmts)
+
+	// Representative consistency: every vertex maps to a cluster whose
+	// representative is its own smallest member.
+	for v := 0; v < n; v++ {
+		c := part.ClusterOf(v)
+		if c < 0 || c >= n || part.ClusterOf(c) != c || c > v {
+			rp.errorf(air.PosOf(g.Stmts[v]),
+				"block %d: vertex v%d has inconsistent cluster representative %d", bp.Block.ID, v, c)
+			return
+		}
+	}
+
+	for _, c := range part.Clusters() {
+		auditCluster(rp, bp, c)
+	}
+
+	if !condensationAcyclic(part) {
+		rp.errorf(blockPos(bp.Block),
+			"block %d: cluster condensation has a cycle (fused clusters cannot be ordered)", bp.Block.ID)
+	}
+}
+
+func auditCluster(rp *reporter, bp *core.BlockPlan, c int) {
+	part, g := bp.Part, bp.Graph
+	members := part.Members(c)
+	if len(members) == 1 {
+		return // singletons are trivially legal
+	}
+	pos := air.PosOf(g.Stmts[members[0]])
+
+	// Fusibility and conformability (Definition 5, condition (i),
+	// admitting exact translates for realigned temporaries).
+	ref := stmtIterRegion(g.Stmts[members[0]])
+	for _, v := range members {
+		s := g.Stmts[v]
+		switch s.(type) {
+		case *air.ArrayStmt, *air.ReduceStmt:
+		default:
+			rp.errorf(air.PosOf(s), "block %d: unfusible %T fused into cluster {v%d...}",
+				bp.Block.ID, s, c)
+			return
+		}
+		r := stmtIterRegion(s)
+		if ref == nil || r == nil || !regionsTranslate(ref, r) {
+			rp.errorf(air.PosOf(s),
+				"block %d: cluster {v%d...} fuses non-conformable regions %s and %s",
+				bp.Block.ID, c, ref, r)
+			return
+		}
+		// FavorComm segment constraint: fusion never crosses a
+		// communication primitive.
+		if g.Seg != nil && g.Seg[v] != g.Seg[members[0]] {
+			rp.errorf(air.PosOf(s),
+				"block %d: cluster {v%d...} spans communication segments %d and %d",
+				bp.Block.ID, c, g.Seg[members[0]], g.Seg[v])
+		}
+	}
+	rank := ref.Rank()
+
+	// Internal dependences (conditions (ii) and (iv)).
+	inCluster := map[int]bool{}
+	for _, v := range members {
+		inCluster[v] = true
+	}
+	var vectors []air.Offset
+	for _, e := range g.Edges {
+		if !inCluster[e.From] || !inCluster[e.To] {
+			continue
+		}
+		epos := air.PosOf(g.Stmts[e.To])
+		for _, it := range e.Items {
+			if !it.Vector {
+				rp.errorf(epos,
+					"block %d: ordering-only dependence %s inside fused cluster v%d -> v%d",
+					bp.Block.ID, it, e.From, e.To)
+				continue
+			}
+			if len(it.U) != rank {
+				rp.errorf(epos,
+					"block %d: dependence %s has rank-%d vector in rank-%d cluster",
+					bp.Block.ID, it, len(it.U), rank)
+				continue
+			}
+			if it.Kind == dep.Flow && !it.U.IsZero() {
+				rp.errorf(epos,
+					"block %d: non-null flow dependence %s fused v%d -> v%d (contraction invariant broken)",
+					bp.Block.ID, it, e.From, e.To)
+			}
+			if part.NoCarriedAnti && it.Kind == dep.Anti && !it.U.IsZero() {
+				rp.errorf(epos,
+					"block %d: carried anti dependence %s fused under a no-carried-anti strategy",
+					bp.Block.ID, it)
+			}
+			vectors = append(vectors, it.U)
+		}
+	}
+
+	// Theorems 1–2: the loop structure scalarization will use must
+	// constrain every internal vector to a lexicographically
+	// nonnegative distance vector.
+	p, ok := part.LoopStructureFor(c)
+	if !ok {
+		rp.errorf(pos, "block %d: fused cluster {v%d...} admits no legal loop structure", bp.Block.ID, c)
+		return
+	}
+	if p == nil {
+		p = core.Identity(rank) // scalarize falls back to identity
+	}
+	if !validPermutation(p, rank) {
+		rp.errorf(pos, "block %d: loop structure %s is not a permutation of (±1..±%d)",
+			bp.Block.ID, p, rank)
+		return
+	}
+	for _, u := range vectors {
+		d := constrainVec(u, p)
+		if !lexNonNegative(d) {
+			rp.errorf(pos,
+				"block %d: loop structure %s maps dependence vector %s to %s, which is lexicographically negative",
+				bp.Block.ID, p, u, d)
+		}
+	}
+}
+
+// stmtIterRegion returns the iteration region of a fusible statement
+// (re-derived, not via asdg.StmtRegion).
+func stmtIterRegion(s air.Stmt) *sema.Region {
+	switch x := s.(type) {
+	case *air.ArrayStmt:
+		return x.Region
+	case *air.ReduceStmt:
+		return x.Region
+	}
+	return nil
+}
+
+// regionsTranslate reports whether two regions are exact translates:
+// equal rank and per-dimension extents.
+func regionsTranslate(a, b *sema.Region) bool {
+	if a.Rank() != b.Rank() {
+		return false
+	}
+	for i := 0; i < a.Rank(); i++ {
+		if a.Hi[i]-a.Lo[i] != b.Hi[i]-b.Lo[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// validPermutation re-checks Definition 4: p is a permutation of
+// (±1, ..., ±n).
+func validPermutation(p dep.LoopStructure, rank int) bool {
+	if len(p) != rank {
+		return false
+	}
+	seen := make([]bool, rank+1)
+	for _, v := range p {
+		if v < 0 {
+			v = -v
+		}
+		if v < 1 || v > rank || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+// constrainVec re-derives the constrained vector of Definition 4:
+// d_i = sign(p_i) · u_{|p_i|}.
+func constrainVec(u air.Offset, p dep.LoopStructure) air.Offset {
+	d := make(air.Offset, len(p))
+	for i, pi := range p {
+		if pi < 0 {
+			d[i] = -u[-pi-1]
+		} else {
+			d[i] = u[pi-1]
+		}
+	}
+	return d
+}
+
+// lexNonNegative re-derives lexicographic nonnegativity.
+func lexNonNegative(d air.Offset) bool {
+	for _, v := range d {
+		if v != 0 {
+			return v > 0
+		}
+	}
+	return true
+}
+
+// condensationAcyclic re-proves condition (iii) by Kahn's algorithm
+// (the optimizer uses a DFS coloring): the condensation is acyclic iff
+// topological elimination consumes every cluster.
+func condensationAcyclic(part *core.Partition) bool {
+	succ := map[int]map[int]bool{}
+	indeg := map[int]int{}
+	for _, c := range part.Clusters() {
+		indeg[c] = 0
+	}
+	for _, e := range part.G.Edges {
+		a, b := part.ClusterOf(e.From), part.ClusterOf(e.To)
+		if a == b {
+			continue
+		}
+		if succ[a] == nil {
+			succ[a] = map[int]bool{}
+		}
+		if !succ[a][b] {
+			succ[a][b] = true
+			indeg[b]++
+		}
+	}
+	var ready []int
+	for c, d := range indeg {
+		if d == 0 {
+			ready = append(ready, c)
+		}
+	}
+	done := 0
+	for len(ready) > 0 {
+		c := ready[len(ready)-1]
+		ready = ready[:len(ready)-1]
+		done++
+		for b := range succ[c] {
+			indeg[b]--
+			if indeg[b] == 0 {
+				ready = append(ready, b)
+			}
+		}
+	}
+	return done == len(indeg)
+}

@@ -1,0 +1,164 @@
+package check
+
+import (
+	"repro/internal/air"
+	"repro/internal/sema"
+	"repro/internal/source"
+)
+
+// AIRWellFormed verifies the normal form of §2.1 on a lowered program:
+// every array statement writes its left-hand side at offset zero over
+// a concrete region, every reference rank-matches that region, no
+// array is both read and written by one statement, allocations cover
+// every access, statement IDs are dense and unique, and every block is
+// well-scoped (no statement appears twice).
+func AIRWellFormed(prog *air.Program) []Report {
+	rp := &reporter{pass: PassAIR}
+
+	seenID := map[int]bool{}
+	seenStmt := map[air.Stmt]bool{}
+	seenBlock := map[int]bool{}
+
+	for _, b := range prog.AllBlocks() {
+		if seenBlock[b.ID] {
+			rp.errorf(blockPos(b), "block id %d appears more than once", b.ID)
+		}
+		seenBlock[b.ID] = true
+		for _, s := range b.Stmts {
+			if seenStmt[s] {
+				rp.errorf(air.PosOf(s), "statement %q appears in more than one block", s)
+				continue
+			}
+			seenStmt[s] = true
+			switch x := s.(type) {
+			case *air.ArrayStmt:
+				checkArrayStmt(rp, prog, x, seenID)
+			case *air.ReduceStmt:
+				checkRefs(rp, prog, x.Region, air.Refs(x.Body), x.Pos, "reduction")
+			case *air.PartialReduceStmt:
+				checkPartialReduce(rp, prog, x)
+			case *air.CommStmt:
+				if x.Region == nil {
+					rp.errorf(x.Pos, "communication of %s has no region", x.Array)
+				} else if len(x.Off) != x.Region.Rank() {
+					rp.errorf(x.Pos, "communication offset %s rank-mismatches region %s", x.Off, x.Region)
+				}
+				if prog.Arrays[x.Array] == nil {
+					rp.errorf(x.Pos, "communication of undeclared array %s", x.Array)
+				}
+			}
+		}
+	}
+
+	for id := range seenID {
+		if id < 0 || id >= prog.NumStmts {
+			rp.errorf(source.Pos{}, "array statement id %d outside [0,%d)", id, prog.NumStmts)
+		}
+	}
+	return rp.reports
+}
+
+func checkArrayStmt(rp *reporter, prog *air.Program, x *air.ArrayStmt, seenID map[int]bool) {
+	if seenID[x.ID] {
+		rp.errorf(x.Pos, "array statement id %d assigned twice", x.ID)
+	}
+	seenID[x.ID] = true
+	if x.Region == nil {
+		rp.errorf(x.Pos, "array statement %s has no region", x.LHS)
+		return
+	}
+	info := prog.Arrays[x.LHS]
+	if info == nil {
+		rp.errorf(x.Pos, "assignment to undeclared array %s", x.LHS)
+	} else {
+		if info.Declared.Rank() != x.Region.Rank() {
+			rp.errorf(x.Pos, "array %s (rank %d) assigned over rank-%d region %s",
+				x.LHS, info.Declared.Rank(), x.Region.Rank(), x.Region)
+		}
+		if !rectCovers(info.Alloc, x.Region, nil) {
+			rp.errorf(x.Pos, "write of %s over %s exceeds allocation %s", x.LHS, x.Region, info.Alloc)
+		}
+	}
+	// Normal form (iii): the assigned array is never read by the same
+	// statement (lowering inserts a compiler temporary instead).
+	for _, r := range x.Reads() {
+		if r.Array == x.LHS {
+			rp.errorf(x.Pos, "statement both reads and writes %s (normal form violated)", x.LHS)
+			break
+		}
+	}
+	checkRefs(rp, prog, x.Region, x.Reads(), x.Pos, "statement")
+}
+
+func checkPartialReduce(rp *reporter, prog *air.Program, x *air.PartialReduceStmt) {
+	if x.Dest == nil || x.Region == nil {
+		rp.errorf(x.Pos, "partial reduction of %s lacks a region", x.LHS)
+		return
+	}
+	if x.Dest.Rank() != x.Region.Rank() {
+		rp.errorf(x.Pos, "partial reduction destination %s rank-mismatches source %s", x.Dest, x.Region)
+	}
+	if prog.Arrays[x.LHS] == nil {
+		rp.errorf(x.Pos, "partial reduction into undeclared array %s", x.LHS)
+	}
+	checkRefs(rp, prog, x.Region, air.Refs(x.Body), x.Pos, "partial reduction")
+}
+
+// checkRefs verifies each read reference: declared array, offset rank
+// matching the iteration region, and shifted access inside the
+// allocation bounds.
+func checkRefs(rp *reporter, prog *air.Program, reg *sema.Region, refs []air.Ref, pos source.Pos, what string) {
+	if reg == nil {
+		return
+	}
+	for _, r := range refs {
+		if len(r.Off) != reg.Rank() {
+			rp.errorf(pos, "%s reads %s with rank-%d offset over rank-%d region %s",
+				what, r.Array, len(r.Off), reg.Rank(), reg)
+			continue
+		}
+		info := prog.Arrays[r.Array]
+		if info == nil {
+			rp.errorf(pos, "%s reads undeclared array %s", what, r.Array)
+			continue
+		}
+		if info.Declared.Rank() != reg.Rank() {
+			rp.errorf(pos, "%s reads rank-%d array %s over rank-%d region %s",
+				what, info.Declared.Rank(), r.Array, reg.Rank(), reg)
+			continue
+		}
+		if !rectCovers(info.Alloc, reg, r.Off) {
+			rp.errorf(pos, "read %s@%s over %s exceeds allocation %s", r.Array, r.Off, reg, info.Alloc)
+		}
+	}
+}
+
+// rectCovers reports whether alloc contains reg shifted by off.
+func rectCovers(alloc, reg *sema.Region, off air.Offset) bool {
+	if alloc == nil || alloc.Rank() != reg.Rank() {
+		return false
+	}
+	for i := 0; i < reg.Rank(); i++ {
+		d := 0
+		if off != nil {
+			d = off[i]
+		}
+		if reg.Lo[i]+d < alloc.Lo[i] || reg.Hi[i]+d > alloc.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// blockPos returns the position of a block's first positioned statement.
+func blockPos(b *air.Block) source.Pos {
+	if b == nil {
+		return source.Pos{}
+	}
+	for _, s := range b.Stmts {
+		if p := air.PosOf(s); p.IsValid() {
+			return p
+		}
+	}
+	return source.Pos{}
+}

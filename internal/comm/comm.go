@@ -100,6 +100,7 @@ type haloKey struct {
 func insertBlock(b *air.Block, opt Options, res *Result, msgID int) int {
 	valid := map[haloKey]bool{}
 	lastWrite := map[string]int{} // array -> original index of last write
+	lastBarrier := -1             // index of the last unsummarized call
 	// before[j] collects primitives to splice in before original
 	// statement j; len(b.Stmts)+1 slots so sends can land anywhere.
 	before := make([][]air.Stmt, len(b.Stmts)+1)
@@ -132,24 +133,25 @@ func insertBlock(b *air.Block, opt Options, res *Result, msgID int) int {
 				}
 				valid[key] = true
 				res.Inserted++
+				pos := air.PosOf(s)
 				if opt.Pipeline {
 					msgID++
 					res.Pipelined++
-					sendPos := 0
-					if w, ok := lastWrite[r.Array]; ok {
+					sendPos := lastBarrier + 1
+					if w, ok := lastWrite[r.Array]; ok && w+1 > sendPos {
 						sendPos = w + 1
 					}
 					before[sendPos] = append(before[sendPos], &air.CommStmt{
 						Array: r.Array, Off: dir, Region: reg,
-						Phase: air.CommSend, MsgID: msgID,
+						Phase: air.CommSend, MsgID: msgID, Pos: pos,
 					})
 					before[j] = append(before[j], &air.CommStmt{
 						Array: r.Array, Off: dir, Region: reg,
-						Phase: air.CommRecv, MsgID: msgID,
+						Phase: air.CommRecv, MsgID: msgID, Pos: pos,
 					})
 				} else {
 					before[j] = append(before[j], &air.CommStmt{
-						Array: r.Array, Off: dir, Region: reg,
+						Array: r.Array, Off: dir, Region: reg, Pos: pos,
 					})
 				}
 			}
@@ -169,6 +171,25 @@ func insertBlock(b *air.Block, opt Options, res *Result, msgID int) int {
 				}
 			}
 			lastWrite[written] = j
+		}
+		// Calls may rewrite global arrays, leaving halos stale: a
+		// summarized callee invalidates exactly the arrays it writes,
+		// an unknown (or I/O) callee invalidates everything and pins
+		// later sends below itself.
+		if c, ok := s.(*air.CallStmt); ok {
+			if c.Effects == nil || c.Effects.IO {
+				valid = map[haloKey]bool{}
+				lastBarrier = j
+			} else {
+				for _, name := range c.Effects.ArraysWritten {
+					for k := range valid {
+						if k.array == name {
+							delete(valid, k)
+						}
+					}
+					lastWrite[name] = j
+				}
+			}
 		}
 	}
 

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"repro/internal/air"
+	"repro/internal/check"
 	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/lir"
@@ -36,6 +37,9 @@ type Options struct {
 	// generated loop nests (the §6 related-work technique; repeated
 	// per-iteration reads load once into a register).
 	ScalarReplace bool
+	// Check runs the static verifier (package check) between pipeline
+	// phases and fails the compilation on any report.
+	Check bool
 }
 
 // Compilation is the result of one pipeline run.
@@ -62,6 +66,11 @@ func Compile(src string, opt Options) (*Compilation, error) {
 	if errs.HasErrors() {
 		return nil, errs.Err()
 	}
+	if opt.Check {
+		if err := check.Err(check.AIRWellFormed(airProg)); err != nil {
+			return nil, fmt.Errorf("driver: after lowering: %w", err)
+		}
+	}
 
 	var commRes *comm.Result
 	cfg := core.Config{}
@@ -76,6 +85,18 @@ func Compile(src string, opt Options) (*Compilation, error) {
 	}
 
 	plan := core.ApplyEx(airProg, opt.Level, cfg)
+	if opt.Check {
+		var reps []check.Report
+		// Re-verify well-formedness too: comm insertion and temporary
+		// realignment both rewrote the AIR since the last look.
+		reps = append(reps, check.AIRWellFormed(airProg)...)
+		reps = append(reps, check.ASDGCrossCheck(airProg, plan)...)
+		reps = append(reps, check.FusionLegality(airProg, plan)...)
+		reps = append(reps, check.ContractionSafety(airProg, plan)...)
+		if err := check.Err(reps); err != nil {
+			return nil, fmt.Errorf("driver: after planning: %w", err)
+		}
+	}
 
 	lirProg, err := scalarize.Scalarize(airProg, plan)
 	if err != nil {
@@ -83,6 +104,11 @@ func Compile(src string, opt Options) (*Compilation, error) {
 	}
 	if opt.ScalarReplace {
 		scalarize.ScalarReplace(lirProg)
+	}
+	if opt.Check {
+		if err := check.Err(check.CommSchedule(airProg, lirProg, commRes != nil)); err != nil {
+			return nil, fmt.Errorf("driver: after scalarization: %w", err)
+		}
 	}
 	return &Compilation{Info: info, AIR: airProg, Plan: plan, LIR: lirProg, Comm: commRes}, nil
 }

@@ -215,3 +215,75 @@ func TestQuickDistributedSoundness(t *testing.T) {
 }
 
 func defaultComm(procs int) comm.Options { return comm.DefaultOptions(procs) }
+
+// checkFailure reports the verification error for src under opt, or
+// "" when the pipeline compiles and verifies clean. Used as the
+// failure predicate for both the fuzz pass and the shrinker.
+func checkFailure(src string, opt Options) string {
+	opt.Check = true
+	if _, err := Compile(src, opt); err != nil {
+		return err.Error()
+	}
+	return ""
+}
+
+// shrinkProgram greedily deletes statement lines from a failing random
+// program while the failure (any verification failure under opt)
+// persists, so the logged reproducer is close to minimal.
+func shrinkProgram(src string, opt Options) string {
+	for {
+		lines := strings.Split(src, "\n")
+		shrunk := false
+		for i, ln := range lines {
+			trimmed := strings.TrimSpace(ln)
+			// Only statement lines are candidates; structure lines
+			// (program/region/var/for/end) must survive.
+			if !strings.Contains(trimmed, ":=") && !strings.HasPrefix(trimmed, "writeln") {
+				continue
+			}
+			cand := strings.Join(append(append([]string{}, lines[:i]...), lines[i+1:]...), "\n")
+			if checkFailure(cand, opt) != "" {
+				src = cand
+				shrunk = true
+				break
+			}
+		}
+		if !shrunk {
+			return src
+		}
+	}
+}
+
+// TestQuickVerifierClean: every random program the generator can
+// produce must verify clean under the full static verifier at every
+// level, sequential and distributed. A failure is shrunk to a
+// near-minimal reproducer before logging.
+func TestQuickVerifierClean(t *testing.T) {
+	sequential := []core.Level{core.Baseline, core.C1, core.C2, core.C2F3, core.C2F4}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		src := genProgram(r)
+		var opts []Options
+		for _, lvl := range sequential {
+			opts = append(opts, Options{Level: lvl})
+		}
+		co := defaultComm(4)
+		opts = append(opts, Options{Level: core.C2F3, Comm: &co})
+		for _, opt := range opts {
+			if msg := checkFailure(src, opt); msg != "" {
+				small := shrinkProgram(src, opt)
+				t.Logf("verifier failed (seed %d, level %v, dist %v): %s\nshrunk reproducer:\n%s",
+					seed, opt.Level, opt.Comm != nil, msg, small)
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 20}
+	if testing.Short() {
+		cfg.MaxCount = 4
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/air"
 	"repro/internal/dep"
 	"repro/internal/sema"
+	"repro/internal/source"
 )
 
 // Program is a fully scalarized program. Array and scalar metadata
@@ -76,6 +77,9 @@ type NestStmt struct {
 	Op       air.ReduceOp
 
 	RHS air.Expr
+
+	// Pos is the source position of the originating array statement.
+	Pos source.Pos
 }
 
 // ScalarAssign assigns a scalar expression.
@@ -125,6 +129,7 @@ type Comm struct {
 	Phase     air.CommPhase
 	MsgID     int
 	Piggyback bool
+	Pos       source.Pos
 }
 
 // Call invokes a procedure.

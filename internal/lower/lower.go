@@ -66,6 +66,10 @@ type lowerer struct {
 
 	// current block under construction
 	cur []air.Stmt
+	// curPos is the source position of the statement being lowered;
+	// every AIR statement it emits (including hoisted temporaries)
+	// inherits it, so later diagnostics can point at the .za line.
+	curPos source.Pos
 }
 
 // mangle maps a source-level name in the current procedure to its
@@ -223,6 +227,7 @@ func (lw *lowerer) lowerStmts(stmts []ast.Stmt) []air.Node {
 		}
 	}
 	for _, s := range stmts {
+		lw.curPos = s.Pos()
 		switch x := s.(type) {
 		case *ast.ArrayAssign:
 			lw.lowerArrayAssign(x)
@@ -237,7 +242,7 @@ func (lw *lowerer) lowerStmts(stmts []ast.Stmt) []air.Node {
 			if x.Value != nil {
 				v = lw.lowerScalarExpr(x.Value)
 			}
-			lw.cur = append(lw.cur, &air.ReturnStmt{Value: v})
+			lw.cur = append(lw.cur, &air.ReturnStmt{Value: v, Pos: x.StmtPos})
 		case *ast.IfStmt:
 			cond := lw.lowerScalarExpr(x.Cond)
 			flush()
@@ -297,7 +302,7 @@ func (lw *lowerer) lowerArrayAssign(x *ast.ArrayAssign) {
 			op = air.ReduceMin
 		}
 		lw.cur = append(lw.cur, &air.PartialReduceStmt{
-			LHS: lhs, Dest: reg, Op: op, Region: src, Body: body,
+			LHS: lhs, Dest: reg, Op: op, Region: src, Body: body, Pos: x.StmtPos,
 		})
 		return
 	}
@@ -335,7 +340,7 @@ func (lw *lowerer) newTemp(elem ast.TypeKind, reg *sema.Region) string {
 }
 
 func (lw *lowerer) emitArrayStmt(reg *sema.Region, lhs string, rhs air.Expr) {
-	s := &air.ArrayStmt{ID: lw.prog.NumStmts, Region: reg, LHS: lhs, RHS: rhs}
+	s := &air.ArrayStmt{ID: lw.prog.NumStmts, Region: reg, LHS: lhs, RHS: rhs, Pos: lw.curPos}
 	lw.prog.NumStmts++
 	lw.cur = append(lw.cur, s)
 }
@@ -350,12 +355,12 @@ func (lw *lowerer) lowerScalarAssign(x *ast.ScalarAssign) {
 			for i, a := range c.Args {
 				args[i] = lw.lowerScalarExpr(a)
 			}
-			lw.cur = append(lw.cur, &air.CallStmt{Target: lhs, Proc: c.Name, Args: args})
+			lw.cur = append(lw.cur, &air.CallStmt{Target: lhs, Proc: c.Name, Args: args, Pos: x.StmtPos})
 			return
 		}
 	}
 	rhs := lw.lowerScalarExpr(x.RHS)
-	lw.cur = append(lw.cur, &air.ScalarStmt{LHS: lhs, RHS: rhs})
+	lw.cur = append(lw.cur, &air.ScalarStmt{LHS: lhs, RHS: rhs, Pos: x.StmtPos})
 }
 
 func (lw *lowerer) lowerCallStmt(x *ast.CallStmt) {
@@ -363,7 +368,7 @@ func (lw *lowerer) lowerCallStmt(x *ast.CallStmt) {
 	for i, a := range x.Call.Args {
 		args[i] = lw.lowerScalarExpr(a)
 	}
-	lw.cur = append(lw.cur, &air.CallStmt{Proc: x.Call.Name, Args: args})
+	lw.cur = append(lw.cur, &air.CallStmt{Proc: x.Call.Name, Args: args, Pos: x.StmtPos})
 }
 
 func (lw *lowerer) lowerWriteln(x *ast.WritelnStmt) {
@@ -375,7 +380,7 @@ func (lw *lowerer) lowerWriteln(x *ast.WritelnStmt) {
 		}
 		args = append(args, air.WriteArg{Expr: lw.lowerScalarExpr(a)})
 	}
-	lw.cur = append(lw.cur, &air.WritelnStmt{Args: args})
+	lw.cur = append(lw.cur, &air.WritelnStmt{Args: args, Pos: x.StmtPos})
 }
 
 // lowerScalarExpr lowers an expression in scalar context. Reductions
@@ -401,7 +406,7 @@ func (lw *lowerer) lowerScalarExpr(e ast.Expr) air.Expr {
 		case token.REDMIN:
 			op = air.ReduceMin
 		}
-		lw.cur = append(lw.cur, &air.ReduceStmt{Target: tmp, Op: op, Region: reg, Body: body})
+		lw.cur = append(lw.cur, &air.ReduceStmt{Target: tmp, Op: op, Region: reg, Body: body, Pos: lw.curPos})
 		return &air.ScalarExpr{Name: tmp}
 	case *ast.CallExpr:
 		if _, isBuiltin := sema.Builtins[x.Name]; isBuiltin {
@@ -416,7 +421,7 @@ func (lw *lowerer) lowerScalarExpr(e ast.Expr) air.Expr {
 			args[i] = lw.lowerScalarExpr(a)
 		}
 		tmp := lw.newScalarTemp()
-		lw.cur = append(lw.cur, &air.CallStmt{Target: tmp, Proc: x.Name, Args: args})
+		lw.cur = append(lw.cur, &air.CallStmt{Target: tmp, Proc: x.Name, Args: args, Pos: lw.curPos})
 		return &air.ScalarExpr{Name: tmp}
 	case *ast.BinaryExpr:
 		l := lw.lowerScalarExpr(x.X)

@@ -122,7 +122,7 @@ func (sc *scalarizer) single(s air.Stmt) (lir.Node, error) {
 	case *air.ScalarStmt:
 		return &lir.ScalarAssign{LHS: x.LHS, RHS: x.RHS}, nil
 	case *air.CommStmt:
-		return &lir.Comm{Array: x.Array, Off: x.Off, Reg: x.Region, Phase: x.Phase, MsgID: x.MsgID, Piggyback: x.Piggyback}, nil
+		return &lir.Comm{Array: x.Array, Off: x.Off, Reg: x.Region, Phase: x.Phase, MsgID: x.MsgID, Piggyback: x.Piggyback, Pos: x.Pos}, nil
 	case *air.WritelnStmt:
 		return &lir.Writeln{Args: x.Args}, nil
 	case *air.CallStmt:
@@ -162,6 +162,7 @@ func (sc *scalarizer) nest(part *core.Partition, c int, members []int) (*lir.Nes
 				LHS:        x.LHS,
 				Contracted: sc.plan.Contracted[x.LHS],
 				RHS:        x.RHS,
+				Pos:        x.Pos,
 			}
 			if !x.Region.Equal(union) {
 				ns.Guard = x.Region
@@ -176,6 +177,7 @@ func (sc *scalarizer) nest(part *core.Partition, c int, members []int) (*lir.Nes
 				Target:   x.Target,
 				Op:       x.Op,
 				RHS:      x.Body,
+				Pos:      x.Pos,
 			}
 			if !x.Region.Equal(union) {
 				ns.Guard = x.Region
