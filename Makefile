@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check ci experiments
+.PHONY: all build test vet race check serve-test ci experiments
 
 all: build test
 
@@ -19,6 +19,13 @@ vet:
 race:
 	$(GO) test -race ./...
 
+# Service smoke: start zpld, hit it with a zplload burst (mixed
+# identical/distinct requests at concurrency 16), and require zero
+# failed requests, a warm cache, and live per-phase metrics — all
+# under the race detector.
+serve-test: build
+	$(GO) test -race -run 'TestServe' -v .
+
 # Static verification: zplcheck independently re-proves every
 # optimizer claim (ASDG edges, fusion legality, contraction safety,
 # comm schedule) over the testdata programs and the built-in
@@ -27,7 +34,7 @@ check: build
 	$(GO) run ./cmd/zplcheck -O baseline,c1,c2,c2+f3 -p 4 testdata/*.za
 	$(GO) run ./cmd/zplcheck -bench all -O all -p 4
 
-ci: vet test race check
+ci: vet test race serve-test check
 
 experiments:
 	$(GO) run ./cmd/experiments

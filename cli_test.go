@@ -4,6 +4,7 @@ package repro
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"os"
 	"os/exec"
@@ -45,7 +46,7 @@ var (
 	buildErr  error
 )
 
-// buildTools compiles the three CLIs once per test run.
+// buildTools compiles the CLIs once per test run.
 func buildTools(t *testing.T) string {
 	t.Helper()
 	if testing.Short() {
@@ -58,7 +59,7 @@ func buildTools(t *testing.T) string {
 			return
 		}
 		binDir = dir
-		for _, tool := range []string{"zplc", "zplrun", "zplcheck", "experiments"} {
+		for _, tool := range []string{"zplc", "zplrun", "zplcheck", "experiments", "zpld", "zplload"} {
 			cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "./cmd/"+tool)
 			var errb bytes.Buffer
 			cmd.Stderr = &errb
@@ -375,5 +376,83 @@ func TestZplcScalarReplacement(t *testing.T) {
 	}
 	if !strings.Contains(out, "scalar replacement") {
 		t.Errorf("no scalar replacement installed:\n%s", out)
+	}
+}
+
+// exitCode extracts the process exit status from runTool's error.
+func exitCode(t *testing.T, err error) int {
+	t.Helper()
+	if err == nil {
+		return 0
+	}
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
+		t.Fatalf("not an exit error: %v", err)
+	}
+	return ee.ExitCode()
+}
+
+// TestZplrunExitCodes: compile errors, runtime errors, usage errors
+// and timeouts each get a distinct exit code so scripts can tell them
+// apart (0 ok, 1 runtime, 2 usage, 3 compile, 4 timeout).
+func TestZplrunExitCodes(t *testing.T) {
+	// Usage error: conflicting sources.
+	_, _, err := runTool(t, "zplrun", "-bench", "fibro", "testdata/heat.za")
+	if c := exitCode(t, err); c != 2 {
+		t.Errorf("usage error exit = %d, want 2", c)
+	}
+
+	// Compile error: garbage source.
+	bad := filepath.Join(t.TempDir(), "bad.za")
+	if err := os.WriteFile(bad, []byte("program junk; not a program"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, stderr, err := runTool(t, "zplrun", bad)
+	if c := exitCode(t, err); c != 3 {
+		t.Errorf("compile error exit = %d, want 3 (stderr %q)", c, stderr)
+	}
+	if !strings.Contains(stderr, "compile error") {
+		t.Errorf("compile diagnostic missing: %q", stderr)
+	}
+
+	// Runtime error: step budget exhausted.
+	_, stderr, err = runTool(t, "zplrun", "-maxsteps", "10", "testdata/heat.za")
+	if c := exitCode(t, err); c != 1 {
+		t.Errorf("runtime error exit = %d, want 1 (stderr %q)", c, stderr)
+	}
+	if !strings.Contains(stderr, "budget") {
+		t.Errorf("budget diagnostic missing: %q", stderr)
+	}
+
+	// Timeout: a 1ms deadline on a long run.
+	_, stderr, err = runTool(t, "zplrun", "-timeout", "1ms",
+		"-config", "n=256", "-config", "steps=200", "testdata/heat.za")
+	if c := exitCode(t, err); c != 4 {
+		t.Errorf("timeout exit = %d, want 4 (stderr %q)", c, stderr)
+	}
+	if !strings.Contains(stderr, "timeout") {
+		t.Errorf("timeout diagnostic missing: %q", stderr)
+	}
+
+	// Success still exits 0.
+	if _, _, err := runTool(t, "zplrun", "testdata/heat.za"); err != nil {
+		t.Errorf("clean run failed: %v", err)
+	}
+}
+
+// TestExperimentsTimingsFlag: -timings appends the per-phase compile
+// latency table after the requested experiment.
+func TestExperimentsTimingsFlag(t *testing.T) {
+	out, _, err := runTool(t, "experiments", "-run", "fig7", "-timings")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Pipeline phase timings") {
+		t.Fatalf("timings table missing:\n%s", out)
+	}
+	for _, phase := range []string{"parse", "sema", "asdg", "fusion", "contraction"} {
+		if !strings.Contains(out, phase) {
+			t.Errorf("timings table missing phase %q:\n%s", phase, out)
+		}
 	}
 }

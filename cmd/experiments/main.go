@@ -10,6 +10,9 @@
 //	-size f    problem-size factor for the runtime studies (default 1.0)
 //	-jobs n    measurements to run concurrently (default: all CPUs)
 //	-out dir   also write each table to dir/<id>.txt
+//	-timings   collect per-phase compile latencies across every
+//	           measurement (driver phase hooks) and print the summary
+//	           table at the end
 package main
 
 import (
@@ -27,8 +30,10 @@ func main() {
 	size := flag.Float64("size", 1.0, "problem-size factor for runtime studies")
 	jobs := flag.Int("jobs", runtime.NumCPU(), "measurements to run concurrently")
 	out := flag.String("out", "", "directory to write tables into")
+	timings := flag.Bool("timings", false, "collect and print per-phase compile latencies")
 	flag.Parse()
 	harness.SetJobs(*jobs)
+	harness.SetTimings(*timings)
 
 	want := func(id string) bool { return *run == "all" || *run == id }
 	emit := func(id, text string) {
@@ -107,6 +112,12 @@ func main() {
 			fatal(err)
 		}
 		emit("origin", harness.FormatLatency("tomcatv", procs, pts))
+	}
+
+	if *timings {
+		if rep := harness.TimingsReport(); rep != "" {
+			emit("timings", rep)
+		}
 	}
 }
 

@@ -1,0 +1,89 @@
+// Command zpld is the long-running compile-and-run daemon: an HTTP
+// service over the compilation pipeline with a content-addressed
+// compilation cache, a bounded worker pool, per-request deadlines, and
+// built-in metrics. See internal/svc for the endpoint and status-code
+// reference, and cmd/zplload for the matching load generator.
+//
+// Usage:
+//
+//	zpld [flags]
+//
+//	-addr a            listen address (default 127.0.0.1:8348; use
+//	                   127.0.0.1:0 to pick a free port — the chosen
+//	                   address is printed to stderr)
+//	-workers n         concurrent compiles/runs (default: GOMAXPROCS)
+//	-queue n           waiting requests beyond the pool before 429s
+//	-cache-bytes n     compilation-cache budget (default 64 MiB)
+//	-max-body n        request-size limit in bytes (default 1 MiB)
+//	-timeout d         default per-request deadline (default 30s)
+//	-max-timeout d     cap on client-supplied deadlines (default 5m)
+//	-maxsteps n        execution budget per run; 0 = interpreter default
+//	-drain d           graceful-shutdown grace period (default 10s)
+//	-quiet             suppress the JSON request log on stderr
+//
+// SIGINT/SIGTERM drain the server: the health check flips to 503, new
+// requests are refused, and in-flight work gets the -drain grace.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/svc"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8348", "listen address")
+	workers := flag.Int("workers", 0, "concurrent compiles/runs (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "waiting requests beyond the pool (0 = 4x workers)")
+	cacheBytes := flag.Int64("cache-bytes", 64<<20, "compilation-cache budget in bytes")
+	maxBody := flag.Int64("max-body", 1<<20, "request-size limit in bytes")
+	timeout := flag.Duration("timeout", 30*time.Second, "default per-request deadline")
+	maxTimeout := flag.Duration("max-timeout", 5*time.Minute, "cap on client-supplied deadlines")
+	maxSteps := flag.Int64("maxsteps", 0, "execution budget per run (0 = interpreter default)")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown grace period")
+	quiet := flag.Bool("quiet", false, "suppress the JSON request log")
+	flag.Parse()
+
+	cfg := svc.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheBytes:     *cacheBytes,
+		MaxBodyBytes:   *maxBody,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		MaxSteps:       *maxSteps,
+		DrainTimeout:   *drain,
+	}
+	if !*quiet {
+		cfg.Logs = os.Stderr
+	}
+	s := svc.New(cfg)
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "zpld:", err)
+		os.Exit(1)
+	}
+	// Announce the bound address (port 0 resolves here) on a stable,
+	// parseable line; tests and scripts depend on it.
+	fmt.Fprintf(os.Stderr, "zpld: listening on %s\n", l.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	err = s.ServeListener(ctx, l)
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "zpld:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "zpld: drained, bye")
+}

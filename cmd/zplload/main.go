@@ -1,0 +1,269 @@
+// Command zplload is the load generator for zpld: it hammers the
+// service with a configurable mix of identical ("hot") and distinct
+// compile-and-run requests and reports throughput, latency
+// percentiles, and the server's cache behavior, so the service's
+// heavy-traffic claims are measurable and regression-testable.
+//
+// Usage:
+//
+//	zplload [flags]
+//
+//	-addr url      zpld base URL (default http://127.0.0.1:8348)
+//	-n count       total requests (default 200)
+//	-c n           concurrent clients (default 16)
+//	-duration d    run for a duration instead of a fixed count
+//	-endpoint e    run | compile (default run)
+//	-hot f         fraction of requests using the one hot variant
+//	               (default 0.6); the rest cycle -distinct variants
+//	-distinct k    number of distinct request variants (default 6)
+//	-level l       optimization level for every request (default c2+f3)
+//	-timeout-ms n  per-request deadline sent to the server (0 = server default)
+//	-v             print each failing response body
+//
+// Exit status is nonzero when any request fails.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// program is the load mix's source text: the paper's heat-diffusion
+// kernel. Distinct variants override the n config, so each variant is
+// a different content address compiling to a different problem size.
+const program = `
+program heatload;
+
+config n : integer = 24;
+config steps : integer = 4;
+
+region R = [1..n, 1..n];
+region I = [2..n-1, 2..n-1];
+
+direction up = (-1, 0); down = (1, 0); left = (0, -1); right = (0, 1);
+
+var T : [R] double;
+var LAP : [R] double;
+var heatsum : double;
+
+proc main()
+begin
+  [R] T := 0.0;
+  [I] T := 100.0 * sin(0.1 * index1) * sin(0.1 * index2);
+  for s := 1 to steps do
+    [I] LAP := T@up + T@down + T@left + T@right - 4.0 * T;
+    [I] T := T + 0.1 * LAP;
+    heatsum := +<< [I] T;
+  end;
+  writeln("heat =", heatsum);
+end;
+`
+
+type request struct {
+	Source    string           `json:"source"`
+	Level     string           `json:"level,omitempty"`
+	Configs   map[string]int64 `json:"configs,omitempty"`
+	TimeoutMS int64            `json:"timeout_ms,omitempty"`
+}
+
+type result struct {
+	status int
+	dur    time.Duration
+	err    error
+	body   string
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8348", "zpld base URL")
+	n := flag.Int("n", 200, "total requests")
+	conc := flag.Int("c", 16, "concurrent clients")
+	duration := flag.Duration("duration", 0, "run for a duration instead of a fixed count")
+	endpoint := flag.String("endpoint", "run", "run | compile")
+	hot := flag.Float64("hot", 0.6, "fraction of requests using the hot variant")
+	distinct := flag.Int("distinct", 6, "number of distinct request variants")
+	level := flag.String("level", "c2+f3", "optimization level")
+	timeoutMS := flag.Int64("timeout-ms", 0, "per-request deadline sent to the server")
+	verbose := flag.Bool("v", false, "print each failing response body")
+	flag.Parse()
+
+	if *endpoint != "run" && *endpoint != "compile" {
+		fmt.Fprintf(os.Stderr, "zplload: unknown endpoint %q (want run or compile)\n", *endpoint)
+		os.Exit(2)
+	}
+	if *distinct < 1 {
+		*distinct = 1
+	}
+	url := strings.TrimSuffix(*addr, "/") + "/" + *endpoint
+
+	// Pre-marshal every variant body: variant 0 is the hot key, the
+	// others shift the problem size (a different content address).
+	bodies := make([][]byte, *distinct+1)
+	for v := 0; v <= *distinct; v++ {
+		req := request{Source: program, Level: *level, TimeoutMS: *timeoutMS}
+		if v > 0 {
+			req.Configs = map[string]int64{"n": int64(16 + 4*v)}
+		}
+		b, err := json.Marshal(req)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "zplload:", err)
+			os.Exit(2)
+		}
+		bodies[v] = b
+	}
+
+	before := scrapeCache(*addr)
+
+	client := &http.Client{Timeout: 2 * time.Minute}
+	var issued atomic.Int64
+	deadline := time.Time{}
+	if *duration > 0 {
+		deadline = time.Now().Add(*duration)
+	}
+	next := func() (int64, bool) {
+		i := issued.Add(1) - 1
+		if *duration > 0 {
+			return i, time.Now().Before(deadline)
+		}
+		return i, i < int64(*n)
+	}
+
+	resc := make(chan result, 1024)
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for w := 0; w < *conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i, ok := next()
+				if !ok {
+					return
+				}
+				// Deterministic mix: the first ceil(hot*window) of
+				// every 100-request window hit the hot variant, the
+				// rest cycle the distinct ones.
+				variant := 0
+				if float64(i%100) >= *hot*100 {
+					variant = 1 + int(i)%*distinct
+				}
+				rt0 := time.Now()
+				resp, err := client.Post(url, "application/json", bytes.NewReader(bodies[variant]))
+				r := result{dur: time.Since(rt0), err: err}
+				if err == nil {
+					body, _ := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					r.status = resp.StatusCode
+					if resp.StatusCode != http.StatusOK {
+						r.body = string(body)
+					}
+				}
+				resc <- r
+			}
+		}()
+	}
+	go func() { wg.Wait(); close(resc) }()
+
+	var durs []time.Duration
+	var failures int
+	byStatus := map[int]int{}
+	for r := range resc {
+		durs = append(durs, r.dur)
+		switch {
+		case r.err != nil:
+			failures++
+			if *verbose {
+				fmt.Fprintf(os.Stderr, "zplload: transport error: %v\n", r.err)
+			}
+		case r.status != http.StatusOK:
+			failures++
+			byStatus[r.status]++
+			if *verbose {
+				fmt.Fprintf(os.Stderr, "zplload: HTTP %d: %s\n", r.status, strings.TrimSpace(r.body))
+			}
+		default:
+			byStatus[r.status]++
+		}
+	}
+	elapsed := time.Since(t0)
+
+	total := len(durs)
+	fmt.Printf("zplload: %d requests in %v (%.1f req/s), concurrency %d, endpoint /%s\n",
+		total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds(), *conc, *endpoint)
+	var statuses []int
+	for s := range byStatus {
+		statuses = append(statuses, s)
+	}
+	sort.Ints(statuses)
+	parts := make([]string, 0, len(statuses))
+	for _, s := range statuses {
+		parts = append(parts, fmt.Sprintf("%d×HTTP %d", byStatus[s], s))
+	}
+	fmt.Printf("zplload: status: %s\n", strings.Join(parts, ", "))
+	fmt.Printf("zplload: errors: %d\n", failures)
+	if total > 0 {
+		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+		q := func(f float64) time.Duration {
+			i := int(f * float64(total-1))
+			return durs[i]
+		}
+		fmt.Printf("zplload: latency p50=%v p90=%v p99=%v max=%v\n",
+			q(0.50).Round(time.Microsecond), q(0.90).Round(time.Microsecond),
+			q(0.99).Round(time.Microsecond), durs[total-1].Round(time.Microsecond))
+	}
+
+	if after := scrapeCache(*addr); after != nil && before != nil {
+		hits := after["zpld_cache_hits_total"] - before["zpld_cache_hits_total"]
+		misses := after["zpld_cache_misses_total"] - before["zpld_cache_misses_total"]
+		dedup := after["zpld_cache_dedup_hits_total"] - before["zpld_cache_dedup_hits_total"]
+		den := hits + misses + dedup
+		rate := 0.0
+		if den > 0 {
+			rate = float64(hits+dedup) / float64(den) * 100
+		}
+		fmt.Printf("zplload: cache: %.0f hits, %.0f misses, %.0f dedup (hit rate %.1f%%)\n",
+			hits, misses, dedup, rate)
+	}
+
+	if failures > 0 {
+		os.Exit(1)
+	}
+}
+
+// scrapeCache fetches /metrics and extracts the unlabeled counters.
+func scrapeCache(addr string) map[string]float64 {
+	resp, err := http.Get(strings.TrimSuffix(addr, "/") + "/metrics")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil
+	}
+	out := map[string]float64{}
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, val, ok := strings.Cut(line, " ")
+		if !ok || strings.Contains(name, "{") {
+			continue
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err == nil {
+			out[name] = f
+		}
+	}
+	return out
+}

@@ -19,14 +19,30 @@
 //	              (rejected together with a positional file argument)
 //	-check        run the static verifier between pipeline phases;
 //	              any finding aborts before execution
+//	-timeout d    wall-clock deadline for the whole compile+run
+//	              (e.g. 500ms, 10s); 0 disables
+//	-maxsteps n   element-statement execution budget; 0 keeps the
+//	              interpreter default
+//
+// Exit codes distinguish the failure paths (so scripts and the service
+// can tell them apart):
+//
+//	0  success
+//	1  runtime error (execution fault, budget exhaustion)
+//	2  usage error (bad flags, conflicting sources)
+//	3  compile error (parse/sema/lowering/verifier failure)
+//	4  timeout (the -timeout deadline expired, compiling or running)
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/comm"
 	"repro/internal/core"
@@ -35,6 +51,14 @@ import (
 	"repro/internal/machine"
 	"repro/internal/programs"
 	"repro/internal/vm"
+)
+
+// Exit codes; keep in sync with the doc comment above.
+const (
+	exitRuntime = 1
+	exitUsage   = 2
+	exitCompile = 3
+	exitTimeout = 4
 )
 
 type configFlags map[string]int64
@@ -61,6 +85,8 @@ func main() {
 	mach := flag.String("machine", "", "machine model: t3e | sp2 | paragon")
 	bench := flag.String("bench", "", "built-in benchmark name")
 	runCheck := flag.Bool("check", false, "run the static verifier between pipeline phases")
+	timeout := flag.Duration("timeout", 0, "wall-clock deadline for compile+run; 0 disables")
+	maxSteps := flag.Int64("maxsteps", 0, "element-statement execution budget; 0 = interpreter default")
 	configs := configFlags{}
 	flag.Var(configs, "config", "override a config constant, key=value")
 	flag.Parse()
@@ -70,37 +96,48 @@ func main() {
 	case *bench != "" && flag.NArg() > 0:
 		// A silent choice between the two sources would run something
 		// other than what the user named.
-		fatal(fmt.Errorf("-bench %s conflicts with file argument %q: pass one program source, not both", *bench, flag.Arg(0)))
+		fatalUsage(fmt.Errorf("-bench %s conflicts with file argument %q: pass one program source, not both", *bench, flag.Arg(0)))
 	case *bench != "":
 		b, ok := programs.ByName(*bench)
 		if !ok {
-			fatal(fmt.Errorf("unknown benchmark %q", *bench))
+			fatalUsage(fmt.Errorf("unknown benchmark %q", *bench))
 		}
 		src = b.Source
 	case flag.NArg() == 1:
 		data, err := os.ReadFile(flag.Arg(0))
 		if err != nil {
-			fatal(err)
+			fatalUsage(err)
 		}
 		src = string(data)
 	default:
 		fmt.Fprintln(os.Stderr, "usage: zplrun [flags] file.za")
 		flag.Usage()
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
 
 	lvl, err := core.ParseLevel(*level)
 	if err != nil {
-		fatal(err)
+		fatalUsage(err)
 	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	opt := driver.Options{Level: lvl, Configs: configs, Check: *runCheck}
 	if *procs > 1 {
 		co := comm.DefaultOptions(*procs)
 		opt.Comm = &co
 	}
-	c, err := driver.Compile(src, opt)
+	c, err := driver.CompileCtx(ctx, src, opt)
 	if err != nil {
-		fatal(err)
+		if errors.Is(err, context.DeadlineExceeded) {
+			fatalTimeout(fmt.Errorf("timeout after %v while compiling", *timeout))
+		}
+		fatalCompile(err)
 	}
 
 	var model *machine.Model
@@ -116,22 +153,22 @@ func main() {
 		m := machine.Paragon()
 		model = &m
 	default:
-		fatal(fmt.Errorf("unknown machine %q", *mach))
+		fatalUsage(fmt.Errorf("unknown machine %q", *mach))
 	}
 
 	if *distributed {
 		if *procs < 2 {
-			fatal(fmt.Errorf("-dist requires -p > 1"))
+			fatalUsage(fmt.Errorf("-dist requires -p > 1"))
 		}
 		if model != nil {
 			// The machine models price a traced sequential execution;
 			// the distributed interpreter performs real exchanges and
 			// has no tracer, so the model would be silently ignored.
-			fatal(fmt.Errorf("-machine %s cannot be combined with -dist: cost models apply to the sequential (traced) execution only", *mach))
+			fatalUsage(fmt.Errorf("-machine %s cannot be combined with -dist: cost models apply to the sequential (traced) execution only", *mach))
 		}
-		dm, err := distvm.Run(c.LIR, distvm.Options{Procs: *procs, Out: os.Stdout})
+		dm, err := distvm.Run(c.LIR, distvm.Options{Procs: *procs, Out: os.Stdout, MaxSteps: *maxSteps, Ctx: ctx})
 		if err != nil {
-			fatal(err)
+			fatalRun(err, *timeout)
 		}
 		if err := dm.ScalarsConsistent(); err != nil {
 			fatal(fmt.Errorf("replicated-scalar invariant violated: %w", err))
@@ -140,7 +177,7 @@ func main() {
 		return
 	}
 
-	vopt := vm.Options{Out: os.Stdout}
+	vopt := vm.Options{Out: os.Stdout, MaxSteps: *maxSteps, Ctx: ctx}
 	var tracer *machine.CostTracer
 	if model != nil {
 		tracer = machine.NewCostTracer(*model, *procs)
@@ -148,7 +185,7 @@ func main() {
 	}
 	m, res, err := c.Run(vopt)
 	if err != nil {
-		fatal(err)
+		fatalRun(err, *timeout)
 	}
 	fmt.Fprintf(os.Stderr, "zplrun: %d element-statements, %d bytes of arrays\n",
 		res.Steps, m.MemoryFootprint())
@@ -162,7 +199,31 @@ func main() {
 	}
 }
 
+// fatalRun classifies an execution failure: a deadline expiry is a
+// timeout (exit 4), everything else a runtime error (exit 1).
+func fatalRun(err error, timeout time.Duration) {
+	if errors.Is(err, context.DeadlineExceeded) {
+		fatalTimeout(fmt.Errorf("timeout after %v while running: %w", timeout, err))
+	}
+	fatal(err)
+}
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "zplrun:", err)
-	os.Exit(1)
+	os.Exit(exitRuntime)
+}
+
+func fatalUsage(err error) {
+	fmt.Fprintln(os.Stderr, "zplrun:", err)
+	os.Exit(exitUsage)
+}
+
+func fatalCompile(err error) {
+	fmt.Fprintln(os.Stderr, "zplrun: compile error:", err)
+	os.Exit(exitCompile)
+}
+
+func fatalTimeout(err error) {
+	fmt.Fprintln(os.Stderr, "zplrun:", err)
+	os.Exit(exitTimeout)
 }

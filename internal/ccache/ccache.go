@@ -1,0 +1,304 @@
+// Package ccache is a content-addressed compilation cache: entries
+// are keyed by the SHA-256 of the program source plus a canonical
+// fingerprint of the driver options that shape the artifact, so a
+// repeated compile of an identical (source, options) request is a map
+// lookup instead of a pipeline run. Two mechanisms make it safe to
+// put in front of a concurrent service:
+//
+//   - byte-bounded LRU eviction: the cache never holds more than its
+//     budget of artifact bytes, evicting least-recently-used entries;
+//   - singleflight deduplication: N concurrent requests for the same
+//     missing key cost one compile — one caller computes, the others
+//     block on its result and share the entry (or its error).
+//
+// Cached entries are shared by reference, which is sound because a
+// finished Compilation is immutable: the VM and the distributed
+// interpreter allocate their own storage per run and only read the
+// LIR (see internal/vm, internal/distvm).
+package ccache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/driver"
+	"repro/internal/lir"
+)
+
+// Key is the content address of one compilation.
+type Key [sha256.Size]byte
+
+// String renders the key as hex (shortened keys are for logs; the map
+// always uses the full digest).
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// Fingerprint renders the semantically significant fields of
+// driver.Options in a canonical form: optimization level, sorted
+// config overrides, scalar replacement, verifier gating, and the full
+// communication configuration (processor count, strategy, and each
+// optimization toggle — the "machine model" of a request). Hooks are
+// deliberately excluded: they observe a compilation without changing
+// its artifact.
+func Fingerprint(opt driver.Options) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "level=%s", opt.Level)
+	if len(opt.Configs) > 0 {
+		names := make([]string, 0, len(opt.Configs))
+		for k := range opt.Configs {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		b.WriteString(";configs=")
+		for i, k := range names {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%s=%d", k, opt.Configs[k])
+		}
+	}
+	fmt.Fprintf(&b, ";scalarrep=%t;check=%t", opt.ScalarReplace, opt.Check)
+	if opt.Comm != nil && opt.Comm.Procs > 1 {
+		c := opt.Comm
+		fmt.Fprintf(&b, ";comm=procs=%d,strategy=%s,relim=%t,combine=%t,pipeline=%t",
+			c.Procs, c.Strategy, c.RedundancyElim, c.Combine, c.Pipeline)
+	}
+	return b.String()
+}
+
+// KeyOf derives the content address of (source, options).
+func KeyOf(source string, opt driver.Options) Key {
+	h := sha256.New()
+	h.Write([]byte(Fingerprint(opt)))
+	h.Write([]byte{0})
+	h.Write([]byte(source))
+	var k Key
+	copy(k[:], h.Sum(nil))
+	return k
+}
+
+// Entry is one cached compilation artifact: the compiled program
+// (AIR/LIR), the generated Go source, and the experiment-ready plan
+// metadata the service reports without re-deriving.
+type Entry struct {
+	Key    Key
+	Source string
+	Comp   *driver.Compilation
+	GoSrc  string // generated Go program ("" when emission was not requested)
+	Plan   string // plan summary: contraction counts, nests, comm stats
+	Size   int64  // accounted bytes; see SizeOf
+}
+
+// SizeOf estimates the resident cost of an entry in bytes: the exact
+// length of its textual artifacts plus a structural estimate for the
+// IR (nodes are small heap objects; 128 bytes each is deliberately
+// generous so the byte bound errs toward evicting early).
+func SizeOf(e *Entry) int64 {
+	n := int64(len(e.Source) + len(e.GoSrc) + len(e.Plan))
+	if e.Comp != nil && e.Comp.LIR != nil {
+		n += 128 * countNodes(e.Comp.LIR)
+	}
+	return n + 4096 // fixed overhead: maps, headers, sema info
+}
+
+func countNodes(p *lir.Program) int64 {
+	var n int64
+	var walk func(ns []lir.Node)
+	walk = func(ns []lir.Node) {
+		for _, nd := range ns {
+			n++
+			switch x := nd.(type) {
+			case *lir.Nest:
+				n += int64(len(x.Body))
+			case *lir.Loop:
+				walk(x.Body)
+			case *lir.While:
+				walk(x.Body)
+			case *lir.If:
+				walk(x.Then)
+				walk(x.Else)
+			}
+		}
+	}
+	for _, pr := range p.Procs {
+		walk(pr.Body)
+	}
+	return n
+}
+
+// Outcome says how a lookup was served.
+type Outcome int
+
+// Lookup outcomes.
+const (
+	// Miss: this caller ran the compile.
+	Miss Outcome = iota
+	// Hit: served from the cache.
+	Hit
+	// Dedup: joined another caller's in-flight compile of the same key.
+	Dedup
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Hit:
+		return "hit"
+	case Dedup:
+		return "dedup"
+	default:
+		return "miss"
+	}
+}
+
+// Stats is a snapshot of the cache's counters.
+type Stats struct {
+	Hits      int64 // lookups served from the cache
+	Misses    int64 // lookups that ran a compile
+	DedupHits int64 // lookups that joined an in-flight compile
+	Evictions int64 // entries evicted by the byte bound
+	TooLarge  int64 // computed entries larger than the whole budget (never cached)
+	Bytes     int64 // resident artifact bytes
+	Entries   int64 // resident entry count
+	MaxBytes  int64 // configured budget
+}
+
+// HitRate is the fraction of lookups that did not run a compile.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses + s.DedupHits
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits+s.DedupHits) / float64(total)
+}
+
+type flight struct {
+	done chan struct{}
+	e    *Entry
+	err  error
+}
+
+// Cache is the byte-bounded LRU cache with singleflight lookups.
+// All methods are safe for concurrent use.
+type Cache struct {
+	mu       sync.Mutex
+	max      int64
+	size     int64
+	ll       *list.List // front = most recently used; values are *Entry
+	entries  map[Key]*list.Element
+	inflight map[Key]*flight
+
+	hits, misses, dedup, evictions, tooLarge int64
+}
+
+// New creates a cache bounded to maxBytes of accounted artifact bytes.
+// maxBytes <= 0 means unbounded.
+func New(maxBytes int64) *Cache {
+	return &Cache{
+		max:      maxBytes,
+		ll:       list.New(),
+		entries:  map[Key]*list.Element{},
+		inflight: map[Key]*flight{},
+	}
+}
+
+// GetOrCompute returns the entry for k, computing it at most once
+// across concurrent callers. On a miss this caller runs compute and
+// (on success) inserts the result, evicting LRU entries past the byte
+// bound; concurrent callers for the same key block and share the
+// result or error. Errors are never cached.
+func (c *Cache) GetOrCompute(k Key, compute func() (*Entry, error)) (*Entry, Outcome, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[k]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		e := el.Value.(*Entry)
+		c.mu.Unlock()
+		return e, Hit, nil
+	}
+	if fl, ok := c.inflight[k]; ok {
+		c.dedup++
+		c.mu.Unlock()
+		<-fl.done
+		return fl.e, Dedup, fl.err
+	}
+	fl := &flight{done: make(chan struct{})}
+	c.inflight[k] = fl
+	c.misses++
+	c.mu.Unlock()
+
+	e, err := compute()
+	fl.e, fl.err = e, err
+
+	c.mu.Lock()
+	delete(c.inflight, k)
+	if err == nil && e != nil {
+		c.insertLocked(k, e)
+	}
+	c.mu.Unlock()
+	close(fl.done)
+	return e, Miss, err
+}
+
+// Get peeks without computing; it counts as a hit and refreshes
+// recency when present.
+func (c *Cache) Get(k Key) (*Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[k]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits++
+	return el.Value.(*Entry), true
+}
+
+func (c *Cache) insertLocked(k Key, e *Entry) {
+	e.Key = k // eviction needs the reverse mapping
+	if e.Size <= 0 {
+		e.Size = SizeOf(e)
+	}
+	if old, ok := c.entries[k]; ok {
+		// A racing flight already inserted (possible when compute was
+		// retried externally); keep the resident entry's recency.
+		c.ll.MoveToFront(old)
+		return
+	}
+	if c.max > 0 && e.Size > c.max {
+		c.tooLarge++
+		return
+	}
+	c.entries[k] = c.ll.PushFront(e)
+	c.size += e.Size
+	for c.max > 0 && c.size > c.max {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		victim := back.Value.(*Entry)
+		c.ll.Remove(back)
+		delete(c.entries, victim.Key)
+		c.size -= victim.Size
+		c.evictions++
+	}
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		DedupHits: c.dedup,
+		Evictions: c.evictions,
+		TooLarge:  c.tooLarge,
+		Bytes:     c.size,
+		Entries:   int64(c.ll.Len()),
+		MaxBytes:  c.max,
+	}
+}

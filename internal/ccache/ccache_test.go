@@ -1,0 +1,209 @@
+package ccache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/driver"
+)
+
+func keyN(n int) Key {
+	var k Key
+	k[0] = byte(n)
+	k[1] = byte(n >> 8)
+	return k
+}
+
+func entryN(n int, size int64) *Entry {
+	return &Entry{Source: fmt.Sprintf("prog-%d", n), Size: size}
+}
+
+// TestLRUEvictionAtByteBound: inserting past the byte budget must
+// evict exactly the least-recently-used entries, and touching an entry
+// must rescue it from eviction order.
+func TestLRUEvictionAtByteBound(t *testing.T) {
+	c := New(300)
+	for i := 0; i < 3; i++ {
+		c.GetOrCompute(keyN(i), func() (*Entry, error) { return entryN(i, 100), nil })
+	}
+	if s := c.Stats(); s.Entries != 3 || s.Bytes != 300 || s.Evictions != 0 {
+		t.Fatalf("warm state wrong: %+v", s)
+	}
+
+	// Touch key 0 so key 1 is now the LRU.
+	if _, ok := c.Get(keyN(0)); !ok {
+		t.Fatal("key 0 missing before eviction")
+	}
+
+	// Insert a 150-byte entry: must evict keys 1 and 2 (LRU order),
+	// keeping 0 and 3.
+	c.GetOrCompute(keyN(3), func() (*Entry, error) { return entryN(3, 150), nil })
+	s := c.Stats()
+	if s.Evictions != 2 {
+		t.Fatalf("evictions = %d, want 2 (stats %+v)", s.Evictions, s)
+	}
+	if s.Bytes != 250 || s.Entries != 2 {
+		t.Fatalf("resident = %d bytes / %d entries, want 250/2", s.Bytes, s.Entries)
+	}
+	if _, ok := c.Get(keyN(1)); ok {
+		t.Error("LRU key 1 survived eviction")
+	}
+	if _, ok := c.Get(keyN(2)); ok {
+		t.Error("key 2 survived eviction")
+	}
+	if _, ok := c.Get(keyN(0)); !ok {
+		t.Error("recently-touched key 0 was evicted")
+	}
+	if _, ok := c.Get(keyN(3)); !ok {
+		t.Error("fresh key 3 was evicted")
+	}
+
+	// An entry larger than the whole budget is never cached (and must
+	// not evict the world to make room).
+	c.GetOrCompute(keyN(9), func() (*Entry, error) { return entryN(9, 1000), nil })
+	s = c.Stats()
+	if s.TooLarge != 1 {
+		t.Errorf("tooLarge = %d, want 1", s.TooLarge)
+	}
+	if _, ok := c.Get(keyN(9)); ok {
+		t.Error("oversized entry was cached")
+	}
+	if _, ok := c.Get(keyN(0)); !ok {
+		t.Error("oversized insert evicted resident entries")
+	}
+}
+
+// TestSingleflightCollapse: 100 concurrent identical requests must
+// cost exactly one compute; run under -race this also proves the
+// locking discipline.
+func TestSingleflightCollapse(t *testing.T) {
+	c := New(1 << 20)
+	var computes atomic.Int64
+	var wg sync.WaitGroup
+	results := make([]*Entry, 100)
+	outcomes := make([]Outcome, 100)
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e, o, err := c.GetOrCompute(keyN(7), func() (*Entry, error) {
+				computes.Add(1)
+				time.Sleep(20 * time.Millisecond) // hold the flight open
+				return entryN(7, 64), nil
+			})
+			if err != nil {
+				t.Errorf("request %d: %v", i, err)
+			}
+			results[i] = e
+			outcomes[i] = o
+		}(i)
+	}
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("compute ran %d times, want 1", n)
+	}
+	var miss, dedup, hit int
+	for i := range results {
+		if results[i] != results[0] {
+			t.Fatalf("request %d got a different entry", i)
+		}
+		switch outcomes[i] {
+		case Miss:
+			miss++
+		case Dedup:
+			dedup++
+		case Hit:
+			hit++
+		}
+	}
+	if miss != 1 {
+		t.Errorf("misses = %d, want exactly 1 leader", miss)
+	}
+	if dedup+hit != 99 {
+		t.Errorf("dedup %d + hit %d = %d, want 99 followers", dedup, hit, dedup+hit)
+	}
+	s := c.Stats()
+	if s.Misses != 1 || s.DedupHits != int64(dedup) {
+		t.Errorf("stats disagree with outcomes: %+v", s)
+	}
+	// Errors must not be cached: a failing flight leaves the key
+	// recomputable.
+	boom := errors.New("boom")
+	_, _, err := c.GetOrCompute(keyN(8), func() (*Entry, error) { return nil, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+	_, o, err := c.GetOrCompute(keyN(8), func() (*Entry, error) { return entryN(8, 10), nil })
+	if err != nil || o != Miss {
+		t.Errorf("after failed flight: outcome %v err %v, want fresh miss", o, err)
+	}
+}
+
+// TestKeySensitivity: the content address must move when — and only
+// when — a semantically significant input moves.
+func TestKeySensitivity(t *testing.T) {
+	src := "program p; ... end;"
+	base := driver.Options{Level: core.C2F3, Configs: map[string]int64{"n": 32, "steps": 5}}
+
+	same := driver.Options{Level: core.C2F3, Configs: map[string]int64{"steps": 5, "n": 32}}
+	if KeyOf(src, base) != KeyOf(src, same) {
+		t.Error("config map iteration order changed the key")
+	}
+
+	// Hooks are observational, not semantic.
+	hooked := base
+	hooked.Hooks = driver.Hooks{PhaseStart: func(string) {}, PhaseEnd: func(string) {}}
+	if KeyOf(src, base) != KeyOf(src, hooked) {
+		t.Error("hooks changed the key")
+	}
+
+	distinct := map[string]Key{"base": KeyOf(src, base)}
+	add := func(name string, k Key) {
+		for prev, pk := range distinct {
+			if pk == k {
+				t.Errorf("%s collides with %s", name, prev)
+			}
+		}
+		distinct[name] = k
+	}
+
+	lvl := base
+	lvl.Level = core.Baseline
+	add("level", KeyOf(src, lvl))
+
+	cfg := base
+	cfg.Configs = map[string]int64{"n": 64, "steps": 5}
+	add("config", KeyOf(src, cfg))
+
+	co4 := comm.DefaultOptions(4)
+	dist := base
+	dist.Comm = &co4
+	add("procs=4", KeyOf(src, dist))
+
+	co8 := comm.DefaultOptions(8)
+	dist8 := base
+	dist8.Comm = &co8
+	add("procs=8", KeyOf(src, dist8))
+
+	strat := base
+	coFC := comm.DefaultOptions(4)
+	coFC.Strategy = comm.FavorComm
+	strat.Comm = &coFC
+	add("strategy", KeyOf(src, strat))
+
+	srep := base
+	srep.ScalarReplace = true
+	add("scalarrep", KeyOf(src, srep))
+
+	chk := base
+	chk.Check = true
+	add("check", KeyOf(src, chk))
+
+	add("source", KeyOf(src+" ", base))
+}

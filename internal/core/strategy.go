@@ -127,6 +127,25 @@ type Config struct {
 	// communication segments; fusion may not cross segment boundaries
 	// (the FavorComm strategy of §5.5).
 	SegmentFn func(stmts []air.Stmt) []int
+	// PhaseStart/PhaseEnd observe the optimizer's internal phases for
+	// metrics: "asdg" (dependence-graph construction), "fusion" (the
+	// partitioning ladder), and "contraction" (contraction
+	// bookkeeping), emitted once per statement block. Either may be
+	// nil.
+	PhaseStart func(name string)
+	PhaseEnd   func(name string)
+}
+
+func (c Config) begin(name string) {
+	if c.PhaseStart != nil {
+		c.PhaseStart(name)
+	}
+}
+
+func (c Config) done(name string) {
+	if c.PhaseEnd != nil {
+		c.PhaseEnd(name)
+	}
 }
 
 // Apply runs the strategy ladder on every block of the program. It
@@ -147,10 +166,12 @@ func ApplyEx(prog *air.Program, level Level, cfg Config) *Plan {
 		if level.FusesUsers() && !cfg.DisableRealign {
 			RealignTemps(prog, b, candidates)
 		}
+		cfg.begin("asdg")
 		g := asdg.Build(b.Stmts)
 		if cfg.SegmentFn != nil {
 			g.Seg = cfg.SegmentFn(b.Stmts)
 		}
+		cfg.done("asdg")
 
 		var temps []string
 		for _, x := range candidates {
@@ -161,6 +182,7 @@ func ApplyEx(prog *air.Program, level Level, cfg Config) *Plan {
 
 		var p *Partition
 		contracted := map[string]bool{}
+		cfg.begin("fusion")
 		switch level {
 		case Baseline:
 			p = Trivial(g)
@@ -195,8 +217,10 @@ func ApplyEx(prog *air.Program, level Level, cfg Config) *Plan {
 		default:
 			p = Trivial(g)
 		}
+		cfg.done("fusion")
 
 		bp := &BlockPlan{Block: b, Graph: g, Part: p}
+		cfg.begin("contraction")
 		for x := range contracted {
 			bp.Contracted = append(bp.Contracted, x)
 			plan.Contracted[x] = true
@@ -205,6 +229,7 @@ func ApplyEx(prog *air.Program, level Level, cfg Config) *Plan {
 			}
 		}
 		sort.Strings(bp.Contracted)
+		cfg.done("contraction")
 		plan.Blocks = append(plan.Blocks, bp)
 	}
 	return plan

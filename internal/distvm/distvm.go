@@ -35,6 +35,7 @@
 package distvm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -54,6 +55,12 @@ type Options struct {
 	Out      io.Writer     // processor 0's writeln output; nil discards
 	MaxSteps int64         // element-execution budget; 0 = default 1e9
 	Timeout  time.Duration // watchdog for lost processors; 0 = default 30s
+	// Ctx, when non-nil, cancels the run: cancellation aborts every
+	// processor the same way a peer failure does (blocked channel
+	// operations and the per-statement budget poll both observe the
+	// abort). The run reports ctx.Err() (errors.Is-testable for
+	// context.DeadlineExceeded).
+	Ctx context.Context
 }
 
 // Machine is the distributed interpreter state. During a run the only
@@ -155,6 +162,23 @@ func Run(prog *lir.Program, opt Options) (*Machine, error) {
 	}
 	m.allocate()
 	m.openChannels()
+
+	if opt.Ctx != nil {
+		// A cancelled context aborts the run exactly like a failing
+		// processor: failErr is set once and m.done releases every
+		// blocked channel operation. The watcher exits when the run
+		// finishes first.
+		finished := make(chan struct{})
+		defer close(finished)
+		go func() {
+			select {
+			case <-opt.Ctx.Done():
+				m.abort(fmt.Errorf("distvm: execution cancelled: %w", opt.Ctx.Err()))
+			case <-finished:
+			case <-m.done:
+			}
+		}()
+	}
 
 	m.scalars = make([]map[string]float64, m.procs)
 	var wg sync.WaitGroup

@@ -9,6 +9,7 @@
 package driver
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/air"
@@ -23,6 +24,31 @@ import (
 	"repro/internal/source"
 	"repro/internal/vm"
 )
+
+// Hooks observes pipeline phase boundaries. The driver brackets each
+// phase with PhaseStart(name)/PhaseEnd(name); the names it emits are
+// "parse", "sema", "lower", "comm", "asdg", "fusion", "contraction",
+// "scalarize", and "check" (the optimizer's internal asdg/fusion/
+// contraction phases are reported once per statement block). Either
+// callback may be nil. A Hooks value belongs to a single Compile call:
+// it is invoked sequentially, but two concurrent compilations must not
+// share one stateful pair.
+type Hooks struct {
+	PhaseStart func(name string)
+	PhaseEnd   func(name string)
+}
+
+func (h Hooks) begin(name string) {
+	if h.PhaseStart != nil {
+		h.PhaseStart(name)
+	}
+}
+
+func (h Hooks) done(name string) {
+	if h.PhaseEnd != nil {
+		h.PhaseEnd(name)
+	}
+}
 
 // Options selects problem size and optimization strategy.
 type Options struct {
@@ -40,6 +66,10 @@ type Options struct {
 	// Check runs the static verifier (package check) between pipeline
 	// phases and fails the compilation on any report.
 	Check bool
+	// Hooks observes phase boundaries (metrics, tracing). Not part of
+	// a compilation's semantic identity: two Options differing only in
+	// Hooks produce identical artifacts (see ccache.Fingerprint).
+	Hooks Hooks
 }
 
 // Compilation is the result of one pipeline run.
@@ -53,29 +83,64 @@ type Compilation struct {
 
 // Compile runs the full pipeline on ZA source text.
 func Compile(src string, opt Options) (*Compilation, error) {
+	return CompileCtx(context.Background(), src, opt)
+}
+
+// CompileCtx is Compile with cancellation: the context is consulted
+// between pipeline phases, so a cancelled or expired request stops
+// compiling promptly and returns ctx.Err() (errors.Is-testable for
+// context.DeadlineExceeded).
+func CompileCtx(ctx context.Context, src string, opt Options) (*Compilation, error) {
+	h := opt.Hooks
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
 	var errs source.ErrorList
+	h.begin("parse")
 	prog := parser.Parse(src, &errs)
+	h.done("parse")
 	if errs.HasErrors() {
 		return nil, errs.Err()
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	h.begin("sema")
 	info := sema.Check(prog, opt.Configs, &errs)
+	h.done("sema")
 	if errs.HasErrors() {
 		return nil, errs.Err()
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	h.begin("lower")
 	airProg := lower.Lower(info, &errs)
+	h.done("lower")
 	if errs.HasErrors() {
 		return nil, errs.Err()
 	}
 	if opt.Check {
-		if err := check.Err(check.AIRWellFormed(airProg)); err != nil {
+		h.begin("check")
+		err := check.Err(check.AIRWellFormed(airProg))
+		h.done("check")
+		if err != nil {
 			return nil, fmt.Errorf("driver: after lowering: %w", err)
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	var commRes *comm.Result
-	cfg := core.Config{}
+	cfg := core.Config{PhaseStart: h.PhaseStart, PhaseEnd: h.PhaseEnd}
 	if opt.Comm != nil && opt.Comm.Procs > 1 {
+		h.begin("comm")
 		commRes = comm.Insert(airProg, *opt.Comm)
+		h.done("comm")
 		// Distributed arrays cannot host realigned temporaries (the
 		// shifted temp would itself need communication).
 		cfg.DisableRealign = true
@@ -83,9 +148,13 @@ func Compile(src string, opt Options) (*Compilation, error) {
 			cfg.SegmentFn = comm.Segments
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	plan := core.ApplyEx(airProg, opt.Level, cfg)
 	if opt.Check {
+		h.begin("check")
 		var reps []check.Report
 		// Re-verify well-formedness too: comm insertion and temporary
 		// realignment both rewrote the AIR since the last look.
@@ -93,22 +162,36 @@ func Compile(src string, opt Options) (*Compilation, error) {
 		reps = append(reps, check.ASDGCrossCheck(airProg, plan)...)
 		reps = append(reps, check.FusionLegality(airProg, plan)...)
 		reps = append(reps, check.ContractionSafety(airProg, plan)...)
-		if err := check.Err(reps); err != nil {
+		err := check.Err(reps)
+		h.done("check")
+		if err != nil {
 			return nil, fmt.Errorf("driver: after planning: %w", err)
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
+	h.begin("scalarize")
 	lirProg, err := scalarize.Scalarize(airProg, plan)
 	if err != nil {
+		h.done("scalarize")
 		return nil, fmt.Errorf("driver: %w", err)
 	}
 	if opt.ScalarReplace {
 		scalarize.ScalarReplace(lirProg)
 	}
+	h.done("scalarize")
 	if opt.Check {
-		if err := check.Err(check.CommSchedule(airProg, lirProg, commRes != nil)); err != nil {
+		h.begin("check")
+		err := check.Err(check.CommSchedule(airProg, lirProg, commRes != nil))
+		h.done("check")
+		if err != nil {
 			return nil, fmt.Errorf("driver: after scalarization: %w", err)
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	return &Compilation{Info: info, AIR: airProg, Plan: plan, LIR: lirProg, Comm: commRes}, nil
 }

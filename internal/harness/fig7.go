@@ -39,7 +39,7 @@ var paperFig7 = map[string][3]int{
 func RunFig7() ([]Fig7Row, error) {
 	var rows []Fig7Row
 	for _, b := range programs.All() {
-		c, err := driver.Compile(b.Source, driver.Options{Level: core.C2F3})
+		c, err := driver.Compile(b.Source, hooked(driver.Options{Level: core.C2F3}))
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", b.Name, err)
 		}

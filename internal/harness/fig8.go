@@ -42,11 +42,11 @@ func RunFig8() ([]Fig8Row, error) {
 		// only full-size arrays (the paper's model assumes uniform
 		// array sizes; our benchmarks follow it except for the 1-D
 		// sweep carriers, which we exclude from the count).
-		base, err := driver.Compile(b.Source, driver.Options{Level: core.Baseline})
+		base, err := driver.Compile(b.Source, hooked(driver.Options{Level: core.Baseline}))
 		if err != nil {
 			return Fig8Row{}, fmt.Errorf("%s: %w", b.Name, err)
 		}
-		opt, err := driver.Compile(b.Source, driver.Options{Level: core.C2F3})
+		opt, err := driver.Compile(b.Source, hooked(driver.Options{Level: core.C2F3}))
 		if err != nil {
 			return Fig8Row{}, fmt.Errorf("%s: %w", b.Name, err)
 		}
@@ -102,10 +102,10 @@ func maxProblemSize(b programs.Benchmark, lvl core.Level) (int, error) {
 		limit = 1 << 24
 	}
 	fits := func(n int) (bool, error) {
-		c, err := driver.Compile(b.Source, driver.Options{
+		c, err := driver.Compile(b.Source, hooked(driver.Options{
 			Level:   lvl,
 			Configs: map[string]int64{b.SizeConfig: int64(n)},
-		})
+		}))
 		if err != nil {
 			return false, fmt.Errorf("%s n=%d: %w", b.Name, n, err)
 		}

@@ -164,7 +164,7 @@ func (m *multiTracer) Reduce() {
 // Measure compiles src with the given options and executes it once,
 // pricing the run on every machine model with p processors.
 func Measure(src string, opt driver.Options, procs int) (*Measurement, error) {
-	c, err := driver.Compile(src, opt)
+	c, err := driver.Compile(src, hooked(opt))
 	if err != nil {
 		return nil, err
 	}

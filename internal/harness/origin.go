@@ -35,11 +35,11 @@ func RunLatencySensitivity(bench string, procs int, alphas []float64) ([]Latency
 	fc := comm.DefaultOptions(procs)
 	fc.Strategy = comm.FavorComm
 
-	cf, err := driver.Compile(b.Source, driver.Options{Level: core.C2F3, Configs: cfg, Comm: &ff})
+	cf, err := driver.Compile(b.Source, hooked(driver.Options{Level: core.C2F3, Configs: cfg, Comm: &ff}))
 	if err != nil {
 		return nil, err
 	}
-	cc, err := driver.Compile(b.Source, driver.Options{Level: core.C2F3, Configs: cfg, Comm: &fc})
+	cc, err := driver.Compile(b.Source, hooked(driver.Options{Level: core.C2F3, Configs: cfg, Comm: &fc}))
 	if err != nil {
 		return nil, err
 	}

@@ -45,7 +45,7 @@ func RunSec55(procs int, sizeFactor float64) ([]Sec55Row, error) {
 
 		cm := comm.DefaultOptions(procs)
 		cm.Strategy = comm.FavorComm
-		cc, err := driver.Compile(b.Source, driver.Options{Level: core.C2F3, Configs: cfg, Comm: &cm})
+		cc, err := driver.Compile(b.Source, hooked(driver.Options{Level: core.C2F3, Configs: cfg, Comm: &cm}))
 		if err != nil {
 			return Sec55Row{}, fmt.Errorf("%s favor-comm: %w", name, err)
 		}
@@ -55,7 +55,7 @@ func RunSec55(procs int, sizeFactor float64) ([]Sec55Row, error) {
 		}
 
 		// Count the contraction opportunities favor-comm disables.
-		ff, err := driver.Compile(b.Source, driver.Options{Level: core.C2F3, Configs: cfg, Comm: &fuse})
+		ff, err := driver.Compile(b.Source, hooked(driver.Options{Level: core.C2F3, Configs: cfg, Comm: &fuse}))
 		if err != nil {
 			return Sec55Row{}, err
 		}

@@ -1,0 +1,48 @@
+package harness
+
+import (
+	"sync/atomic"
+
+	"repro/internal/driver"
+	"repro/internal/phase"
+)
+
+// timings, when non-nil, aggregates per-phase compile latencies across
+// every driver.Compile the harness issues (the same phase.Collector
+// mechanism zpld's metrics use). Enabled by SetTimings; the collector
+// pointer is swapped atomically because measurements run on a worker
+// pool.
+var timings atomic.Pointer[phase.Collector]
+
+// SetTimings enables (or disables) pipeline phase-timing collection
+// for subsequent harness runs. Enabling resets any prior collection.
+func SetTimings(on bool) {
+	if on {
+		timings.Store(phase.NewCollector())
+	} else {
+		timings.Store(nil)
+	}
+}
+
+// TimingsReport formats the phase timings collected since SetTimings;
+// it returns "" when collection is disabled or nothing ran.
+func TimingsReport() string {
+	c := timings.Load()
+	if c == nil || len(c.Names()) == 0 {
+		return ""
+	}
+	return "Pipeline phase timings across all measurements:\n" + c.Format()
+}
+
+// hooked attaches phase-timing hooks to opt when collection is
+// enabled. Each call builds a fresh hook pair, so concurrent
+// measurements never share per-compile state.
+func hooked(opt driver.Options) driver.Options {
+	c := timings.Load()
+	if c == nil {
+		return opt
+	}
+	start, end := c.StartEnd()
+	opt.Hooks = driver.Hooks{PhaseStart: start, PhaseEnd: end}
+	return opt
+}

@@ -1,0 +1,188 @@
+// Package phase accumulates per-phase latency distributions for the
+// compilation pipeline. It is the shared observability substrate of
+// the zpld service metrics and the experiment harness: both hand a
+// pair of (PhaseStart, PhaseEnd) callbacks to driver.Options.Hooks and
+// read the aggregated histograms back out.
+//
+// A Collector is safe for concurrent use; the callback pair returned
+// by StartEnd is not (each concurrent compilation gets its own pair,
+// which is how the driver's per-request hooks work).
+package phase
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// NumBuckets is the number of exponential histogram buckets. Bucket i
+// counts observations d with d <= Boundary(i); the last bucket is the
+// overflow (+Inf) bucket.
+const NumBuckets = 26
+
+// Boundary returns the inclusive upper bound of bucket i: 1µs, 2µs,
+// 4µs, ... doubling up to ~33s. Boundary(NumBuckets-1) is the +Inf
+// overflow bucket.
+func Boundary(i int) time.Duration {
+	if i >= NumBuckets-1 {
+		return time.Duration(1<<62 - 1)
+	}
+	return time.Microsecond << uint(i)
+}
+
+// Histogram is a fixed-bucket latency histogram.
+type Histogram struct {
+	mu      sync.Mutex
+	count   int64
+	sum     time.Duration
+	max     time.Duration
+	buckets [NumBuckets]int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	i := 0
+	for i < NumBuckets-1 && d > Boundary(i) {
+		i++
+	}
+	h.mu.Lock()
+	h.count++
+	h.sum += d
+	if d > h.max {
+		h.max = d
+	}
+	h.buckets[i]++
+	h.mu.Unlock()
+}
+
+// Snapshot is a consistent copy of a histogram's state.
+type Snapshot struct {
+	Count   int64
+	Sum     time.Duration
+	Max     time.Duration
+	Buckets [NumBuckets]int64 // per-bucket counts (not cumulative)
+}
+
+// Snapshot copies the histogram under its lock.
+func (h *Histogram) Snapshot() Snapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return Snapshot{Count: h.count, Sum: h.sum, Max: h.max, Buckets: h.buckets}
+}
+
+// Mean returns the average observed duration.
+func (s Snapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / time.Duration(s.Count)
+}
+
+// Quantile returns an upper bound for the q-quantile (0 < q <= 1)
+// derived from the bucket boundaries.
+func (s Snapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	want := int64(q * float64(s.Count))
+	if want < 1 {
+		want = 1
+	}
+	var seen int64
+	for i := 0; i < NumBuckets; i++ {
+		seen += s.Buckets[i]
+		if seen >= want {
+			if i == NumBuckets-1 {
+				return s.Max
+			}
+			return Boundary(i)
+		}
+	}
+	return s.Max
+}
+
+// Collector aggregates named histograms; names are created on demand.
+type Collector struct {
+	mu    sync.Mutex
+	hists map[string]*Histogram
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{hists: map[string]*Histogram{}}
+}
+
+// Hist returns the histogram for name, creating it if needed.
+func (c *Collector) Hist(name string) *Histogram {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h, ok := c.hists[name]
+	if !ok {
+		h = &Histogram{}
+		c.hists[name] = h
+	}
+	return h
+}
+
+// Observe records one duration under name.
+func (c *Collector) Observe(name string, d time.Duration) {
+	c.Hist(name).Observe(d)
+}
+
+// Names returns the recorded phase names, sorted.
+func (c *Collector) Names() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	names := make([]string, 0, len(c.hists))
+	for n := range c.hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// StartEnd returns a (PhaseStart, PhaseEnd) callback pair that times
+// phases into the collector. The pair carries the open-phase state of
+// one sequential compilation, so each concurrent compilation must call
+// StartEnd for its own pair; the collector they feed is shared and
+// concurrency-safe.
+func (c *Collector) StartEnd() (start, end func(name string)) {
+	open := map[string]time.Time{}
+	start = func(name string) { open[name] = time.Now() }
+	end = func(name string) {
+		if t0, ok := open[name]; ok {
+			delete(open, name)
+			c.Observe(name, time.Since(t0))
+		}
+	}
+	return start, end
+}
+
+// Format renders the collector as an aligned table, one row per phase.
+func (c *Collector) Format() string {
+	names := c.Names()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %10s %12s %12s %12s\n", "phase", "count", "total", "mean", "max")
+	for _, n := range names {
+		s := c.Hist(n).Snapshot()
+		fmt.Fprintf(&b, "%-14s %10d %12s %12s %12s\n",
+			n, s.Count, round(s.Sum), round(s.Mean()), round(s.Max))
+	}
+	return b.String()
+}
+
+func round(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(time.Microsecond).String()
+	default:
+		return d.Round(time.Nanosecond).String()
+	}
+}

@@ -1,0 +1,134 @@
+package svc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/ccache"
+	"repro/internal/phase"
+)
+
+// Metrics aggregates the service's counters and latency histograms and
+// renders them in the Prometheus text exposition format (no external
+// dependency; the format is three line shapes).
+//
+// Pipeline phases land in Phases via driver hooks ("parse", "sema",
+// "lower", "comm", "asdg", "fusion", "contraction", "scalarize",
+// "check") plus the service's own "run" and "gogen" phases; whole
+// requests land in per-endpoint histograms.
+type Metrics struct {
+	mu       sync.Mutex
+	requests map[string]int64 // "endpoint|status" -> count
+	inflight int64
+	rejected int64 // queue-depth 429s
+	drained  int64 // requests refused because the server is draining
+
+	Phases  *phase.Collector // per-phase compile/run latencies
+	byRoute *phase.Collector // whole-request latencies per endpoint
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		requests: map[string]int64{},
+		Phases:   phase.NewCollector(),
+		byRoute:  phase.NewCollector(),
+	}
+}
+
+// Request records one finished request.
+func (m *Metrics) Request(endpoint string, status int, d time.Duration) {
+	m.mu.Lock()
+	m.requests[fmt.Sprintf("%s|%d", endpoint, status)]++
+	m.mu.Unlock()
+	m.byRoute.Observe(endpoint, d)
+}
+
+// IncInflight/DecInflight track the number of requests between
+// admission and response.
+func (m *Metrics) IncInflight() {
+	m.mu.Lock()
+	m.inflight++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) DecInflight() {
+	m.mu.Lock()
+	m.inflight--
+	m.mu.Unlock()
+}
+
+// Rejected counts a queue-depth rejection (HTTP 429).
+func (m *Metrics) Rejected() {
+	m.mu.Lock()
+	m.rejected++
+	m.mu.Unlock()
+}
+
+// Drained counts a request refused during shutdown (HTTP 503).
+func (m *Metrics) Drained() {
+	m.mu.Lock()
+	m.drained++
+	m.mu.Unlock()
+}
+
+// Render emits the registry plus the cache's counters.
+func (m *Metrics) Render(cs ccache.Stats) string {
+	var b strings.Builder
+
+	m.mu.Lock()
+	keys := make([]string, 0, len(m.requests))
+	for k := range m.requests {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	b.WriteString("# TYPE zpld_requests_total counter\n")
+	for _, k := range keys {
+		ep, status, _ := strings.Cut(k, "|")
+		fmt.Fprintf(&b, "zpld_requests_total{endpoint=%q,code=%q} %d\n", ep, status, m.requests[k])
+	}
+	fmt.Fprintf(&b, "# TYPE zpld_inflight gauge\nzpld_inflight %d\n", m.inflight)
+	fmt.Fprintf(&b, "# TYPE zpld_queue_rejections_total counter\nzpld_queue_rejections_total %d\n", m.rejected)
+	fmt.Fprintf(&b, "# TYPE zpld_drain_rejections_total counter\nzpld_drain_rejections_total %d\n", m.drained)
+	m.mu.Unlock()
+
+	fmt.Fprintf(&b, "# TYPE zpld_cache_hits_total counter\nzpld_cache_hits_total %d\n", cs.Hits)
+	fmt.Fprintf(&b, "# TYPE zpld_cache_misses_total counter\nzpld_cache_misses_total %d\n", cs.Misses)
+	fmt.Fprintf(&b, "# TYPE zpld_cache_dedup_hits_total counter\nzpld_cache_dedup_hits_total %d\n", cs.DedupHits)
+	fmt.Fprintf(&b, "# TYPE zpld_cache_evictions_total counter\nzpld_cache_evictions_total %d\n", cs.Evictions)
+	fmt.Fprintf(&b, "# TYPE zpld_cache_too_large_total counter\nzpld_cache_too_large_total %d\n", cs.TooLarge)
+	fmt.Fprintf(&b, "# TYPE zpld_cache_bytes gauge\nzpld_cache_bytes %d\n", cs.Bytes)
+	fmt.Fprintf(&b, "# TYPE zpld_cache_entries gauge\nzpld_cache_entries %d\n", cs.Entries)
+	fmt.Fprintf(&b, "# TYPE zpld_cache_max_bytes gauge\nzpld_cache_max_bytes %d\n", cs.MaxBytes)
+
+	renderHistograms(&b, "zpld_phase_seconds", "phase", m.Phases)
+	renderHistograms(&b, "zpld_request_seconds", "endpoint", m.byRoute)
+	return b.String()
+}
+
+// renderHistograms emits one Prometheus histogram family per collector
+// entry, with cumulative buckets in seconds.
+func renderHistograms(b *strings.Builder, family, label string, c *phase.Collector) {
+	names := c.Names()
+	if len(names) == 0 {
+		return
+	}
+	fmt.Fprintf(b, "# TYPE %s histogram\n", family)
+	for _, n := range names {
+		s := c.Hist(n).Snapshot()
+		var cum int64
+		for i := 0; i < phase.NumBuckets; i++ {
+			cum += s.Buckets[i]
+			le := "+Inf"
+			if i < phase.NumBuckets-1 {
+				le = fmt.Sprintf("%g", phase.Boundary(i).Seconds())
+			}
+			fmt.Fprintf(b, "%s_bucket{%s=%q,le=%q} %d\n", family, label, n, le, cum)
+		}
+		fmt.Fprintf(b, "%s_sum{%s=%q} %g\n", family, label, n, s.Sum.Seconds())
+		fmt.Fprintf(b, "%s_count{%s=%q} %d\n", family, label, n, s.Count)
+	}
+}

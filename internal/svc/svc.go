@@ -1,0 +1,540 @@
+// Package svc is the zpld compile-and-run service: a long-running HTTP
+// front end over the compilation pipeline with a content-addressed
+// compilation cache (internal/ccache), a bounded worker pool, request
+// deadlines threaded through the driver and both interpreters, and
+// built-in metrics.
+//
+// Endpoints:
+//
+//	POST /compile  compile a program, serve the artifact from cache
+//	POST /run      compile (cached) and execute, sequential or -dist
+//	GET  /metrics  Prometheus text exposition of counters + histograms
+//	GET  /healthz  liveness ("ok"; 503 while draining)
+//
+// Status mapping (the error paths the CLIs collapse are distinct here):
+//
+//	400 malformed request (bad JSON, unknown level/strategy/bench)
+//	404 unknown endpoint
+//	405 wrong method
+//	413 request body over the configured limit
+//	422 compile error (the program is at fault)
+//	429 queue depth exceeded (back off and retry)
+//	500 runtime error (execution fault, budget exhaustion)
+//	503 draining (shutdown in progress)
+//	504 request deadline expired (compiling or running)
+package svc
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ccache"
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/distvm"
+	"repro/internal/driver"
+	"repro/internal/gogen"
+	"repro/internal/programs"
+	"repro/internal/vm"
+)
+
+// Config tunes the service; zero values take the documented defaults.
+type Config struct {
+	Workers        int           // concurrent compiles/runs; default GOMAXPROCS
+	QueueDepth     int           // admitted-but-waiting requests; default 4×Workers
+	MaxBodyBytes   int64         // request size limit; default 1 MiB
+	CacheBytes     int64         // compilation cache budget; default 64 MiB
+	DefaultTimeout time.Duration // per-request deadline when the client sends none; default 30s
+	MaxTimeout     time.Duration // cap on client-supplied deadlines; default 5m
+	MaxSteps       int64         // execution budget per run; 0 = interpreter default
+	DrainTimeout   time.Duration // graceful-shutdown grace; default 10s
+	Logs           io.Writer     // JSON-lines request log; nil disables
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+		// A small machine still faces wide client bursts; keep enough
+		// waiting room that a default-config server absorbs a burst of
+		// a few dozen before shedding load.
+		if c.QueueDepth < 32 {
+			c.QueueDepth = 32
+		}
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 64 << 20
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+	return c
+}
+
+// Request is the JSON body of /compile and /run.
+type Request struct {
+	// Exactly one of Source (ZA program text) and Bench (a built-in
+	// benchmark name: ep, frac, sp, tomcatv, simple, fibro) selects
+	// the program.
+	Source string `json:"source,omitempty"`
+	Bench  string `json:"bench,omitempty"`
+
+	Level     string           `json:"level,omitempty"`    // default "c2+f3"
+	Configs   map[string]int64 `json:"configs,omitempty"`  // config-constant overrides
+	Procs     int              `json:"procs,omitempty"`    // >1 inserts communication
+	Strategy  string           `json:"strategy,omitempty"` // favor-fusion | favor-comm
+	ScalarRep bool             `json:"scalarrep,omitempty"`
+	Check     bool             `json:"check,omitempty"`
+
+	EmitGo bool `json:"emit_go,omitempty"` // include generated Go in the response
+
+	// Run options (ignored by /compile). Dist runs the distributed
+	// interpreter (requires procs > 1).
+	Dist     bool  `json:"dist,omitempty"`
+	MaxSteps int64 `json:"max_steps,omitempty"`
+
+	// TimeoutMS overrides the server's default request deadline,
+	// capped at Config.MaxTimeout.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// CompileResponse is the JSON reply of /compile (and embedded in
+// RunResponse).
+type CompileResponse struct {
+	Key        string `json:"key"`    // content address (hex SHA-256)
+	Cached     bool   `json:"cached"` // served from the cache
+	Dedup      bool   `json:"dedup"`  // joined an in-flight identical compile
+	Plan       string `json:"plan"`   // fusion/contraction summary
+	NestCount  int    `json:"nest_count"`
+	Arrays     int    `json:"arrays"`
+	Contracted int    `json:"contracted"`
+	GoSource   string `json:"go_source,omitempty"`
+}
+
+// RunResponse is the JSON reply of /run.
+type RunResponse struct {
+	CompileResponse
+	Output      string  `json:"output"`
+	Steps       int64   `json:"steps,omitempty"` // sequential runs only
+	MemoryBytes int64   `json:"memory_bytes,omitempty"`
+	Procs       int     `json:"procs,omitempty"` // distributed runs only
+	RunMS       float64 `json:"run_ms"`
+}
+
+// ErrorResponse is the JSON reply of every non-2xx outcome.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	// Kind classifies the failure: bad_request, too_large,
+	// compile_error, runtime_error, timeout, overloaded, draining.
+	Kind string `json:"kind"`
+}
+
+// Server is one service instance.
+type Server struct {
+	cfg      Config
+	cache    *ccache.Cache
+	metrics  *Metrics
+	sem      chan struct{} // worker-pool slots
+	queue    chan struct{} // admission tickets (workers + waiting)
+	draining atomic.Bool
+	logMu    chan struct{} // serializes log lines (n=1 semaphore)
+}
+
+// New builds a server from cfg (zero value is fully usable).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		cache:   ccache.New(cfg.CacheBytes),
+		metrics: NewMetrics(),
+		sem:     make(chan struct{}, cfg.Workers),
+		queue:   make(chan struct{}, cfg.Workers+cfg.QueueDepth),
+		logMu:   make(chan struct{}, 1),
+	}
+	return s
+}
+
+// Metrics exposes the registry (for embedding and tests).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// CacheStats exposes the cache counters.
+func (s *Server) CacheStats() ccache.Stats { return s.cache.Stats() }
+
+// SetDraining flips the drain flag: new work is refused with 503 while
+// in-flight requests finish.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// Handler returns the service's HTTP mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/compile", func(w http.ResponseWriter, r *http.Request) { s.serve(w, r, false) })
+	mux.HandleFunc("/run", func(w http.ResponseWriter, r *http.Request) { s.serve(w, r, true) })
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	io.WriteString(w, s.metrics.Render(s.cache.Stats()))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	io.WriteString(w, "ok\n")
+}
+
+// fail writes the error reply and records it.
+func (s *Server) fail(w http.ResponseWriter, status int, kind, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(ErrorResponse{Error: msg, Kind: kind})
+}
+
+// serve handles /compile (run=false) and /run (run=true).
+func (s *Server) serve(w http.ResponseWriter, r *http.Request, run bool) {
+	endpoint := "/compile"
+	if run {
+		endpoint = "/run"
+	}
+	t0 := time.Now()
+	status, kind, outcome := http.StatusOK, "", ""
+	defer func() {
+		d := time.Since(t0)
+		s.metrics.Request(endpoint, status, d)
+		s.logRequest(r, endpoint, status, kind, outcome, d)
+	}()
+
+	if s.draining.Load() {
+		s.metrics.Drained()
+		status, kind = http.StatusServiceUnavailable, "draining"
+		s.fail(w, status, kind, "server is draining")
+		return
+	}
+	if r.Method != http.MethodPost {
+		status, kind = http.StatusMethodNotAllowed, "bad_request"
+		s.fail(w, status, kind, "POST a JSON request body")
+		return
+	}
+
+	var req Request
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			status, kind = http.StatusRequestEntityTooLarge, "too_large"
+			s.fail(w, status, kind, fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxBodyBytes))
+			return
+		}
+		status, kind = http.StatusBadRequest, "bad_request"
+		s.fail(w, status, kind, "bad request JSON: "+err.Error())
+		return
+	}
+
+	src, opt, err := s.resolve(&req, run)
+	if err != nil {
+		status, kind = http.StatusBadRequest, "bad_request"
+		s.fail(w, status, kind, err.Error())
+		return
+	}
+
+	// Admission: a full queue means the pool plus the waiting room are
+	// saturated — shed load instead of stacking goroutines.
+	select {
+	case s.queue <- struct{}{}:
+	default:
+		s.metrics.Rejected()
+		status, kind = http.StatusTooManyRequests, "overloaded"
+		s.fail(w, status, kind, fmt.Sprintf("queue full (%d waiting)", cap(s.queue)))
+		return
+	}
+	defer func() { <-s.queue }()
+
+	// Per-request deadline, threaded through compile and run.
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+		if timeout > s.cfg.MaxTimeout {
+			timeout = s.cfg.MaxTimeout
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	// A worker-pool slot; waiting counts against the deadline.
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		status, kind = statusForCtx(ctx.Err())
+		s.fail(w, status, kind, "deadline expired while queued")
+		return
+	}
+	defer func() { <-s.sem }()
+	s.metrics.IncInflight()
+	defer s.metrics.DecInflight()
+
+	key := ccache.KeyOf(src, opt)
+	entry, lookup, err := s.cache.GetOrCompute(key, func() (*ccache.Entry, error) {
+		hooked := opt
+		start, end := s.metrics.Phases.StartEnd()
+		hooked.Hooks = driver.Hooks{PhaseStart: start, PhaseEnd: end}
+		c, err := driver.CompileCtx(ctx, src, hooked)
+		if err != nil {
+			return nil, err
+		}
+		e := &ccache.Entry{Source: src, Comp: c, Plan: planSummary(c)}
+		// The generated Go rides in the artifact so emit_go requests
+		// hit too; gogen cannot emit distributed programs.
+		if opt.Comm == nil {
+			start("gogen")
+			goSrc, err := gogen.Emit(c.LIR)
+			end("gogen")
+			if err == nil {
+				e.GoSrc = goSrc
+			}
+		}
+		return e, nil
+	})
+	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil || errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			status, kind = statusForCtx(err)
+			s.fail(w, status, kind, "compile aborted: "+err.Error())
+			return
+		}
+		status, kind = http.StatusUnprocessableEntity, "compile_error"
+		s.fail(w, status, kind, err.Error())
+		return
+	}
+	outcome = lookup.String()
+
+	cresp := CompileResponse{
+		Key:    entry.Key.String(),
+		Cached: lookup == ccache.Hit,
+		Dedup:  lookup == ccache.Dedup,
+		Plan:   entry.Plan,
+	}
+	counts := core.CountStaticArrays(entry.Comp.AIR, entry.Comp.Plan)
+	cresp.NestCount = entry.Comp.LIR.CountNests()
+	cresp.Arrays = counts.Before()
+	cresp.Contracted = counts.ContractedCompiler + counts.ContractedUser
+	if req.EmitGo {
+		cresp.GoSource = entry.GoSrc
+	}
+
+	w.Header().Set("Content-Type", "application/json")
+	if !run {
+		json.NewEncoder(w).Encode(cresp)
+		return
+	}
+
+	resp, runStatus, runKind, err := s.execute(ctx, entry, &req)
+	if err != nil {
+		status, kind = runStatus, runKind
+		s.fail(w, status, kind, err.Error())
+		return
+	}
+	resp.CompileResponse = cresp
+	json.NewEncoder(w).Encode(resp)
+}
+
+// execute runs a cached compilation on the requested interpreter.
+func (s *Server) execute(ctx context.Context, entry *ccache.Entry, req *Request) (*RunResponse, int, string, error) {
+	maxSteps := req.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = s.cfg.MaxSteps
+	}
+	var out bytes.Buffer
+	t0 := time.Now()
+	resp := &RunResponse{}
+	var err error
+	if req.Dist {
+		var dm *distvm.Machine
+		dm, err = distvm.Run(entry.Comp.LIR, distvm.Options{
+			Procs: req.Procs, Out: &out, MaxSteps: maxSteps, Ctx: ctx,
+		})
+		if err == nil {
+			if scErr := dm.ScalarsConsistent(); scErr != nil {
+				err = fmt.Errorf("replicated-scalar invariant violated: %w", scErr)
+			}
+			resp.Procs = req.Procs
+		}
+	} else {
+		var m *vm.Machine
+		var res *vm.Result
+		m, res, err = vm.Run(entry.Comp.LIR, vm.Options{Out: &out, MaxSteps: maxSteps, Ctx: ctx})
+		if err == nil {
+			resp.Steps = res.Steps
+			resp.MemoryBytes = m.MemoryFootprint()
+		}
+	}
+	d := time.Since(t0)
+	s.metrics.Phases.Observe("run", d)
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			st, kind := statusForCtx(err)
+			return nil, st, kind, fmt.Errorf("run aborted: %w", err)
+		}
+		return nil, http.StatusInternalServerError, "runtime_error", err
+	}
+	resp.Output = out.String()
+	resp.RunMS = float64(d) / float64(time.Millisecond)
+	return resp, http.StatusOK, "", nil
+}
+
+// statusForCtx maps a context error to (status, kind): an expired
+// deadline is a 504 timeout; a client disconnect is reported as 499
+// (nginx's convention; the client is gone either way).
+func statusForCtx(err error) (int, string) {
+	if errors.Is(err, context.Canceled) {
+		return 499, "canceled"
+	}
+	return http.StatusGatewayTimeout, "timeout"
+}
+
+// resolve validates the request and builds the driver options.
+func (s *Server) resolve(req *Request, run bool) (string, driver.Options, error) {
+	var opt driver.Options
+	var src string
+	switch {
+	case req.Source != "" && req.Bench != "":
+		return "", opt, fmt.Errorf("pass source or bench, not both")
+	case req.Bench != "":
+		b, ok := programs.ByName(req.Bench)
+		if !ok {
+			return "", opt, fmt.Errorf("unknown benchmark %q", req.Bench)
+		}
+		src = b.Source
+	case req.Source != "":
+		src = req.Source
+	default:
+		return "", opt, fmt.Errorf("pass source or bench")
+	}
+
+	levelName := req.Level
+	if levelName == "" {
+		levelName = "c2+f3"
+	}
+	lvl, err := core.ParseLevel(levelName)
+	if err != nil {
+		return "", opt, err
+	}
+	opt = driver.Options{Level: lvl, Configs: req.Configs, ScalarReplace: req.ScalarRep, Check: req.Check}
+
+	if req.Procs > 1 {
+		co := comm.DefaultOptions(req.Procs)
+		switch req.Strategy {
+		case "", "favor-fusion":
+		case "favor-comm":
+			co.Strategy = comm.FavorComm
+		default:
+			return "", opt, fmt.Errorf("unknown strategy %q (want favor-fusion or favor-comm)", req.Strategy)
+		}
+		opt.Comm = &co
+	} else if req.Strategy != "" && req.Strategy != "favor-fusion" {
+		return "", opt, fmt.Errorf("strategy %q requires procs > 1", req.Strategy)
+	}
+	if req.Dist && !run {
+		return "", opt, fmt.Errorf("dist applies to /run only")
+	}
+	if req.Dist && req.Procs < 2 {
+		return "", opt, fmt.Errorf("dist requires procs > 1")
+	}
+	if req.EmitGo && req.Procs > 1 {
+		return "", opt, fmt.Errorf("emit_go applies to sequential compilations only")
+	}
+	return src, opt, nil
+}
+
+// planSummary renders the experiment-ready plan metadata stored with
+// the artifact (mirrors zplc -emit plan).
+func planSummary(c *driver.Compilation) string {
+	var b strings.Builder
+	counts := core.CountStaticArrays(c.AIR, c.Plan)
+	fmt.Fprintf(&b, "program %s at %s\n", c.AIR.Name, c.Plan.Level)
+	fmt.Fprintf(&b, "static arrays: %d (%d compiler, %d user); contracted: %d\n",
+		counts.Before(), counts.TotalCompiler, counts.TotalUser,
+		counts.ContractedCompiler+counts.ContractedUser)
+	fmt.Fprintf(&b, "loop nests after fusion: %d\n", c.LIR.CountNests())
+	if c.Comm != nil {
+		fmt.Fprintf(&b, "communication: %d inserted, %d eliminated, %d combined, %d pipelined\n",
+			c.Comm.Inserted, c.Comm.Eliminated, c.Comm.Combined, c.Comm.Pipelined)
+	}
+	return b.String()
+}
+
+// logRequest appends one JSON line to the request log.
+func (s *Server) logRequest(r *http.Request, endpoint string, status int, kind, outcome string, d time.Duration) {
+	if s.cfg.Logs == nil {
+		return
+	}
+	line := struct {
+		Time     string  `json:"time"`
+		Remote   string  `json:"remote"`
+		Endpoint string  `json:"endpoint"`
+		Status   int     `json:"status"`
+		Kind     string  `json:"kind,omitempty"`
+		Cache    string  `json:"cache,omitempty"`
+		MS       float64 `json:"ms"`
+	}{
+		Time:     time.Now().UTC().Format(time.RFC3339Nano),
+		Remote:   r.RemoteAddr,
+		Endpoint: endpoint,
+		Status:   status,
+		Kind:     kind,
+		Cache:    outcome,
+		MS:       float64(d) / float64(time.Millisecond),
+	}
+	buf, err := json.Marshal(line)
+	if err != nil {
+		return
+	}
+	buf = append(buf, '\n')
+	s.logMu <- struct{}{}
+	s.cfg.Logs.Write(buf)
+	<-s.logMu
+}
+
+// ServeListener runs the HTTP server on l until ctx is cancelled, then
+// drains gracefully: the drain flag flips (healthz 503, new compile/run
+// requests refused), the listener closes, and in-flight requests get
+// DrainTimeout to finish before the server gives up on them.
+func (s *Server) ServeListener(ctx context.Context, l net.Listener) error {
+	hs := &http.Server{Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(l) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	s.SetDraining(true)
+	drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	return hs.Shutdown(drainCtx)
+}

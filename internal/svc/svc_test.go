@@ -1,0 +1,480 @@
+package svc
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func heatSource(t *testing.T) string {
+	t.Helper()
+	data, err := os.ReadFile("../../testdata/heat.za")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func post(t *testing.T, url string, req Request) (int, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+func TestCompileCachesAndRunsBitIdentical(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	src := heatSource(t)
+
+	var first RunResponse
+	status, body := post(t, ts.URL+"/run", Request{Source: src})
+	if status != http.StatusOK {
+		t.Fatalf("first run: HTTP %d: %s", status, body)
+	}
+	if err := json.Unmarshal(body, &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Error("first request reported cached")
+	}
+	if !strings.Contains(first.Output, "heat =") {
+		t.Errorf("run output missing: %q", first.Output)
+	}
+	if first.Steps == 0 || first.MemoryBytes == 0 {
+		t.Errorf("run stats empty: %+v", first)
+	}
+
+	var second RunResponse
+	status, body = post(t, ts.URL+"/run", Request{Source: src})
+	if status != http.StatusOK {
+		t.Fatalf("second run: HTTP %d: %s", status, body)
+	}
+	if err := json.Unmarshal(body, &second); err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached {
+		t.Error("second identical request missed the cache")
+	}
+	// Bit-identical output between the uncached and cached paths: the
+	// artifact is shared, the execution deterministic.
+	if first.Output != second.Output {
+		t.Errorf("cached output diverged: %q vs %q", first.Output, second.Output)
+	}
+	if first.Key != second.Key {
+		t.Errorf("keys differ: %s vs %s", first.Key, second.Key)
+	}
+	if st := s.CacheStats(); st.Misses != 1 || st.Hits < 1 {
+		t.Errorf("cache stats: %+v", st)
+	}
+
+	// emit_go is served from the same cached artifact.
+	var cr CompileResponse
+	status, body = post(t, ts.URL+"/compile", Request{Source: src, EmitGo: true})
+	if status != http.StatusOK {
+		t.Fatalf("compile: HTTP %d: %s", status, body)
+	}
+	if err := json.Unmarshal(body, &cr); err != nil {
+		t.Fatal(err)
+	}
+	if !cr.Cached || !strings.Contains(cr.GoSource, "package main") {
+		t.Errorf("emit_go from cache failed: cached=%t len=%d", cr.Cached, len(cr.GoSource))
+	}
+	if cr.Plan == "" || cr.NestCount == 0 {
+		t.Errorf("plan metadata missing: %+v", cr)
+	}
+}
+
+// TestStatusMapping drives every distinct error path to its distinct
+// status code.
+func TestStatusMapping(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBodyBytes: 4096})
+
+	check := func(name string, wantStatus int, wantKind string, req Request) {
+		t.Helper()
+		status, body := post(t, ts.URL+"/run", req)
+		if status != wantStatus {
+			t.Errorf("%s: HTTP %d, want %d (%s)", name, status, wantStatus, body)
+			return
+		}
+		var er ErrorResponse
+		if err := json.Unmarshal(body, &er); err != nil {
+			t.Errorf("%s: bad error body %q", name, body)
+			return
+		}
+		if er.Kind != wantKind {
+			t.Errorf("%s: kind %q, want %q", name, er.Kind, wantKind)
+		}
+	}
+
+	check("compile error", http.StatusUnprocessableEntity, "compile_error",
+		Request{Source: "program junk; not a program"})
+	check("runtime error", http.StatusInternalServerError, "runtime_error",
+		Request{Bench: "fibro", Configs: map[string]int64{"n": 16}, MaxSteps: 10})
+	check("timeout", http.StatusGatewayTimeout, "timeout",
+		Request{Source: bigProgram(), TimeoutMS: 1})
+	check("no source", http.StatusBadRequest, "bad_request", Request{})
+	check("both sources", http.StatusBadRequest, "bad_request",
+		Request{Source: "x", Bench: "fibro"})
+	check("unknown bench", http.StatusBadRequest, "bad_request", Request{Bench: "bogus"})
+	check("bad level", http.StatusBadRequest, "bad_request",
+		Request{Bench: "fibro", Level: "O9"})
+	check("dist without procs", http.StatusBadRequest, "bad_request",
+		Request{Bench: "fibro", Dist: true})
+
+	// Oversized body → 413.
+	status, body := post(t, ts.URL+"/compile",
+		Request{Source: "program p; " + strings.Repeat("-- pad\n", 4096)})
+	if status != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body: HTTP %d (%s)", status, body)
+	}
+
+	// Wrong method → 405; unknown JSON field → 400.
+	resp, err := http.Get(ts.URL + "/compile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /compile: HTTP %d", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/compile", "application/json",
+		strings.NewReader(`{"sauce":"typo"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field: HTTP %d", resp.StatusCode)
+	}
+}
+
+// bigProgram is a run that cannot finish within a 1ms deadline.
+func bigProgram() string {
+	return `
+program big;
+config n : integer = 300;
+config steps : integer = 500;
+region R = [1..n, 1..n];
+region I = [2..n-1, 2..n-1];
+direction up = (-1, 0);
+var T : [R] double;
+var L : [R] double;
+var s : double;
+proc main()
+begin
+  [R] T := 1.0;
+  for k := 1 to steps do
+    [I] L := T@up + T;
+    [I] T := T + 0.1 * L;
+    s := +<< [I] T;
+  end;
+  writeln(s);
+end;
+`
+}
+
+// TestTimeoutKeepsServing: a request with an expired deadline must not
+// poison the server — the next request succeeds.
+func TestTimeoutKeepsServing(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	status, body := post(t, ts.URL+"/run", Request{Source: bigProgram(), TimeoutMS: 1})
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("timeout request: HTTP %d (%s)", status, body)
+	}
+	status, body = post(t, ts.URL+"/run", Request{Bench: "fibro", Configs: map[string]int64{"n": 16}})
+	if status != http.StatusOK {
+		t.Fatalf("request after timeout: HTTP %d (%s)", status, body)
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz after timeout: HTTP %d", resp.StatusCode)
+	}
+}
+
+// TestSingleflightDedup: concurrent identical requests on a wide pool
+// must collapse to one compile.
+func TestSingleflightDedup(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 8, QueueDepth: 64})
+	src := heatSource(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			status, body := post(t, ts.URL+"/compile", Request{Source: src})
+			if status != http.StatusOK {
+				t.Errorf("HTTP %d: %s", status, body)
+			}
+		}()
+	}
+	wg.Wait()
+	st := s.CacheStats()
+	if st.Misses != 1 {
+		t.Errorf("misses = %d, want 1 (stats %+v)", st.Misses, st)
+	}
+	if st.Hits+st.DedupHits != 19 {
+		t.Errorf("hits %d + dedup %d != 19", st.Hits, st.DedupHits)
+	}
+}
+
+// TestQueueSheddingAndDrain: a saturated pool sheds load with 429;
+// draining refuses work with 503.
+func TestQueueSheddingAndDrain(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+	// Saturate: a batch of slow runs against a 2-ticket queue. Fire
+	// enough at once that, whatever the scheduling, the queue is full
+	// for some of them.
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	got := map[int]int{}
+	for i := 0; i < 12; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			status, _ := post(t, ts.URL+"/run",
+				Request{Source: bigProgram(), Configs: map[string]int64{"steps": 2}, TimeoutMS: 30000})
+			mu.Lock()
+			got[status]++
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if got[http.StatusOK] == 0 {
+		t.Errorf("no request succeeded under load: %v", got)
+	}
+	if got[http.StatusTooManyRequests] == 0 {
+		t.Errorf("no request was shed at queue depth 1: %v", got)
+	}
+	if extra := len(got) - 2; extra > 0 {
+		t.Errorf("unexpected statuses: %v", got)
+	}
+
+	s.SetDraining(true)
+	status, body := post(t, ts.URL+"/compile", Request{Bench: "fibro"})
+	if status != http.StatusServiceUnavailable {
+		t.Errorf("draining compile: HTTP %d (%s)", status, body)
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("draining healthz: HTTP %d", resp.StatusCode)
+	}
+}
+
+// TestMetricsExposition: counters and per-phase histograms appear in
+// the Prometheus text format after traffic.
+func TestMetricsExposition(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for i := 0; i < 3; i++ {
+		if status, body := post(t, ts.URL+"/run", Request{Bench: "fibro", Configs: map[string]int64{"n": 16}}); status != http.StatusOK {
+			t.Fatalf("run %d: HTTP %d (%s)", i, status, body)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		`zpld_requests_total{endpoint="/run",code="200"} 3`,
+		"zpld_cache_hits_total 2",
+		"zpld_cache_misses_total 1",
+		`zpld_phase_seconds_count{phase="parse"} 1`,
+		`zpld_phase_seconds_count{phase="fusion"}`,
+		`zpld_phase_seconds_count{phase="run"} 3`,
+		`zpld_request_seconds_count{endpoint="/run"} 3`,
+		"zpld_cache_bytes",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	// Histogram buckets must be cumulative and end at +Inf == count.
+	if !strings.Contains(text, `zpld_phase_seconds_bucket{phase="run",le="+Inf"} 3`) {
+		t.Errorf("run histogram +Inf bucket wrong:\n%s", grepLines(text, `phase="run"`))
+	}
+}
+
+func grepLines(text, needle string) string {
+	var out []string
+	for _, l := range strings.Split(text, "\n") {
+		if strings.Contains(l, needle) {
+			out = append(out, l)
+		}
+	}
+	return strings.Join(out, "\n")
+}
+
+// TestRequestLog: the structured log emits one JSON line per request.
+func TestRequestLog(t *testing.T) {
+	var buf syncBuffer
+	_, ts := newTestServer(t, Config{Logs: &buf})
+	post(t, ts.URL+"/run", Request{Bench: "fibro", Configs: map[string]int64{"n": 16}})
+	post(t, ts.URL+"/compile", Request{Source: "program junk; nope"})
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d log lines, want 2: %q", len(lines), buf.String())
+	}
+	var entry struct {
+		Endpoint string  `json:"endpoint"`
+		Status   int     `json:"status"`
+		Kind     string  `json:"kind"`
+		Cache    string  `json:"cache"`
+		MS       float64 `json:"ms"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &entry); err != nil {
+		t.Fatalf("log line not JSON: %v (%q)", err, lines[0])
+	}
+	if entry.Endpoint != "/run" || entry.Status != 200 || entry.Cache != "miss" {
+		t.Errorf("first log entry wrong: %+v", entry)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &entry); err != nil {
+		t.Fatal(err)
+	}
+	if entry.Status != 422 || entry.Kind != "compile_error" {
+		t.Errorf("second log entry wrong: %+v", entry)
+	}
+}
+
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestDistributedRun: /run with dist executes the distributed
+// interpreter and matches the sequential transcript.
+func TestDistributedRun(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	var seq, dist RunResponse
+	status, body := post(t, ts.URL+"/run", Request{Bench: "fibro", Configs: map[string]int64{"n": 16}})
+	if status != http.StatusOK {
+		t.Fatalf("sequential: HTTP %d (%s)", status, body)
+	}
+	json.Unmarshal(body, &seq)
+	status, body = post(t, ts.URL+"/run",
+		Request{Bench: "fibro", Configs: map[string]int64{"n": 16}, Procs: 4, Dist: true})
+	if status != http.StatusOK {
+		t.Fatalf("distributed: HTTP %d (%s)", status, body)
+	}
+	json.Unmarshal(body, &dist)
+	if dist.Procs != 4 {
+		t.Errorf("procs = %d, want 4", dist.Procs)
+	}
+	if !transcriptsClose(seq.Output, dist.Output) {
+		t.Errorf("distributed output %q != sequential %q", dist.Output, seq.Output)
+	}
+}
+
+// transcriptsClose mirrors the CLI test helper: token-wise comparison
+// with a float tolerance (reductions reorder).
+func transcriptsClose(a, b string) bool {
+	ta, tb := strings.Fields(a), strings.Fields(b)
+	if len(ta) != len(tb) {
+		return false
+	}
+	for i := range ta {
+		if ta[i] == tb[i] {
+			continue
+		}
+		var fa, fb float64
+		if _, err := fmt.Sscanf(ta[i], "%g", &fa); err != nil {
+			return false
+		}
+		if _, err := fmt.Sscanf(tb[i], "%g", &fb); err != nil {
+			return false
+		}
+		diff := fa - fb
+		if diff < 0 {
+			diff = -diff
+		}
+		scale := 1.0
+		if fa > scale {
+			scale = fa
+		}
+		if diff > 1e-9*scale {
+			return false
+		}
+	}
+	return true
+}
+
+// TestServeListenerDrains: ServeListener exits cleanly on context
+// cancellation and flips to draining.
+func TestServeListenerDrains(t *testing.T) {
+	s := New(Config{DrainTimeout: 2 * time.Second})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- s.ServeListener(ctx, l) }()
+
+	url := "http://" + l.Addr().String()
+	if status, _ := post(t, url+"/run", Request{Bench: "fibro", Configs: map[string]int64{"n": 16}}); status != http.StatusOK {
+		t.Fatalf("pre-drain request: HTTP %d", status)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("ServeListener: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ServeListener did not exit after cancel")
+	}
+}

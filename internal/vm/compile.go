@@ -346,9 +346,8 @@ func (m *Machine) compilePartialReduce(x *lir.PartialReduce) (execFn, error) {
 
 	elems := int64(region.Size())
 	return func(m *Machine) signal {
-		m.steps += elems
-		if m.steps > m.max {
-			return m.budgetFault()
+		if !m.charge(elems) {
+			return sigFault
 		}
 		// Initialize the destination slab.
 		var init func(k int)
@@ -529,9 +528,8 @@ func (m *Machine) compileNest(x *lir.Nest) (execFn, error) {
 	}
 	elemSteps := int64(x.Region.Size()) * int64(len(stmts))
 	return func(m *Machine) signal {
-		m.steps += elemSteps
-		if m.steps > m.max {
-			return m.budgetFault()
+		if !m.charge(elemSteps) {
+			return sigFault
 		}
 		for i := range stmts {
 			if stmts[i].init != nil {

@@ -9,6 +9,7 @@
 package vm
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -38,7 +39,19 @@ type Options struct {
 	Out      io.Writer // writeln destination; nil discards
 	Tracer   Tracer    // nil disables tracing
 	MaxSteps int64     // statement-execution budget; 0 means default (1e10)
+	// Ctx, when non-nil, cancels the execution: every statement charge
+	// (single statements and whole loop nests alike) decrements a poll
+	// countdown, so a cancelled or expired context stops even a
+	// runaway interpreter loop with a resolution of one loop nest or
+	// ctxPollInterval scalar statements. The run reports ctx.Err()
+	// (errors.Is-testable for context.DeadlineExceeded).
+	Ctx context.Context
 }
+
+// ctxPollInterval is the number of charged statements between context
+// polls: cheap enough to leave on, fine-grained enough that a 1ms
+// deadline stops a long run promptly.
+const ctxPollInterval = 1024
 
 // Result summarizes an execution.
 type Result struct {
@@ -54,11 +67,13 @@ type Machine struct {
 	arrays  map[string]*arrayStore
 	procs   map[string]*compiledProc
 
-	out    io.Writer
-	tracer Tracer
-	steps  int64
-	max    int64
-	fault  error // set when a sigFault is raised (budget exhaustion)
+	out     io.Writer
+	tracer  Tracer
+	steps   int64
+	max     int64
+	ctx     context.Context // nil when cancellation is not requested
+	ctxLeft int64           // statements until the next context poll
+	fault   error           // set when a sigFault is raised (budget exhaustion or cancellation)
 
 	// idx holds the current loop-nest indices (absolute region
 	// coordinates) while a Nest executes.
@@ -111,6 +126,7 @@ func New(p *lir.Program, opt Options) (*Machine, error) {
 		out:     opt.Out,
 		tracer:  opt.Tracer,
 		max:     opt.MaxSteps,
+		ctx:     opt.Ctx,
 	}
 	if m.max == 0 {
 		m.max = 1e10
@@ -220,6 +236,11 @@ func (m *Machine) Run() (res *Result, err error) {
 			err = fmt.Errorf("vm: runtime fault: %v", r)
 		}
 	}()
+	if m.ctx != nil {
+		if err := m.ctx.Err(); err != nil {
+			return nil, fmt.Errorf("vm: cancelled before execution: %w", err)
+		}
+	}
 	for _, fn := range m.procs["main"].body {
 		if fn(m) != sigNext {
 			break
@@ -276,12 +297,32 @@ func (m *Machine) MemoryFootprint() int64 {
 }
 
 // step charges one statement execution; false means the budget is
-// exhausted and the caller must unwind with sigFault.
-func (m *Machine) step() bool {
-	m.steps++
+// exhausted (or the context was cancelled) and the caller must unwind
+// with sigFault.
+func (m *Machine) step() bool { return m.charge(1) }
+
+// charge accounts n statement executions at once (whole loop nests
+// charge in bulk) and polls the context on a statement-count
+// countdown; false means the caller must unwind with sigFault.
+func (m *Machine) charge(n int64) bool {
+	m.steps += n
 	if m.steps > m.max {
 		m.budgetFault()
 		return false
+	}
+	if m.ctx != nil {
+		m.ctxLeft -= n
+		if m.ctxLeft <= 0 {
+			m.ctxLeft = ctxPollInterval
+			select {
+			case <-m.ctx.Done():
+				if m.fault == nil {
+					m.fault = fmt.Errorf("vm: execution cancelled after %d steps: %w", m.steps, m.ctx.Err())
+				}
+				return false
+			default:
+			}
+		}
 	}
 	return true
 }

@@ -1,0 +1,227 @@
+// End-to-end test of the compile service: build zpld and zplload,
+// start the daemon, drive it with a mixed load burst, and check the
+// acceptance properties (zero failures, cache hit rate, bit-identical
+// cached output, live per-phase metrics, deadline isolation, graceful
+// drain).
+package repro
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// startZpld launches the daemon on an ephemeral port and returns its
+// base URL plus the running command. The caller owns shutdown.
+func startZpld(t *testing.T, extraArgs ...string) (string, *exec.Cmd) {
+	t.Helper()
+	dir := buildTools(t)
+	args := append([]string{"-addr", "127.0.0.1:0"}, extraArgs...)
+	cmd := exec.Command(filepath.Join(dir, "zpld"), args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+
+	// The daemon announces its bound address on stderr once listening.
+	sc := bufio.NewScanner(stderr)
+	addrCh := make(chan string, 1)
+	go func() {
+		for sc.Scan() {
+			line := sc.Text()
+			if rest, ok := strings.CutPrefix(line, "zpld: listening on "); ok {
+				addrCh <- strings.TrimSpace(rest)
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return "http://" + addr, cmd
+	case <-time.After(10 * time.Second):
+		t.Fatal("zpld did not announce its address within 10s")
+		return "", nil
+	}
+}
+
+func postJSON(t *testing.T, url string, req map[string]any) (int, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+func getBody(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+// TestServeEndToEnd is the ISSUE acceptance test: zpld under a zplload
+// burst of >= 200 requests at concurrency >= 16 with a mixed
+// identical/distinct request stream.
+func TestServeEndToEnd(t *testing.T) {
+	base, _ := startZpld(t)
+	dir := buildTools(t)
+
+	// 1. Bit-identical output between the uncached and cached paths,
+	// established before the burst so the first request is a real miss.
+	probe := map[string]any{"bench": "fibro", "configs": map[string]int64{"n": 20}}
+	var first, second struct {
+		Cached bool   `json:"cached"`
+		Output string `json:"output"`
+		Key    string `json:"key"`
+	}
+	status, body := postJSON(t, base+"/run", probe)
+	if status != http.StatusOK {
+		t.Fatalf("probe run: HTTP %d (%s)", status, body)
+	}
+	json.Unmarshal(body, &first)
+	status, body = postJSON(t, base+"/run", probe)
+	if status != http.StatusOK {
+		t.Fatalf("probe rerun: HTTP %d (%s)", status, body)
+	}
+	json.Unmarshal(body, &second)
+	if first.Cached || !second.Cached {
+		t.Errorf("cache progression wrong: first.cached=%t second.cached=%t", first.Cached, second.Cached)
+	}
+	if first.Output == "" || first.Output != second.Output {
+		t.Errorf("cached output not bit-identical: %q vs %q", first.Output, second.Output)
+	}
+
+	// 2. The zplload burst: 220 requests, concurrency 16, 60% hot.
+	load := exec.Command(filepath.Join(dir, "zplload"),
+		"-addr", base, "-n", "220", "-c", "16", "-hot", "0.6", "-distinct", "6")
+	out, err := load.CombinedOutput()
+	text := string(out)
+	if err != nil {
+		t.Fatalf("zplload failed: %v\n%s", err, text)
+	}
+	if !strings.Contains(text, "errors: 0") {
+		t.Errorf("burst had failures:\n%s", text)
+	}
+	if !strings.Contains(text, "220 requests") {
+		t.Errorf("burst did not complete 220 requests:\n%s", text)
+	}
+	// zplload's own /metrics-delta summary: hit rate above 50%.
+	m := regexp.MustCompile(`hit rate ([0-9.]+)%`).FindStringSubmatch(text)
+	if m == nil {
+		t.Fatalf("no hit-rate summary:\n%s", text)
+	}
+	var rate float64
+	fmt.Sscanf(m[1], "%g", &rate)
+	if rate <= 50 {
+		t.Errorf("cache hit rate %.1f%% <= 50%%:\n%s", rate, text)
+	}
+
+	// 3. /metrics: non-zero per-phase histograms for the pipeline.
+	status, metrics := getBody(t, base+"/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("/metrics: HTTP %d", status)
+	}
+	countRe := regexp.MustCompile(`zpld_phase_seconds_count\{phase="([a-z]+)"\} (\d+)`)
+	counts := map[string]string{}
+	for _, m := range countRe.FindAllStringSubmatch(metrics, -1) {
+		counts[m[1]] = m[2]
+	}
+	for _, phase := range []string{"parse", "sema", "lower", "asdg", "fusion", "contraction", "scalarize", "run"} {
+		if counts[phase] == "" || counts[phase] == "0" {
+			t.Errorf("phase %q histogram empty (counts %v)", phase, counts)
+		}
+	}
+	if !strings.Contains(metrics, `zpld_requests_total{endpoint="/run",code="200"}`) {
+		t.Errorf("request counter missing:\n%s", metrics)
+	}
+
+	// 4. A request with a 1ms deadline returns a timeout status...
+	heat, err := os.ReadFile("testdata/heat.za")
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := map[string]any{
+		"source":     string(heat),
+		"configs":    map[string]int64{"n": 400, "steps": 400},
+		"timeout_ms": 1,
+	}
+	status, body = postJSON(t, base+"/run", slow)
+	if status != http.StatusGatewayTimeout {
+		t.Errorf("1ms deadline: HTTP %d, want 504 (%s)", status, body)
+	}
+	var er struct {
+		Kind string `json:"kind"`
+	}
+	json.Unmarshal(body, &er)
+	if er.Kind != "timeout" {
+		t.Errorf("1ms deadline kind = %q, want timeout", er.Kind)
+	}
+
+	// ...while the server keeps serving.
+	if status, _ := getBody(t, base+"/healthz"); status != http.StatusOK {
+		t.Errorf("healthz after timeout: HTTP %d", status)
+	}
+	status, body = postJSON(t, base+"/run", probe)
+	if status != http.StatusOK {
+		t.Errorf("request after timeout: HTTP %d (%s)", status, body)
+	}
+}
+
+// TestServeGracefulDrain: SIGTERM makes zpld refuse new work and exit
+// cleanly (exit code 0).
+func TestServeGracefulDrain(t *testing.T) {
+	base, cmd := startZpld(t, "-drain", "5s")
+	if status, _ := postJSON(t, base+"/run",
+		map[string]any{"bench": "fibro", "configs": map[string]int64{"n": 16}}); status != http.StatusOK {
+		t.Fatalf("warmup request: HTTP %d", status)
+	}
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("zpld exited non-zero after SIGTERM: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("zpld did not exit within 10s of SIGTERM")
+	}
+}
