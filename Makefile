@@ -1,6 +1,14 @@
 GO ?= go
 
-.PHONY: all build test vet race check serve-test ci experiments
+# Pinned external analyzers (the go run tool@version pattern keeps
+# them out of go.mod). The targets below probe the module cache with
+# GOPROXY=off first, so an offline machine skips them with a notice
+# instead of failing ci.
+STATICCHECK_VERSION ?= 2024.1.1
+GOVULNCHECK_VERSION ?= v1.1.3
+
+.PHONY: all build test vet race check serve-test ci experiments \
+	lint-self staticcheck govulncheck audit
 
 all: build test
 
@@ -34,7 +42,35 @@ check: build
 	$(GO) run ./cmd/zplcheck -O baseline,c1,c2,c2+f3 -p 4 testdata/*.za
 	$(GO) run ./cmd/zplcheck -bench all -O all -p 4
 
-ci: vet test race serve-test check
+# Self-lint: zpllint over every ZA source in the repo — testdata plus
+# the built-in benchmark suite (the programs the examples embed) — at
+# the default level. Exit 0 means zero unexpected findings: fig2.za's
+# halo reads are known warnings (the paper's own example reads the
+# uninitialized boundary), and warnings only fail under -strict.
+lint-self: build
+	$(GO) run ./cmd/zpllint testdata/*.za
+	$(GO) run ./cmd/zpllint -bench all
+
+# Remark-completeness audit: every unfused pair and uncontracted array
+# across the Fig. 7/8 suite must carry a machine-readable explanation.
+audit: build
+	$(GO) run ./cmd/experiments -run audit
+
+staticcheck:
+	@if GOFLAGS=-mod=mod GOPROXY=off $(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) --version >/dev/null 2>&1; then \
+		GOFLAGS=-mod=mod GOPROXY=off $(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...; \
+	else \
+		echo "staticcheck@$(STATICCHECK_VERSION) not in the module cache and no network; skipping"; \
+	fi
+
+govulncheck:
+	@if GOFLAGS=-mod=mod GOPROXY=off $(GO) run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) -version >/dev/null 2>&1; then \
+		GOFLAGS=-mod=mod GOPROXY=off $(GO) run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) ./...; \
+	else \
+		echo "govulncheck@$(GOVULNCHECK_VERSION) not in the module cache and no network; skipping"; \
+	fi
+
+ci: vet test race serve-test check lint-self audit staticcheck govulncheck
 
 experiments:
 	$(GO) run ./cmd/experiments

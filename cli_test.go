@@ -4,6 +4,7 @@ package repro
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"math"
 	"os"
@@ -59,7 +60,7 @@ func buildTools(t *testing.T) string {
 			return
 		}
 		binDir = dir
-		for _, tool := range []string{"zplc", "zplrun", "zplcheck", "experiments", "zpld", "zplload"} {
+		for _, tool := range []string{"zplc", "zplrun", "zplcheck", "zpllint", "experiments", "zpld", "zplload"} {
 			cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "./cmd/"+tool)
 			var errb bytes.Buffer
 			cmd.Stderr = &errb
@@ -454,5 +455,95 @@ func TestExperimentsTimingsFlag(t *testing.T) {
 		if !strings.Contains(out, phase) {
 			t.Errorf("timings table missing phase %q:\n%s", phase, out)
 		}
+	}
+}
+
+func TestZplcRemarksFlag(t *testing.T) {
+	out, _, err := runTool(t, "zplc", "-O", "c2", "-remarks", "-emit", "plan", "testdata/quickstart.za")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"remarks (", "remark:", "contracted"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-remarks output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestZplrunRemarksFlag(t *testing.T) {
+	_, errOut, err := runTool(t, "zplrun", "-O", "c2", "-remarks", "testdata/quickstart.za")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errOut, "remark:") {
+		t.Errorf("-remarks stderr missing remarks:\n%s", errOut)
+	}
+}
+
+func TestZplcheckJSONReport(t *testing.T) {
+	out, _, err := runTool(t, "zplcheck", "-json", "-O", "baseline,c2+f3", "testdata/quickstart.za")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Findings []struct {
+			Rule string `json:"rule"`
+		} `json:"findings"`
+		Counts map[string]int `json:"counts"`
+	}
+	if jerr := json.Unmarshal([]byte(out), &doc); jerr != nil {
+		t.Fatalf("zplcheck -json output is not JSON: %v\n%s", jerr, out)
+	}
+	if len(doc.Findings) != 0 {
+		t.Errorf("clean program has verifier findings: %+v", doc.Findings)
+	}
+}
+
+func TestZplcheckSARIFReport(t *testing.T) {
+	out, _, err := runTool(t, "zplcheck", "-sarif", "-O", "c2", "testdata/quickstart.za")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Version string `json:"version"`
+	}
+	if jerr := json.Unmarshal([]byte(out), &log); jerr != nil {
+		t.Fatalf("zplcheck -sarif output is not JSON: %v", jerr)
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("SARIF version = %q, want 2.1.0", log.Version)
+	}
+}
+
+func TestZpllintEndToEnd(t *testing.T) {
+	// quickstart has two halo reads: warnings, exit 0 without -strict.
+	out, _, err := runTool(t, "zpllint", "testdata/quickstart.za")
+	if err != nil {
+		t.Fatalf("zpllint on warnings-only input should exit 0: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "out-of-region-read") {
+		t.Errorf("expected halo-read warnings:\n%s", out)
+	}
+
+	// -strict turns those warnings into exit 1.
+	_, _, err = runTool(t, "zpllint", "-strict", "testdata/quickstart.za")
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) || ee.ExitCode() != 1 {
+		t.Errorf("zpllint -strict: err = %v, want exit code 1", err)
+	}
+
+	// The benchmark suite lints clean (the lint-self gate).
+	if out, errOut, err := runTool(t, "zpllint", "-bench", "all"); err != nil {
+		t.Errorf("zpllint -bench all failed: %v\n%s%s", err, out, errOut)
+	}
+}
+
+func TestExperimentsAudit(t *testing.T) {
+	out, errOut, err := runTool(t, "experiments", "-run", "audit")
+	if err != nil {
+		t.Fatalf("remark audit failed: %v\n%s%s", err, out, errOut)
+	}
+	if !strings.Contains(out, "audit clean") {
+		t.Errorf("audit output missing clean verdict:\n%s", out)
 	}
 }

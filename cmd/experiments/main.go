@@ -6,7 +6,9 @@
 //	experiments [-run id] [-size f] [-jobs n] [-out dir]
 //
 //	-run id    which experiment: fig6, fig7, fig8, fig9, fig10, fig11,
-//	           sec55, origin (latency sensitivity), or all (default all)
+//	           sec55, origin (latency sensitivity), audit (remark
+//	           completeness over the Fig. 7/8 suite), or all (default
+//	           all)
 //	-size f    problem-size factor for the runtime studies (default 1.0)
 //	-jobs n    measurements to run concurrently (default: all CPUs)
 //	-out dir   also write each table to dir/<id>.txt
@@ -22,6 +24,7 @@ import (
 	"path/filepath"
 	"runtime"
 
+	"repro/internal/core"
 	"repro/internal/harness"
 )
 
@@ -93,6 +96,17 @@ func main() {
 		emit("headline", fmt.Sprintf(
 			"Headline (§1): c2 improvement over baseline across benchmarks,\nmachines and processor counts: median %.1f%%, maximum %.1f%%\n(paper: \"typically greater than 20%% and sometimes up to 400%%\")\n",
 			median, max))
+	}
+
+	if want("audit") {
+		rows, err := harness.AuditRemarks(core.AllLevels())
+		if err != nil {
+			fatal(err)
+		}
+		emit("audit", harness.FormatAudit(rows))
+		if n := harness.AuditProblems(rows); n > 0 {
+			fatal(fmt.Errorf("remark audit: %d problem(s)", n))
+		}
 	}
 
 	if want("sec55") {

@@ -14,6 +14,9 @@
 //	-comm strat   favor-fusion | favor-comm (with -p > 1)
 //	-check        run the static verifier (zplcheck's passes) between
 //	              pipeline phases; any finding fails the compilation
+//	-remarks      print one optimization remark per fusion/contraction
+//	              decision (the blocking edge, distance vector, and
+//	              failed legality test for every negative decision)
 //	-checkfault p verifier self-test: compile, inject a known bug
 //	              aimed at pass p (air-wellformed, asdg-crosscheck,
 //	              fusion-legality, contraction-safety, comm-schedule),
@@ -65,6 +68,7 @@ func main() {
 	scalarRep := flag.Bool("scalarrep", false, "install scalar replacement in the loop nests")
 	strat := flag.String("comm", "favor-fusion", "communication strategy: favor-fusion | favor-comm")
 	runCheck := flag.Bool("check", false, "run the static verifier between pipeline phases")
+	remarks := flag.Bool("remarks", false, "print one optimization remark per fusion/contraction decision")
 	checkFault := flag.String("checkfault", "", "inject a seeded bug and require the named verifier pass to catch it")
 	configs := configFlags{}
 	flag.Var(configs, "config", "override a config constant, key=value (repeatable)")
@@ -138,6 +142,18 @@ func main() {
 		printPlan(c)
 	default:
 		fatal(fmt.Errorf("unknown -emit form %q", *emit))
+	}
+	if *remarks {
+		printRemarks(flag.Arg(0), c)
+	}
+}
+
+// printRemarks lists the optimizer's decision records: why each
+// candidate was or was not fused/contracted, with the blocking edge.
+func printRemarks(file string, c *driver.Compilation) {
+	fmt.Printf("\nremarks (%d):\n", len(c.Plan.Remarks))
+	for _, r := range c.Plan.Remarks {
+		fmt.Printf("%s:%s\n", file, r)
 	}
 }
 

@@ -19,6 +19,14 @@
 //	              simple, fibro) instead of files; "all" verifies every
 //	              one (combines with positional files)
 //	-v            list each verified configuration, not just failures
+//	-json         emit the findings as a machine-readable JSON report
+//	              (per-rule counts included) instead of text
+//	-sarif        emit the findings as a SARIF 2.1.0 log instead of text
+//
+// With -json or -sarif each finding's rule ID is the verifier pass
+// name prefixed "check/" (e.g. check/fusion), and the file field is
+// the configuration label ("file.za at c2+f3"), so one report covers
+// every (unit, level) pair.
 //
 // Exit status is 0 when every configuration verifies clean, 1 when
 // any pass reports, 2 on usage errors.
@@ -35,6 +43,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/driver"
+	"repro/internal/lint"
 	"repro/internal/programs"
 )
 
@@ -65,6 +74,8 @@ func main() {
 	procs := flag.Int("p", 0, "additionally verify a distributed compilation for n processors")
 	bench := flag.String("bench", "", "built-in benchmark name, or \"all\"")
 	verbose := flag.Bool("v", false, "list clean configurations too")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON report")
+	sarifOut := flag.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log")
 	configs := configFlags{}
 	flag.Var(configs, "config", "override a config constant, key=value (repeatable)")
 	flag.Parse()
@@ -111,21 +122,45 @@ func main() {
 		}
 	}
 
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(os.Stderr, "zplcheck: -json and -sarif are mutually exclusive")
+		os.Exit(2)
+	}
+	var collect []lint.Finding
+	structured := *jsonOut || *sarifOut
+
 	configurations, failures := 0, 0
 	for _, u := range units {
 		for _, lvl := range levels {
-			failures += verify(u, lvl, driver.Options{Level: lvl, Configs: configs}, "", *verbose)
+			var collector *[]lint.Finding
+			if structured {
+				collector = &collect
+			}
+			failures += verify(u, lvl, driver.Options{Level: lvl, Configs: configs}, "", *verbose, collector)
 			configurations++
 			if *procs > 1 {
 				co := comm.DefaultOptions(*procs)
 				failures += verify(u, lvl,
 					driver.Options{Level: lvl, Configs: configs, Comm: &co},
-					fmt.Sprintf(" p=%d", *procs), *verbose)
+					fmt.Sprintf(" p=%d", *procs), *verbose, collector)
 				configurations++
 			}
 		}
 	}
-	fmt.Printf("zplcheck: %d configuration(s), %d with findings\n", configurations, failures)
+	switch {
+	case *jsonOut:
+		if err := lint.EncodeJSON(os.Stdout, "", collect, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "zplcheck:", err)
+			os.Exit(2)
+		}
+	case *sarifOut:
+		if err := lint.EncodeSARIF(os.Stdout, "zplcheck", collect); err != nil {
+			fmt.Fprintln(os.Stderr, "zplcheck:", err)
+			os.Exit(2)
+		}
+	default:
+		fmt.Printf("zplcheck: %d configuration(s), %d with findings\n", configurations, failures)
+	}
 	if failures > 0 {
 		os.Exit(1)
 	}
@@ -134,24 +169,38 @@ func main() {
 // verify compiles one source at one level WITHOUT the driver's inline
 // gates, then runs every pass so all findings surface at once (the
 // inline gates stop at the first failing phase). Returns 1 on any
-// finding or compile error, 0 when clean.
-func verify(u unit, lvl core.Level, opt driver.Options, suffix string, verbose bool) int {
+// finding or compile error, 0 when clean. When collect is non-nil the
+// findings are appended there (labelled with the configuration) for a
+// structured report instead of being printed.
+func verify(u unit, lvl core.Level, opt driver.Options, suffix string, verbose bool, collect *[]lint.Finding) int {
 	label := fmt.Sprintf("%s at %s%s", u.name, lvl, suffix)
 	c, err := driver.Compile(u.src, opt)
 	if err != nil {
-		fmt.Printf("%s: compile error: %v\n", label, err)
+		if collect != nil {
+			*collect = append(*collect, lint.Finding{
+				Rule: "check/compile", Severity: lint.SevError,
+				File: label, Message: err.Error(),
+			})
+		} else {
+			fmt.Printf("%s: compile error: %v\n", label, err)
+		}
 		return 1
 	}
 	reps := check.All(c.AIR, c.Plan, c.LIR, c.Comm != nil)
+	if collect != nil {
+		*collect = append(*collect, lint.FromReports(label, reps)...)
+	}
 	if len(reps) == 0 {
-		if verbose {
+		if verbose && collect == nil {
 			fmt.Printf("%s: ok\n", label)
 		}
 		return 0
 	}
-	fmt.Printf("%s: %d finding(s)\n", label, len(reps))
-	for _, r := range reps {
-		fmt.Printf("  %s\n", r)
+	if collect == nil {
+		fmt.Printf("%s: %d finding(s)\n", label, len(reps))
+		for _, r := range reps {
+			fmt.Printf("  %s\n", r)
+		}
 	}
 	return 1
 }

@@ -1,0 +1,175 @@
+// Command zpllint is the source-level linter and optimization-remarks
+// viewer for ZA programs. It runs the compiler's own analyses (sema,
+// liveness, the fusion/contraction planner) and reports:
+//
+//   - lint findings: unused and write-only arrays, dead statements,
+//     redundant and unused regions, shadowed declarations, @-offset
+//     reads escaping the declared region, and temporaries that would
+//     contract but for a single offending reference (with a fix-it);
+//   - optimization remarks (-remarks): one structured record per
+//     fusion/contraction decision, naming the blocking dependence
+//     edge, its unconstrained distance vector, and the legality test
+//     that failed.
+//
+// Usage:
+//
+//	zpllint [flags] file.za...
+//
+//	-O level       optimization level whose decisions back the
+//	               remark-derived rules (default c2+f3)
+//	-config k=v    override a config constant (repeatable)
+//	-bench name    lint a built-in benchmark; "all" for every one
+//	-format f      output format: text (default), json, or sarif
+//	-remarks       include optimization remarks in the output
+//	-strict        exit nonzero on warnings, not just errors
+//
+// Exit status: 0 clean (notes never fail a run), 1 on error-severity
+// findings or — with -strict — warnings, 2 on usage errors, 3 when a
+// source fails to compile.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/lint"
+	"repro/internal/programs"
+	"repro/internal/remark"
+)
+
+type configFlags map[string]int64
+
+func (c configFlags) String() string { return fmt.Sprintf("%v", map[string]int64(c)) }
+
+func (c configFlags) Set(s string) error {
+	k, v, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("want key=value, got %q", s)
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return err
+	}
+	c[k] = n
+	return nil
+}
+
+type unit struct {
+	name string
+	src  string
+}
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("zpllint", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	levelFlag := fs.String("O", "c2+f3", "optimization level backing the remark-derived rules")
+	format := fs.String("format", "text", "output format: text, json, or sarif")
+	bench := fs.String("bench", "", "built-in benchmark name, or \"all\"")
+	strict := fs.Bool("strict", false, "exit nonzero on warnings too")
+	remarks := fs.Bool("remarks", false, "include optimization remarks in the output")
+	configs := configFlags{}
+	fs.Var(configs, "config", "override a config constant, key=value (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	lvl, err := core.ParseLevel(*levelFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "zpllint:", err)
+		return 2
+	}
+	switch *format {
+	case "text", "json", "sarif":
+	default:
+		fmt.Fprintf(os.Stderr, "zpllint: unknown format %q (want text, json, or sarif)\n", *format)
+		return 2
+	}
+
+	var units []unit
+	switch {
+	case *bench == "all":
+		for _, b := range programs.All() {
+			units = append(units, unit{"bench:" + b.Name, b.Source})
+		}
+	case *bench != "":
+		b, ok := programs.ByName(*bench)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "zpllint: unknown benchmark %q\n", *bench)
+			return 2
+		}
+		units = append(units, unit{"bench:" + b.Name, b.Source})
+	}
+	for _, f := range fs.Args() {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "zpllint:", err)
+			return 2
+		}
+		units = append(units, unit{f, string(data)})
+	}
+	if len(units) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: zpllint [flags] file.za...")
+		fs.Usage()
+		return 2
+	}
+
+	var all []lint.Finding
+	var allRemarks []remark.Remark
+	compileFailed := false
+	for _, u := range units {
+		res, err := lint.Run(u.src, lint.Options{File: u.name, Level: lvl, Configs: configs})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "zpllint: %s: %v\n", u.name, err)
+			compileFailed = true
+			continue
+		}
+		all = append(all, res.Findings...)
+		if *remarks {
+			if *format == "text" {
+				lint.EncodeText(os.Stdout, u.name, nil, res.Remarks)
+			} else if len(units) == 1 {
+				allRemarks = res.Remarks
+			}
+		}
+	}
+
+	switch *format {
+	case "text":
+		lint.EncodeText(os.Stdout, "", all, nil)
+	case "json":
+		name := units[0].name
+		if len(units) > 1 {
+			name = ""
+		}
+		if err := lint.EncodeJSON(os.Stdout, name, all, allRemarks); err != nil {
+			fmt.Fprintln(os.Stderr, "zpllint:", err)
+			return 2
+		}
+	case "sarif":
+		if err := lint.EncodeSARIF(os.Stdout, "zpllint", all); err != nil {
+			fmt.Fprintln(os.Stderr, "zpllint:", err)
+			return 2
+		}
+	}
+
+	if compileFailed {
+		return 3
+	}
+	for _, f := range all {
+		if f.Severity == lint.SevError {
+			return 1
+		}
+		if *strict && f.Severity == lint.SevWarning {
+			return 1
+		}
+	}
+	return 0
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// write drops a ZA source into the test's temp dir.
+func write(t *testing.T, name, src string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const cleanSrc = `
+program clean;
+config n : integer = 8;
+region R = [1..n, 1..n];
+var A, B : [R] double;
+var s : double;
+proc main()
+begin
+  [R] A := index1 + index2;
+  [R] B := A * 2.0;
+  s := +<< [R] B;
+  writeln("s =", s);
+end;
+`
+
+const warnSrc = `
+program warny;
+config n : integer = 8;
+region R = [1..n, 1..n];
+direction east = (0, 1);
+var A, B : [R] double;
+var s : double;
+proc main()
+begin
+  [R] A := index1 + index2;
+  [R] B := A@east;
+  s := +<< [R] B;
+  writeln("s =", s);
+end;
+`
+
+func TestExitCodes(t *testing.T) {
+	clean := write(t, "clean.za", cleanSrc)
+	warny := write(t, "warn.za", warnSrc)
+	broken := write(t, "broken.za", "program oops\nthis is not ZA")
+
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"clean file", []string{clean}, 0},
+		{"clean bench", []string{"-bench", "ep"}, 0},
+		{"warnings without strict pass", []string{warny}, 0},
+		{"warnings with strict fail", []string{"-strict", warny}, 1},
+		{"strict clean still passes", []string{"-strict", clean}, 0},
+		{"no inputs", []string{}, 2},
+		{"unknown flag", []string{"-nonsense", clean}, 2},
+		{"unknown format", []string{"-format", "xml", clean}, 2},
+		{"unknown level", []string{"-O", "c9", clean}, 2},
+		{"unknown bench", []string{"-bench", "nope"}, 2},
+		{"missing file", []string{filepath.Join(t.TempDir(), "absent.za")}, 2},
+		{"compile error", []string{broken}, 3},
+		{"compile error beats strict", []string{"-strict", broken}, 3},
+		{"json format works", []string{"-format", "json", warny}, 0},
+		{"sarif format works", []string{"-format", "sarif", "-remarks", warny}, 0},
+	}
+	// The linter writes reports to stdout; silence them for the test
+	// log (exit codes are the contract under test).
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	defer func() { os.Stdout = old; devnull.Close() }()
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := run(tc.args); got != tc.want {
+				t.Errorf("run(%v) = %d, want %d", tc.args, got, tc.want)
+			}
+		})
+	}
+}

@@ -19,6 +19,8 @@
 //	              (rejected together with a positional file argument)
 //	-check        run the static verifier between pipeline phases;
 //	              any finding aborts before execution
+//	-remarks      print one optimization remark per fusion/contraction
+//	              decision to stderr before executing
 //	-timeout d    wall-clock deadline for the whole compile+run
 //	              (e.g. 500ms, 10s); 0 disables
 //	-maxsteps n   element-statement execution budget; 0 keeps the
@@ -85,6 +87,7 @@ func main() {
 	mach := flag.String("machine", "", "machine model: t3e | sp2 | paragon")
 	bench := flag.String("bench", "", "built-in benchmark name")
 	runCheck := flag.Bool("check", false, "run the static verifier between pipeline phases")
+	remarks := flag.Bool("remarks", false, "print optimization remarks to stderr before running")
 	timeout := flag.Duration("timeout", 0, "wall-clock deadline for compile+run; 0 disables")
 	maxSteps := flag.Int64("maxsteps", 0, "element-statement execution budget; 0 = interpreter default")
 	configs := configFlags{}
@@ -138,6 +141,17 @@ func main() {
 			fatalTimeout(fmt.Errorf("timeout after %v while compiling", *timeout))
 		}
 		fatalCompile(err)
+	}
+
+	if *remarks {
+		name := flag.Arg(0)
+		if name == "" {
+			name = "bench:" + *bench
+		}
+		fmt.Fprintf(os.Stderr, "zplrun: %d remarks:\n", len(c.Plan.Remarks))
+		for _, r := range c.Plan.Remarks {
+			fmt.Fprintf(os.Stderr, "%s:%s\n", name, r)
+		}
 	}
 
 	var model *machine.Model

@@ -45,11 +45,11 @@ type haloDir struct {
 
 // msgPair accumulates the send/recv halves observed for one message id.
 type msgPair struct {
-	sends, recvs  []*lir.Comm
-	sendSeq       int
-	recvSeq       int
-	wroteBetween  bool
-	writeBetween  string
+	sends, recvs []*lir.Comm
+	sendSeq      int
+	recvSeq      int
+	wroteBetween bool
+	writeBetween string
 }
 
 type commWalker struct {
@@ -82,7 +82,7 @@ func (st *commWalker) walk(nodes []lir.Node) {
 			st.nest(x)
 		case *lir.PartialReduce:
 			if x.Region != nil {
-				st.reads(air.Refs(x.Body), source.Pos{})
+				st.reads(air.Refs(x.Body), x.Pos)
 			}
 			st.write(x.LHS)
 		case *lir.Call:
@@ -148,7 +148,7 @@ func (st *commWalker) pair(id int, c *lir.Comm) *msgPair {
 // applies the writes.
 func (st *commWalker) nest(n *lir.Nest) {
 	for _, pl := range n.Preloads {
-		st.readOne(pl.Array, pl.Off, source.Pos{})
+		st.readOne(pl.Array, pl.Off, pl.Pos)
 	}
 	for _, s := range n.Body {
 		st.reads(air.Refs(s.RHS), s.Pos)

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/air"
+	"repro/internal/asdg"
+	"repro/internal/dep"
+	"repro/internal/remark"
+	"repro/internal/sema"
+	"repro/internal/source"
+)
+
+// fuseDiag is the verdict of the FUSION-PARTITION? predicate with
+// evidence: when !OK, Test names the failed legality test and Edge (or
+// Pos) points at the concrete witness.
+type fuseDiag struct {
+	OK     bool
+	Test   string
+	Reason string
+	Detail string
+	Pos    source.Pos
+	Edge   *remark.Edge
+}
+
+// contractDiag is the verdict of the CONTRACTIBLE? predicate with
+// evidence. Offending counts the blocking dependence items; when it is
+// exactly 1 and attributable to a single read offset, Fixit carries an
+// actionable suggestion.
+type contractDiag struct {
+	OK        bool
+	Test      string
+	Reason    string
+	Detail    string
+	Fixit     string
+	Pos       source.Pos
+	Edge      *remark.Edge
+	Offending int
+}
+
+// witnessEdge renders a dependence item as a remark witness.
+func witnessEdge(g *asdg.Graph, e *dep.Edge, it dep.Item) *remark.Edge {
+	vec := "-"
+	if it.Vector {
+		vec = it.U.String()
+	}
+	return &remark.Edge{
+		From:    e.From,
+		To:      e.To,
+		FromPos: air.PosOf(g.Stmts[e.From]),
+		ToPos:   air.PosOf(g.Stmts[e.To]),
+		Var:     it.Var,
+		Vector:  vec,
+		Dep:     it.Kind.String(),
+	}
+}
+
+// setMembers returns, in ascending vertex order, the members of every
+// cluster in cs. Vertex order keeps the diagnosis deterministic (map
+// iteration over cs is not).
+func setMembers(p *Partition, cs map[int]bool) []int {
+	var out []int
+	for v := 0; v < p.G.N(); v++ {
+		if cs[p.rep[v]] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// diagnoseFusion is fusionPartitionOK with evidence: it re-checks
+// every Definition 5 condition (plus the segment constraint) over the
+// would-be merged cluster set and, on failure, reports which test
+// failed and the first offending statement or dependence edge in
+// program order. The success path performs exactly the checks of
+// fusionPartitionOK; witnesses are only materialized on failure.
+func diagnoseFusion(p *Partition, cs map[int]bool) fuseDiag {
+	if len(cs) < 2 {
+		return fuseDiag{OK: true}
+	}
+	members := setMembers(p, cs)
+
+	// FavorComm segment constraint: fusion may not cross a
+	// communication primitive (it would shrink the overlap window).
+	if p.G.Seg != nil {
+		seg, segV := -1, -1
+		for _, v := range members {
+			if seg < 0 {
+				seg, segV = p.G.Seg[v], v
+			} else if p.G.Seg[v] != seg {
+				return fuseDiag{
+					Test:   remark.TestSegment,
+					Reason: "fusion would cross a communication segment boundary",
+					Detail: fmt.Sprintf("v%d is in segment %d, v%d in segment %d", segV, seg, v, p.G.Seg[v]),
+					Pos:    air.PosOf(p.G.Stmts[v]),
+				}
+			}
+		}
+	}
+
+	// Conditions (i) + fusibility: every member statement is fusible
+	// and operates under one region (or an exact translate of it).
+	var reg *sema.Region
+	var regV int
+	for _, v := range members {
+		if !p.G.IsFusible(v) {
+			return fuseDiag{
+				Test:   remark.TestFusible,
+				Reason: fmt.Sprintf("statement v%d is not a fusible (normalized) statement", v),
+				Detail: "cycle closure (GROW) may have pulled the statement into the merge set",
+				Pos:    air.PosOf(p.G.Stmts[v]),
+			}
+		}
+		r := p.G.StmtRegion(v)
+		if reg == nil {
+			reg, regV = r, v
+		} else if !Translates(reg, r) {
+			return fuseDiag{
+				Test:   remark.TestConformable,
+				Reason: "member statements iterate over non-conformable regions",
+				Detail: fmt.Sprintf("v%d runs over %s, v%d over %s", regV, reg, v, r),
+				Pos:    air.PosOf(p.G.Stmts[v]),
+			}
+		}
+	}
+
+	// Conditions (ii) and (iv) over the would-be intra-cluster deps.
+	vectors, flowsNull, ok := p.IntraVectors(cs)
+	if !ok || !flowsNull {
+		// Walk the edges again to attribute the failure to the first
+		// offending item in program order.
+		for ei := range p.G.Edges {
+			e := &p.G.Edges[ei]
+			if !cs[p.rep[e.From]] || !cs[p.rep[e.To]] {
+				continue
+			}
+			for _, it := range e.Items {
+				switch {
+				case !it.Vector:
+					return fuseDiag{
+						Test:   remark.TestOrderingOnly,
+						Reason: "an intra-cluster dependence carries no distance vector",
+						Edge:   witnessEdge(p.G, e, it),
+						Pos:    air.PosOf(p.G.Stmts[e.From]),
+					}
+				case it.Kind == dep.Flow && !it.U.IsZero():
+					return fuseDiag{
+						Test:   remark.TestNullFlow,
+						Reason: "fusing would make a non-null flow dependence intra-cluster (contraction-unsafe ordering)",
+						Edge:   witnessEdge(p.G, e, it),
+						Pos:    air.PosOf(p.G.Stmts[e.From]),
+					}
+				case p.NoCarriedAnti && it.Kind == dep.Anti && !it.U.IsZero():
+					return fuseDiag{
+						Test:   remark.TestCarriedAnti,
+						Reason: "the fused cluster would carry a non-null anti dependence (emulated compiler restriction)",
+						Edge:   witnessEdge(p.G, e, it),
+						Pos:    air.PosOf(p.G.Stmts[e.From]),
+					}
+				}
+			}
+		}
+		// Unreachable: IntraVectors failed, so an offender exists.
+		return fuseDiag{Test: remark.TestNullFlow, Reason: "intra-cluster dependence vectors are illegal"}
+	}
+	if _, found := FindLoopStructure(reg.Rank(), vectors); !found {
+		d := fuseDiag{
+			Test:   remark.TestLoopStructure,
+			Reason: "FIND-LOOP-STRUCTURE: no loop structure vector preserves every intra-cluster dependence",
+			Detail: fmt.Sprintf("intra-cluster distance vectors %v", vectors),
+		}
+		// Witness: the first non-null-vector dependence (an all-null
+		// vector set always admits the identity structure).
+		for ei := range p.G.Edges {
+			e := &p.G.Edges[ei]
+			if !cs[p.rep[e.From]] || !cs[p.rep[e.To]] {
+				continue
+			}
+			for _, it := range e.Items {
+				if it.Vector && !it.U.IsZero() {
+					d.Edge = witnessEdge(p.G, e, it)
+					d.Pos = air.PosOf(p.G.Stmts[e.From])
+					return d
+				}
+			}
+		}
+		return d
+	}
+	return fuseDiag{OK: true}
+}
+
+// diagnoseContraction is contractible (Definition 6) with evidence:
+// every dependence due to x must run inside the fused cluster set with
+// a null unconstrained distance vector. On failure it reports the
+// first offending edge, counts all offenders, and — when a single
+// non-null flow dependence is the only blocker — emits a fix-it note
+// naming the read offset the user would have to align.
+func diagnoseContraction(p *Partition, x string, cs map[int]bool) contractDiag {
+	d := contractDiag{OK: true}
+	var fixOff air.Offset
+	for ei := range p.G.Edges {
+		e := &p.G.Edges[ei]
+		for _, it := range e.Items {
+			if it.Var != x {
+				continue
+			}
+			switch {
+			case !cs[p.ClusterOf(e.From)] || !cs[p.ClusterOf(e.To)]:
+				d.Offending++
+				fixOff = nil
+				if d.OK {
+					d.OK = false
+					d.Test = remark.TestConfined
+					d.Reason = fmt.Sprintf("a dependence on %s escapes the fused cluster (Def. 6 condition (i))", x)
+					d.Edge = witnessEdge(p.G, e, it)
+					d.Pos = air.PosOf(p.G.Stmts[e.To])
+				}
+			case !it.Vector || !it.U.IsZero():
+				d.Offending++
+				if d.OK {
+					d.OK = false
+					d.Test = remark.TestNullVector
+					if !it.Vector {
+						d.Reason = fmt.Sprintf("a dependence on %s carries no distance vector (Def. 6 condition (ii))", x)
+					} else {
+						d.Reason = fmt.Sprintf("a dependence on %s has non-null unconstrained distance vector %s (Def. 6 condition (ii))", x, it.U)
+					}
+					d.Edge = witnessEdge(p.G, e, it)
+					d.Pos = air.PosOf(p.G.Stmts[e.To])
+					if it.Kind == dep.Flow && it.Vector {
+						// u = src_off − dst_off and the producing write
+						// is at offset zero, so the offending read sits
+						// at −u.
+						fixOff = make(air.Offset, len(it.U))
+						for i, u := range it.U {
+							fixOff[i] = -u
+						}
+					}
+				} else {
+					fixOff = nil
+				}
+			}
+		}
+	}
+	if d.Offending == 1 && fixOff != nil {
+		d.Fixit = fmt.Sprintf("%s would contract but for the single read at offset %s (%s); aligning that reference with its producer (offset %s) enables contraction",
+			x, fixOff, d.Edge.ToPos, air.Zero(len(fixOff)))
+	}
+	return d
+}

@@ -5,7 +5,6 @@ import (
 
 	"repro/internal/air"
 	"repro/internal/asdg"
-	"repro/internal/sema"
 )
 
 // Weight computes the reference weight w(x, G) of §3: the number of
@@ -54,50 +53,16 @@ func ByDecreasingWeight(g *asdg.Graph, names []string) []string {
 // clusters in cs must yield a valid fusion partition (Definition 5).
 // Inter-cluster cycles need not be checked here — the caller has
 // already applied Grow (the paper makes the same observation).
+//
+// The checks live in diagnoseFusion (diagnose.go), which shares one
+// implementation between the hot greedy loops (which only need the
+// boolean) and the remarks engine (which needs the witness). We admit
+// exact translates of a region as well as equal regions (equal
+// extents, shifted bounds): realigned compiler temporaries produce
+// such clusters, and scalarization guards the shifted statements
+// inside the union loop nest.
 func fusionPartitionOK(p *Partition, cs map[int]bool) bool {
-	if len(cs) < 2 {
-		return true
-	}
-	// FavorComm segment constraint: fusion may not cross a
-	// communication primitive (it would shrink the overlap window).
-	if p.G.Seg != nil {
-		seg := -1
-		for c := range cs {
-			for _, v := range p.Members(c) {
-				if seg < 0 {
-					seg = p.G.Seg[v]
-				} else if p.G.Seg[v] != seg {
-					return false
-				}
-			}
-		}
-	}
-	// Conditions (i) + fusibility: every member statement is fusible
-	// and operates under one region. We admit exact translates of a
-	// region as well (equal extents, shifted bounds): realigned
-	// compiler temporaries produce such clusters, and scalarization
-	// guards the shifted statements inside the union loop nest.
-	var reg *sema.Region
-	for c := range cs {
-		for _, v := range p.Members(c) {
-			if !p.G.IsFusible(v) {
-				return false
-			}
-			r := p.G.StmtRegion(v)
-			if reg == nil {
-				reg = r
-			} else if !Translates(reg, r) {
-				return false
-			}
-		}
-	}
-	// Conditions (ii) and (iv) over the would-be intra-cluster deps.
-	vectors, flowsNull, ok := p.IntraVectors(cs)
-	if !ok || !flowsNull {
-		return false
-	}
-	_, found := FindLoopStructure(reg.Rank(), vectors)
-	return found
+	return diagnoseFusion(p, cs).OK
 }
 
 // contractible is the CONTRACTIBLE? predicate (Definition 6): after
@@ -107,20 +72,7 @@ func fusionPartitionOK(p *Partition, cs map[int]bool) bool {
 // have established that x's live range permits elimination (package
 // liveness).
 func contractible(p *Partition, x string, cs map[int]bool) bool {
-	for _, e := range p.G.Edges {
-		for _, it := range e.Items {
-			if it.Var != x {
-				continue
-			}
-			if !cs[p.ClusterOf(e.From)] || !cs[p.ClusterOf(e.To)] {
-				return false // condition (i)
-			}
-			if !it.Vector || !it.U.IsZero() {
-				return false // condition (ii)
-			}
-		}
-	}
-	return true
+	return diagnoseContraction(p, x, cs).OK
 }
 
 // FusionForContraction is the algorithm of Fig. 3. candidates is the

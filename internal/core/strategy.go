@@ -7,6 +7,7 @@ import (
 	"repro/internal/air"
 	"repro/internal/asdg"
 	"repro/internal/liveness"
+	"repro/internal/remark"
 )
 
 // Level is one of the incremental optimization strategies of §5.4.
@@ -105,6 +106,13 @@ type Plan struct {
 	Level      Level
 	Blocks     []*BlockPlan
 	Contracted map[string]bool
+	// Remarks explains every decision: one record per fused cluster,
+	// per edge-connected unfused cluster pair, per (un)contracted
+	// candidate, and per liveness-excluded temporary. Always recorded
+	// — remarks are evidence, not an optimization mode, and they are
+	// derived from the final plan so they cost one extra diagnosis
+	// pass per block.
+	Remarks []remark.Remark
 }
 
 // BlockPlanFor returns the plan for block b, or nil.
@@ -158,10 +166,10 @@ func Apply(prog *air.Program, level Level) *Plan {
 
 // ApplyEx is Apply with distribution-aware configuration.
 func ApplyEx(prog *air.Program, level Level, cfg Config) *Plan {
-	cands := liveness.Candidates(prog)
+	cands, live := liveness.Explain(prog)
 	plan := &Plan{Level: level, Contracted: map[string]bool{}}
 
-	for _, b := range prog.AllBlocks() {
+	for bi, b := range prog.AllBlocks() {
 		candidates := cands[b]
 		if level.FusesUsers() && !cfg.DisableRealign {
 			RealignTemps(prog, b, candidates)
@@ -229,6 +237,8 @@ func ApplyEx(prog *air.Program, level Level, cfg Config) *Plan {
 			}
 		}
 		sort.Strings(bp.Contracted)
+		plan.Remarks = append(plan.Remarks,
+			explainBlock(prog, level, bi, b, g, p, contracted, candidates, live)...)
 		cfg.done("contraction")
 		plan.Blocks = append(plan.Blocks, bp)
 	}

@@ -301,3 +301,27 @@ func TestMeasureReportsAllMachines(t *testing.T) {
 		t.Errorf("memory = %d, want 256", meas.MemoryBytes)
 	}
 }
+
+// TestAuditRemarksClean is the acceptance gate for the remarks engine:
+// across the full Fig. 7/8 benchmark suite at every strategy level,
+// every fusible-candidate pair left unfused and every uncontracted
+// candidate or temporary must carry exactly one machine-readable
+// explanation, and dependence-test failures must name their blocking
+// edge.
+func TestAuditRemarksClean(t *testing.T) {
+	rows, err := AuditRemarks(core.AllLevels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		for _, p := range r.Problems {
+			t.Errorf("%s at %s: %s", r.Benchmark, r.Level, p)
+		}
+		if r.Remarks == 0 {
+			t.Errorf("%s at %s: no remarks recorded", r.Benchmark, r.Level)
+		}
+	}
+	if n := AuditProblems(rows); n > 0 {
+		t.Errorf("audit: %d problem(s)", n)
+	}
+}

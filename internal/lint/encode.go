@@ -1,0 +1,215 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/check"
+	"repro/internal/remark"
+	"repro/internal/source"
+)
+
+// EncodeText renders findings (and optionally remarks) as classic
+// compiler diagnostics, one per line.
+func EncodeText(w io.Writer, file string, findings []Finding, remarks []remark.Remark) error {
+	for _, f := range findings {
+		if _, err := fmt.Fprintln(w, f); err != nil {
+			return err
+		}
+	}
+	for _, r := range remarks {
+		if _, err := fmt.Fprintf(w, "%s:%s\n", file, r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// jsonDoc is the machine-readable lint report.
+type jsonDoc struct {
+	File     string          `json:"file"`
+	Findings []Finding       `json:"findings"`
+	Remarks  []remark.Remark `json:"remarks,omitempty"`
+	Counts   map[string]int  `json:"counts"`
+}
+
+// EncodeJSON writes a machine-readable report: findings, optional
+// remarks, and per-rule counts (for CI diffing).
+func EncodeJSON(w io.Writer, file string, findings []Finding, remarks []remark.Remark) error {
+	doc := jsonDoc{File: file, Findings: findings, Remarks: remarks, Counts: map[string]int{}}
+	if doc.Findings == nil {
+		doc.Findings = []Finding{}
+	}
+	for _, f := range findings {
+		doc.Counts[f.Rule]++
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// --- SARIF 2.1.0 ---
+
+type sarifLog struct {
+	Version string     `json:"version"`
+	Schema  string     `json:"$schema"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	Version        string      `json:"version,omitempty"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+	DefaultConfig    *sarifConfig `json:"defaultConfiguration,omitempty"`
+}
+
+type sarifConfig struct {
+	Level string `json:"level"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations,omitempty"`
+	Fixes     []sarifFix      `json:"fixes,omitempty"`
+}
+
+type sarifFix struct {
+	Description sarifMessage `json:"description"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           *sarifRegion  `json:"region,omitempty"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// sarifLevel maps a finding severity to a SARIF result level.
+func sarifLevel(s Severity) string {
+	switch s {
+	case SevError:
+		return "error"
+	case SevWarning:
+		return "warning"
+	case SevNote:
+		return "note"
+	}
+	return "none"
+}
+
+// EncodeSARIF writes findings as a SARIF 2.1.0 log. Extra rule IDs
+// seen in the findings but absent from the static rule table (e.g.
+// verifier passes fed through FromReports) are appended to the tool's
+// rule list, keeping every result's ruleIndex valid.
+func EncodeSARIF(w io.Writer, toolName string, findings []Finding) error {
+	driver := sarifDriver{
+		Name:           toolName,
+		InformationURI: "https://github.com/paper-repro/zpl-fusion",
+	}
+	index := map[string]int{}
+	for _, r := range Rules {
+		index[r.ID] = len(driver.Rules)
+		driver.Rules = append(driver.Rules, sarifRule{
+			ID:               r.ID,
+			ShortDescription: sarifMessage{Text: r.Summary},
+			DefaultConfig:    &sarifConfig{Level: sarifLevel(r.Default)},
+		})
+	}
+	for _, f := range findings {
+		if _, ok := index[f.Rule]; !ok {
+			index[f.Rule] = len(driver.Rules)
+			driver.Rules = append(driver.Rules, sarifRule{
+				ID:               f.Rule,
+				ShortDescription: sarifMessage{Text: f.Rule},
+			})
+		}
+	}
+
+	results := []sarifResult{}
+	for _, f := range findings {
+		r := sarifResult{
+			RuleID:    f.Rule,
+			RuleIndex: index[f.Rule],
+			Level:     sarifLevel(f.Severity),
+			Message:   sarifMessage{Text: f.Message},
+		}
+		loc := sarifLocation{PhysicalLocation: sarifPhysical{
+			ArtifactLocation: sarifArtifact{URI: f.File},
+		}}
+		if f.Pos.IsValid() {
+			loc.PhysicalLocation.Region = &sarifRegion{StartLine: f.Pos.Line, StartColumn: f.Pos.Col}
+		}
+		r.Locations = []sarifLocation{loc}
+		if f.Fixit != "" {
+			r.Fixes = []sarifFix{{Description: sarifMessage{Text: f.Fixit}}}
+		}
+		results = append(results, r)
+	}
+
+	log := sarifLog{
+		Version: "2.1.0",
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Runs:    []sarifRun{{Tool: sarifTool{Driver: driver}, Results: results}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}
+
+// FromReports converts static-verifier reports into findings, so
+// zplcheck can reuse the JSON and SARIF encoders. The verifier's pass
+// name becomes the rule ID, prefixed to keep the namespaces distinct.
+func FromReports(file string, reports []check.Report) []Finding {
+	var out []Finding
+	for _, r := range reports {
+		sev := SevError
+		switch r.Severity {
+		case source.Warning:
+			sev = SevWarning
+		case source.Note:
+			sev = SevNote
+		}
+		out = append(out, Finding{
+			Rule:     "check/" + r.Pass,
+			Severity: sev,
+			File:     file,
+			Pos:      r.Pos,
+			Message:  r.Message,
+		})
+	}
+	return out
+}

@@ -55,6 +55,9 @@ type Preload struct {
 	Var   string
 	Array string
 	Off   air.Offset
+	// Pos is the position of the nest statement whose read the
+	// preload serves.
+	Pos source.Pos
 }
 
 // NestStmt is one element-wise statement inside a nest.
@@ -86,6 +89,7 @@ type NestStmt struct {
 type ScalarAssign struct {
 	LHS string
 	RHS air.Expr
+	Pos source.Pos
 }
 
 // Loop is a dynamic scalar counted loop.
@@ -118,6 +122,7 @@ type PartialReduce struct {
 	Op     air.ReduceOp
 	Region *sema.Region
 	Body   air.Expr
+	Pos    source.Pos
 }
 
 // Comm is a retained communication primitive, executed by the machine
@@ -137,16 +142,19 @@ type Call struct {
 	Target string
 	Proc   string
 	Args   []air.Expr
+	Pos    source.Pos
 }
 
 // Return exits the enclosing procedure.
 type Return struct {
 	Value air.Expr
+	Pos   source.Pos
 }
 
 // Writeln prints scalars and strings.
 type Writeln struct {
 	Args []air.WriteArg
+	Pos  source.Pos
 }
 
 func (*Nest) nodeKind()          {}

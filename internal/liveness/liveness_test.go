@@ -177,3 +177,110 @@ func TestLoopBodyBlockIsOwnScope(t *testing.T) {
 		t.Error("loop-body temporary not a candidate")
 	}
 }
+
+func TestWriteOnlyTempIsCandidate(t *testing.T) {
+	// A write-only array trivially satisfies confinement: the first
+	// access is a write and there are no reads to cover.
+	r := reg2(8)
+	b := &air.Block{ID: 0, Stmts: []air.Stmt{
+		arrStmt(r, "T", ref("A", 0, 0)),
+	}}
+	c := Candidates(progOf(b))
+	if !has(c, b, "T") {
+		t.Error("write-only array should be a candidate")
+	}
+}
+
+func TestLastStatementWriteIsCandidate(t *testing.T) {
+	// Liveness is per-block, not per-statement: an array whose only
+	// write is the block's last statement is still a candidate — no
+	// later read exists inside or outside the block.
+	r := reg2(8)
+	b := &air.Block{ID: 0, Stmts: []air.Stmt{
+		arrStmt(r, "B", ref("A", 0, 0)),
+		arrStmt(r, "T", ref("B", 0, 0)),
+	}}
+	c := Candidates(progOf(b))
+	if !has(c, b, "T") {
+		t.Error("last-statement write-only array should be a candidate")
+	}
+	if !has(c, b, "B") {
+		t.Error("write-then-read array B should be a candidate")
+	}
+}
+
+func TestMixedOffsetReadsCountOffenders(t *testing.T) {
+	// T is read at a covered offset and at two uncovered ones; the
+	// verdict must count exactly the uncovered reads and witness the
+	// first of them.
+	inner := sub2(2, 7)
+	b := &air.Block{ID: 0, Stmts: []air.Stmt{
+		arrStmt(inner, "T", ref("A", 0, 0)),
+		arrStmt(inner, "B", ref("T", 0, 0)),  // covered
+		arrStmt(inner, "C", ref("T", 1, 0)),  // row 8: uncovered
+		arrStmt(inner, "D", ref("T", -1, 0)), // row 1: uncovered
+	}}
+	_, verdicts := Explain(progOf(b))
+	var v *Verdict
+	for i := range verdicts {
+		if verdicts[i].Array == "T" {
+			v = &verdicts[i]
+		}
+	}
+	if v == nil {
+		t.Fatal("no verdict for T")
+	}
+	if v.Candidate {
+		t.Fatal("T with uncovered reads is a candidate")
+	}
+	if v.Reason != ReasonUncoveredRead {
+		t.Fatalf("reason = %q, want %q", v.Reason, ReasonUncoveredRead)
+	}
+	if v.Offending != 2 {
+		t.Errorf("Offending = %d, want 2", v.Offending)
+	}
+	if got := v.Off; len(got) != 2 || got[0] != 1 || got[1] != 0 {
+		t.Errorf("witness offset = %v, want (1,0) (the first uncovered read)", got)
+	}
+}
+
+func TestSingleOffenderIsFixitGrade(t *testing.T) {
+	// Exactly one uncovered read: Offending == 1 marks the array as
+	// would-contract-but-for-one-reference (the linter's fix-it case).
+	inner := sub2(2, 7)
+	b := &air.Block{ID: 0, Stmts: []air.Stmt{
+		arrStmt(inner, "T", ref("A", 0, 0)),
+		arrStmt(inner, "B", ref("T", 1, 0)),
+	}}
+	_, verdicts := Explain(progOf(b))
+	for _, v := range verdicts {
+		if v.Array == "T" {
+			if v.Offending != 1 {
+				t.Errorf("Offending = %d, want 1", v.Offending)
+			}
+			return
+		}
+	}
+	t.Fatal("no verdict for T")
+}
+
+func TestMultiBlockVerdictNamesFirstBlock(t *testing.T) {
+	// A cross-block array's verdict carries the first referencing
+	// block, so per-block reporting has exactly one home for it.
+	r := reg2(8)
+	b1 := &air.Block{ID: 0, Stmts: []air.Stmt{arrStmt(r, "X", ref("A", 0, 0))}}
+	b2 := &air.Block{ID: 1, Stmts: []air.Stmt{arrStmt(r, "B", ref("X", 0, 0))}}
+	_, verdicts := Explain(progOf(b1, b2))
+	for _, v := range verdicts {
+		if v.Array == "X" {
+			if v.Reason != ReasonMultiBlock {
+				t.Fatalf("reason = %q, want %q", v.Reason, ReasonMultiBlock)
+			}
+			if v.Block != b1 {
+				t.Errorf("verdict block = %v, want the first referencing block", v.Block)
+			}
+			return
+		}
+	}
+	t.Fatal("no verdict for X")
+}

@@ -1,0 +1,183 @@
+// Package remark defines structured optimization remarks: one record
+// per fusion/contraction decision the optimizer makes, carrying enough
+// evidence (the blocking ASDG edge, its unconstrained distance vector,
+// and the legality test that failed) for a user or a harness to audit
+// why a candidate was or was not transformed. The model follows the
+// "optimization remarks" practice of production compilers: the
+// optimizer never explains itself in prose alone — every negative
+// decision names a machine-checkable witness.
+package remark
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/source"
+)
+
+// Kind is the decision a remark records.
+type Kind string
+
+// The four decision kinds.
+const (
+	Fused         Kind = "fused"
+	NotFused      Kind = "not-fused"
+	Contracted    Kind = "contracted"
+	NotContracted Kind = "not-contracted"
+)
+
+// Test identifiers: the legality test a negative decision failed, or
+// the reason a legal transformation was not performed. Positive
+// decisions carry an empty Test.
+const (
+	// TestSegment: fusion would cross a communication segment
+	// boundary (the FavorComm constraint of §5.5).
+	TestSegment = "segment"
+	// TestFusible: a member statement is not fusible (Definition 5
+	// condition on statement form).
+	TestFusible = "def5-fusible"
+	// TestConformable: member regions are not translates of one
+	// another (Definition 5 condition (i)).
+	TestConformable = "def5-conformable"
+	// TestOrderingOnly: an intra-cluster dependence carries no
+	// distance vector (scalar/IO/call ordering), Definition 5 (ii).
+	TestOrderingOnly = "def5-ordering-only"
+	// TestNullFlow: an intra-cluster flow dependence has a non-null
+	// unconstrained distance vector (Theorem 2 / Definition 5 (ii)).
+	TestNullFlow = "thm2-null-flow"
+	// TestCarriedAnti: an emulated compiler restriction — the cluster
+	// would carry a non-null anti dependence.
+	TestCarriedAnti = "carried-anti"
+	// TestLoopStructure: FIND-LOOP-STRUCTURE found no loop structure
+	// vector preserving every intra-cluster dependence (Theorem 1 /
+	// Definition 5 (iv)).
+	TestLoopStructure = "thm1-loop-structure"
+	// TestConfined: a dependence on the array escapes the fused
+	// cluster (Definition 6 condition (i)).
+	TestConfined = "def6-confined"
+	// TestNullVector: a dependence on the array has a non-null (or
+	// missing) unconstrained distance vector (Definition 6 (ii)).
+	TestNullVector = "def6-null-vector"
+	// TestLiveRange: the array's live range is not confined to one
+	// block, so contraction is unobservable-safety fails (package
+	// liveness).
+	TestLiveRange = "live-range"
+	// TestLevel: the transformation is legal but the strategy level
+	// does not perform it (e.g. user arrays below c2, f1/f2 fuse
+	// without contracting).
+	TestLevel = "level"
+	// TestHeuristic: the transformation is legal but the strategy's
+	// greedy heuristic never selected it (e.g. no shared array drives
+	// locality fusion at c2+f3).
+	TestHeuristic = "heuristic"
+)
+
+// Edge is the witness dependence edge of a negative decision: the
+// concrete ASDG edge whose label blocks the transformation.
+type Edge struct {
+	From    int        `json:"from"` // vertex index within the block
+	To      int        `json:"to"`
+	FromPos source.Pos `json:"fromPos"`
+	ToPos   source.Pos `json:"toPos"`
+	Var     string     `json:"var"`    // the dependence's variable
+	Vector  string     `json:"vector"` // "(0,1)", or "-" (ordering-only)
+	Dep     string     `json:"dep"`    // flow | anti | output
+}
+
+func (e *Edge) String() string {
+	return fmt.Sprintf("v%d(%s)→v%d(%s) on %s, vector %s, %s dep",
+		e.From, e.FromPos, e.To, e.ToPos, e.Var, e.Vector, e.Dep)
+}
+
+// Remark is one recorded decision.
+type Remark struct {
+	Kind  Kind   `json:"kind"`
+	Pass  string `json:"pass"`  // fusion | contraction | liveness
+	Block int    `json:"block"` // block index in program order
+	// Array is the subject of contraction remarks.
+	Array string `json:"array,omitempty"`
+	// Pair is the cluster-representative pair of fusion remarks.
+	Pair *[2]int `json:"pair,omitempty"`
+	// Stmts lists the member vertices of a fused cluster.
+	Stmts []int      `json:"stmts,omitempty"`
+	Pos   source.Pos `json:"pos"`
+	// Test names the legality test that failed (negative decisions).
+	Test   string `json:"test,omitempty"`
+	Reason string `json:"reason,omitempty"`
+	Detail string `json:"detail,omitempty"`
+	Edge   *Edge  `json:"edge,omitempty"`
+	// Fixit, when non-empty, is an actionable suggestion: the decision
+	// was blocked by a single offending reference the user can change.
+	Fixit string `json:"fixit,omitempty"`
+}
+
+// Negative reports whether the remark records a missed transformation.
+func (r Remark) Negative() bool { return r.Kind == NotFused || r.Kind == NotContracted }
+
+// Subject renders the remark's subject: the array, or the cluster pair.
+func (r Remark) Subject() string {
+	if r.Array != "" {
+		return r.Array
+	}
+	if r.Pair != nil {
+		return fmt.Sprintf("clusters {v%d, v%d}", r.Pair[0], r.Pair[1])
+	}
+	if len(r.Stmts) > 0 {
+		ss := make([]string, len(r.Stmts))
+		for i, v := range r.Stmts {
+			ss[i] = fmt.Sprintf("v%d", v)
+		}
+		return "cluster {" + strings.Join(ss, " ") + "}"
+	}
+	return "?"
+}
+
+// String renders the remark as a single diagnostic line.
+func (r Remark) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: remark: block %d: %s %s", r.Pos, r.Block, r.Kind, r.Subject())
+	if r.Test != "" {
+		fmt.Fprintf(&b, " [%s]", r.Test)
+	}
+	if r.Reason != "" {
+		fmt.Fprintf(&b, ": %s", r.Reason)
+	}
+	if r.Edge != nil {
+		fmt.Fprintf(&b, " (blocking edge %s)", r.Edge)
+	}
+	if r.Detail != "" {
+		fmt.Fprintf(&b, "; %s", r.Detail)
+	}
+	if r.Fixit != "" {
+		fmt.Fprintf(&b, "; fix-it: %s", r.Fixit)
+	}
+	return b.String()
+}
+
+// Sort orders remarks deterministically: by block, then source
+// position, then kind, then subject.
+func Sort(rs []Remark) {
+	sort.SliceStable(rs, func(i, j int) bool {
+		a, b := rs[i], rs[j]
+		if a.Block != b.Block {
+			return a.Block < b.Block
+		}
+		if a.Pos != b.Pos {
+			return a.Pos.Before(b.Pos)
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		return a.Subject() < b.Subject()
+	})
+}
+
+// CountByKind tallies remarks per kind (metrics).
+func CountByKind(rs []Remark) map[Kind]int {
+	out := map[Kind]int{}
+	for _, r := range rs {
+		out[r.Kind]++
+	}
+	return out
+}

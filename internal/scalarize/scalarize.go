@@ -120,18 +120,19 @@ func (sc *scalarizer) block(b *air.Block) ([]lir.Node, error) {
 func (sc *scalarizer) single(s air.Stmt) (lir.Node, error) {
 	switch x := s.(type) {
 	case *air.ScalarStmt:
-		return &lir.ScalarAssign{LHS: x.LHS, RHS: x.RHS}, nil
+		return &lir.ScalarAssign{LHS: x.LHS, RHS: x.RHS, Pos: x.Pos}, nil
 	case *air.CommStmt:
 		return &lir.Comm{Array: x.Array, Off: x.Off, Reg: x.Region, Phase: x.Phase, MsgID: x.MsgID, Piggyback: x.Piggyback, Pos: x.Pos}, nil
 	case *air.WritelnStmt:
-		return &lir.Writeln{Args: x.Args}, nil
+		return &lir.Writeln{Args: x.Args, Pos: x.Pos}, nil
 	case *air.CallStmt:
-		return &lir.Call{Target: x.Target, Proc: x.Proc, Args: x.Args}, nil
+		return &lir.Call{Target: x.Target, Proc: x.Proc, Args: x.Args, Pos: x.Pos}, nil
 	case *air.ReturnStmt:
-		return &lir.Return{Value: x.Value}, nil
+		return &lir.Return{Value: x.Value, Pos: x.Pos}, nil
 	case *air.PartialReduceStmt:
 		return &lir.PartialReduce{
 			LHS: x.LHS, Dest: x.Dest, Op: x.Op, Region: x.Region, Body: x.Body,
+			Pos: x.Pos,
 		}, nil
 	case *air.ArrayStmt, *air.ReduceStmt:
 		return nil, fmt.Errorf("fusible statement reached single(): %s", s)

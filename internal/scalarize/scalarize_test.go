@@ -4,9 +4,11 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/driver"
 	"repro/internal/lir"
+	"repro/internal/programs"
 )
 
 func compile(t *testing.T, src string, lvl core.Level) *driver.Compilation {
@@ -154,5 +156,67 @@ end;
 	i2 := strings.Index(out, "for (i2")
 	if i1 < 0 || i2 < 0 || i1 > i2 {
 		t.Errorf("loop order not (i1 outer, i2 inner):\n%s", out)
+	}
+}
+
+// TestLIRPositionsSurvive is the regression test for position
+// threading through scalarization: every LIR statement produced from
+// the benchmark suite (including communication-inserted compilations
+// and scalar-replacement preloads) must carry the source position of
+// its originating statement.
+func TestLIRPositionsSurvive(t *testing.T) {
+	var walk func(t *testing.T, name string, nodes []lir.Node)
+	walk = func(t *testing.T, name string, nodes []lir.Node) {
+		bad := func(kind string, ok bool) {
+			if !ok {
+				t.Errorf("%s: %s without source position", name, kind)
+			}
+		}
+		for _, n := range nodes {
+			switch x := n.(type) {
+			case *lir.Nest:
+				for _, s := range x.Body {
+					bad("nest statement", s.Pos.IsValid())
+				}
+				for _, pl := range x.Preloads {
+					bad("preload", pl.Pos.IsValid())
+				}
+			case *lir.ScalarAssign:
+				bad("scalar assign", x.Pos.IsValid())
+			case *lir.PartialReduce:
+				bad("partial reduce", x.Pos.IsValid())
+			case *lir.Comm:
+				bad("comm", x.Pos.IsValid())
+			case *lir.Call:
+				bad("call", x.Pos.IsValid())
+			case *lir.Return:
+				bad("return", x.Pos.IsValid() || x.Value == nil)
+			case *lir.Writeln:
+				bad("writeln", x.Pos.IsValid())
+			case *lir.Loop:
+				walk(t, name, x.Body)
+			case *lir.While:
+				walk(t, name, x.Body)
+			case *lir.If:
+				walk(t, name, x.Then)
+				walk(t, name, x.Else)
+			}
+		}
+	}
+	for _, b := range programs.All() {
+		co := comm.DefaultOptions(4)
+		for _, opt := range []driver.Options{
+			{Level: core.C2F3},
+			{Level: core.C2F3, ScalarReplace: true},
+			{Level: core.C2F3, Comm: &co},
+		} {
+			c, err := driver.Compile(b.Source, opt)
+			if err != nil {
+				t.Fatalf("%s: %v", b.Name, err)
+			}
+			for _, p := range c.LIR.Procs {
+				walk(t, b.Name, p.Body)
+			}
+		}
 	}
 }

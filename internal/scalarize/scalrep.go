@@ -7,6 +7,7 @@ import (
 	"repro/internal/air"
 	"repro/internal/ast"
 	"repro/internal/lir"
+	"repro/internal/source"
 )
 
 // ScalarReplace installs scalar replacement (Carr & Kennedy, discussed
@@ -45,6 +46,7 @@ func replaceInNest(p *lir.Program, n *lir.Nest, next *int) int {
 	}
 	counts := map[refKey]int{}
 	sample := map[refKey]air.Ref{}
+	samplePos := map[refKey]source.Pos{}
 	for _, s := range n.Body {
 		if s.Guard != nil {
 			// Guarded statements execute on a sub-region; preloading
@@ -64,6 +66,9 @@ func replaceInNest(p *lir.Program, n *lir.Nest, next *int) int {
 			k := refKey{r.Ref.Array, r.Ref.Off.String()}
 			counts[k]++
 			sample[k] = r.Ref
+			if _, ok := samplePos[k]; !ok {
+				samplePos[k] = s.Pos
+			}
 		})
 	}
 
@@ -90,7 +95,7 @@ func replaceInNest(p *lir.Program, n *lir.Nest, next *int) int {
 		regOf[k] = reg
 		p.Source.Scalars[reg] = &air.ScalarInfo{Name: reg, Type: ast.Double}
 		ref := sample[k]
-		n.Preloads = append(n.Preloads, lir.Preload{Var: reg, Array: ref.Array, Off: ref.Off.Clone()})
+		n.Preloads = append(n.Preloads, lir.Preload{Var: reg, Array: ref.Array, Off: ref.Off.Clone(), Pos: samplePos[k]})
 	}
 	for _, s := range n.Body {
 		if s.Guard != nil {

@@ -8,7 +8,9 @@ import (
 	"time"
 
 	"repro/internal/ccache"
+	"repro/internal/lint"
 	"repro/internal/phase"
+	"repro/internal/remark"
 )
 
 // Metrics aggregates the service's counters and latency histograms and
@@ -23,8 +25,10 @@ type Metrics struct {
 	mu       sync.Mutex
 	requests map[string]int64 // "endpoint|status" -> count
 	inflight int64
-	rejected int64 // queue-depth 429s
-	drained  int64 // requests refused because the server is draining
+	rejected int64            // queue-depth 429s
+	drained  int64            // requests refused because the server is draining
+	lints    map[string]int64 // lint findings per severity ("rule|severity")
+	remarks  map[string]int64 // optimization remarks per kind
 
 	Phases  *phase.Collector // per-phase compile/run latencies
 	byRoute *phase.Collector // whole-request latencies per endpoint
@@ -34,6 +38,8 @@ type Metrics struct {
 func NewMetrics() *Metrics {
 	return &Metrics{
 		requests: map[string]int64{},
+		lints:    map[string]int64{},
+		remarks:  map[string]int64{},
 		Phases:   phase.NewCollector(),
 		byRoute:  phase.NewCollector(),
 	}
@@ -68,6 +74,24 @@ func (m *Metrics) Rejected() {
 	m.mu.Unlock()
 }
 
+// Lint counts one lint run's findings, labelled by rule and severity.
+func (m *Metrics) Lint(findings []lint.Finding) {
+	m.mu.Lock()
+	for _, f := range findings {
+		m.lints[fmt.Sprintf("%s|%s", f.Rule, f.Severity)]++
+	}
+	m.mu.Unlock()
+}
+
+// Remarks counts one fresh compilation's optimization remarks by kind.
+func (m *Metrics) Remarks(counts map[remark.Kind]int) {
+	m.mu.Lock()
+	for k, n := range counts {
+		m.remarks[string(k)] += int64(n)
+	}
+	m.mu.Unlock()
+}
+
 // Drained counts a request refused during shutdown (HTTP 503).
 func (m *Metrics) Drained() {
 	m.mu.Lock()
@@ -93,6 +117,29 @@ func (m *Metrics) Render(cs ccache.Stats) string {
 	fmt.Fprintf(&b, "# TYPE zpld_inflight gauge\nzpld_inflight %d\n", m.inflight)
 	fmt.Fprintf(&b, "# TYPE zpld_queue_rejections_total counter\nzpld_queue_rejections_total %d\n", m.rejected)
 	fmt.Fprintf(&b, "# TYPE zpld_drain_rejections_total counter\nzpld_drain_rejections_total %d\n", m.drained)
+	if len(m.lints) > 0 {
+		lk := make([]string, 0, len(m.lints))
+		for k := range m.lints {
+			lk = append(lk, k)
+		}
+		sort.Strings(lk)
+		b.WriteString("# TYPE zpld_lint_findings_total counter\n")
+		for _, k := range lk {
+			rule, sev, _ := strings.Cut(k, "|")
+			fmt.Fprintf(&b, "zpld_lint_findings_total{rule=%q,severity=%q} %d\n", rule, sev, m.lints[k])
+		}
+	}
+	if len(m.remarks) > 0 {
+		rk := make([]string, 0, len(m.remarks))
+		for k := range m.remarks {
+			rk = append(rk, k)
+		}
+		sort.Strings(rk)
+		b.WriteString("# TYPE zpld_remarks_total counter\n")
+		for _, k := range rk {
+			fmt.Fprintf(&b, "zpld_remarks_total{kind=%q} %d\n", k, m.remarks[k])
+		}
+	}
 	m.mu.Unlock()
 
 	fmt.Fprintf(&b, "# TYPE zpld_cache_hits_total counter\nzpld_cache_hits_total %d\n", cs.Hits)

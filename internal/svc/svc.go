@@ -44,7 +44,9 @@ import (
 	"repro/internal/distvm"
 	"repro/internal/driver"
 	"repro/internal/gogen"
+	"repro/internal/lint"
 	"repro/internal/programs"
+	"repro/internal/remark"
 	"repro/internal/vm"
 )
 
@@ -109,6 +111,12 @@ type Request struct {
 
 	EmitGo bool `json:"emit_go,omitempty"` // include generated Go in the response
 
+	// Lint runs the source-level lint rules (zpllint's) and includes
+	// the findings in the response; Remarks includes the optimizer's
+	// structured fusion/contraction remarks.
+	Lint    bool `json:"lint,omitempty"`
+	Remarks bool `json:"remarks,omitempty"`
+
 	// Run options (ignored by /compile). Dist runs the distributed
 	// interpreter (requires procs > 1).
 	Dist     bool  `json:"dist,omitempty"`
@@ -130,6 +138,11 @@ type CompileResponse struct {
 	Arrays     int    `json:"arrays"`
 	Contracted int    `json:"contracted"`
 	GoSource   string `json:"go_source,omitempty"`
+
+	// Lint carries the lint findings when the request set lint; Remarks
+	// the optimization remarks when it set remarks.
+	Lint    []lint.Finding  `json:"lint,omitempty"`
+	Remarks []remark.Remark `json:"remarks,omitempty"`
 }
 
 // RunResponse is the JSON reply of /run.
@@ -345,6 +358,30 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request, run bool) {
 	cresp.Contracted = counts.ContractedCompiler + counts.ContractedUser
 	if req.EmitGo {
 		cresp.GoSource = entry.GoSrc
+	}
+	if lookup == ccache.Miss {
+		// Count each plan's remarks once, at compile time; cache hits
+		// would multiply them by request rate.
+		s.metrics.Remarks(remark.CountByKind(entry.Comp.Plan.Remarks))
+	}
+	if req.Remarks {
+		cresp.Remarks = entry.Comp.Plan.Remarks
+	}
+	if req.Lint {
+		name := "source"
+		if req.Bench != "" {
+			name = "bench:" + req.Bench
+		}
+		res, lerr := lint.Run(src, lint.Options{File: name, Level: opt.Level, Configs: req.Configs})
+		if lerr != nil {
+			// The main compile succeeded, so a sequential lint compile
+			// cannot fail; surface the inconsistency rather than hide it.
+			status, kind = http.StatusUnprocessableEntity, "compile_error"
+			s.fail(w, status, kind, "lint: "+lerr.Error())
+			return
+		}
+		cresp.Lint = res.Findings
+		s.metrics.Lint(res.Findings)
 	}
 
 	w.Header().Set("Content-Type", "application/json")

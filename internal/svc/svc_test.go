@@ -478,3 +478,89 @@ func TestServeListenerDrains(t *testing.T) {
 		t.Fatal("ServeListener did not exit after cancel")
 	}
 }
+
+func TestCompileLintAndRemarks(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	src := heatSource(t)
+
+	// Plain compile: no lint or remarks payload unless requested.
+	status, body := post(t, ts.URL+"/compile", Request{Source: src})
+	if status != http.StatusOK {
+		t.Fatalf("compile: status %d: %s", status, body)
+	}
+	var bare CompileResponse
+	if err := json.Unmarshal(body, &bare); err != nil {
+		t.Fatal(err)
+	}
+	if bare.Lint != nil || bare.Remarks != nil {
+		t.Errorf("unrequested lint/remarks in response: %+v", bare)
+	}
+
+	// Requested: the remarks explain the plan, the lint findings ride
+	// along, and both land in /metrics.
+	status, body = post(t, ts.URL+"/compile", Request{Source: src, Lint: true, Remarks: true})
+	if status != http.StatusOK {
+		t.Fatalf("compile with lint: status %d: %s", status, body)
+	}
+	var resp CompileResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Remarks) == 0 {
+		t.Error("no remarks in response")
+	}
+	negatives := 0
+	for _, r := range resp.Remarks {
+		if r.Negative() {
+			negatives++
+			if r.Test == "" {
+				t.Errorf("negative remark for %s names no failed test", r.Subject())
+			}
+		}
+	}
+	if negatives == 0 {
+		t.Error("heat.za at the default level should have negative remarks")
+	}
+
+	metrics := s.Metrics().Render(s.CacheStats())
+	if !strings.Contains(metrics, "zpld_remarks_total{kind=") {
+		t.Errorf("metrics missing zpld_remarks_total:\n%s", metrics)
+	}
+
+	// Lint a program with findings so the lint counter appears too.
+	warny := `
+program warny;
+config n : integer = 8;
+region R = [1..n, 1..n];
+var A, B, U : [R] double;
+var s : double;
+proc main()
+begin
+  [R] A := index1 + index2;
+  [R] B := A * 2.0;
+  s := +<< [R] B;
+  writeln("s =", s);
+end;
+`
+	status, body = post(t, ts.URL+"/compile", Request{Source: warny, Lint: true})
+	if status != http.StatusOK {
+		t.Fatalf("compile warny: status %d: %s", status, body)
+	}
+	var wresp CompileResponse
+	if err := json.Unmarshal(body, &wresp); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, f := range wresp.Lint {
+		if f.Rule == "unused-array" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("lint findings missing unused-array for U: %+v", wresp.Lint)
+	}
+	metrics = s.Metrics().Render(s.CacheStats())
+	if !strings.Contains(metrics, `zpld_lint_findings_total{rule="unused-array"`) {
+		t.Errorf("metrics missing zpld_lint_findings_total:\n%s", metrics)
+	}
+}
