@@ -8,7 +8,7 @@ STATICCHECK_VERSION ?= 2024.1.1
 GOVULNCHECK_VERSION ?= v1.1.3
 
 .PHONY: all build test vet race check serve-test ci experiments \
-	lint-self staticcheck govulncheck audit
+	lint-self staticcheck govulncheck audit tune-smoke
 
 all: build test
 
@@ -70,7 +70,16 @@ govulncheck:
 		echo "govulncheck@$(GOVULNCHECK_VERSION) not in the module cache and no network; skipping"; \
 	fi
 
-ci: vet test race serve-test check lint-self audit staticcheck govulncheck
+# Plan-search smoke: tune the two smallest benchmarks (frac is fully
+# exhaustive, so its result is the proven optimum; fibro is where the
+# search beats the greedy ladder). zpltune itself asserts the
+# tuned <= heuristic guarantee on every run (exit 1 on violation) and
+# -check re-proves the winning plan through the static verifier.
+tune-smoke: build
+	$(GO) run ./cmd/zpltune -bench frac -config n=24 -check
+	$(GO) run ./cmd/zpltune -bench fibro -config n=16 -check
+
+ci: vet test race serve-test check lint-self audit staticcheck govulncheck tune-smoke
 
 experiments:
 	$(GO) run ./cmd/experiments

@@ -60,7 +60,7 @@ func buildTools(t *testing.T) string {
 			return
 		}
 		binDir = dir
-		for _, tool := range []string{"zplc", "zplrun", "zplcheck", "zpllint", "experiments", "zpld", "zplload"} {
+		for _, tool := range []string{"zplc", "zplrun", "zplcheck", "zpllint", "zpltune", "experiments", "zpld", "zplload"} {
 			cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "./cmd/"+tool)
 			var errb bytes.Buffer
 			cmd.Stderr = &errb
@@ -545,5 +545,105 @@ func TestExperimentsAudit(t *testing.T) {
 	}
 	if !strings.Contains(out, "audit clean") {
 		t.Errorf("audit output missing clean verdict:\n%s", out)
+	}
+}
+
+// TestZpltuneExitCodes mirrors TestZplrunExitCodes for the autotuner:
+// 0 ok, 2 usage, 3 compile, 4 timeout. (Exit 1 — a tuned plan scoring
+// worse than the heuristic — is unreachable by construction: the beam
+// is seeded with every ladder partition.)
+func TestZpltuneExitCodes(t *testing.T) {
+	// Usage errors: conflicting sources, unknown machine, unknown model.
+	_, _, err := runTool(t, "zpltune", "-bench", "frac", "testdata/heat.za")
+	if c := exitCode(t, err); c != 2 {
+		t.Errorf("conflicting sources exit = %d, want 2", c)
+	}
+	_, _, err = runTool(t, "zpltune", "-bench", "frac", "-machine", "cray-3")
+	if c := exitCode(t, err); c != 2 {
+		t.Errorf("unknown machine exit = %d, want 2", c)
+	}
+	_, _, err = runTool(t, "zpltune", "-bench", "frac", "-model", "psychic")
+	if c := exitCode(t, err); c != 2 {
+		t.Errorf("unknown model exit = %d, want 2", c)
+	}
+	_, _, err = runTool(t, "zpltune", "-bench", "frac", "-p", "4", "-measure")
+	if c := exitCode(t, err); c != 2 {
+		t.Errorf("-measure with -p exit = %d, want 2", c)
+	}
+
+	// Compile error: garbage source.
+	bad := filepath.Join(t.TempDir(), "bad.za")
+	if err := os.WriteFile(bad, []byte("program junk; not a program"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, stderr, err := runTool(t, "zpltune", bad)
+	if c := exitCode(t, err); c != 3 {
+		t.Errorf("compile error exit = %d, want 3 (stderr %q)", c, stderr)
+	}
+	if !strings.Contains(stderr, "compile error") {
+		t.Errorf("compile diagnostic missing: %q", stderr)
+	}
+
+	// Timeout: a 1ms deadline cannot cover a search of sp.
+	_, stderr, err = runTool(t, "zpltune", "-bench", "sp", "-timeout", "1ms")
+	if c := exitCode(t, err); c != 4 {
+		t.Errorf("timeout exit = %d, want 4 (stderr %q)", c, stderr)
+	}
+	if !strings.Contains(stderr, "timeout") {
+		t.Errorf("timeout diagnostic missing: %q", stderr)
+	}
+
+	// Success: the comparison table with the built-in guarantee held.
+	out, _, err := runTool(t, "zpltune", "-bench", "frac", "-config", "n=24", "-check")
+	if err != nil {
+		t.Fatalf("clean tune failed: %v", err)
+	}
+	for _, want := range []string{"model cycle:Cray T3E", "heuristic baseline", "tuned", "winner:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tune table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestZpltunePlanRoundtrip: a tuned plan emitted by zpltune feeds back
+// through zplrun -plan and zplc -plan, producing output bit-identical
+// to the baseline run — the full artifact cycle of the autotuner.
+func TestZpltunePlanRoundtrip(t *testing.T) {
+	plan := filepath.Join(t.TempDir(), "plan.json")
+	if _, stderr, err := runTool(t, "zpltune", "-bench", "frac", "-config", "n=24",
+		"-emit", plan); err != nil {
+		t.Fatalf("tune: %v\n%s", err, stderr)
+	}
+
+	base, _, err := runTool(t, "zplrun", "-bench", "frac", "-config", "n=24", "-O", "baseline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuned, stderr, err := runTool(t, "zplrun", "-bench", "frac", "-config", "n=24",
+		"-plan", plan, "-check")
+	if err != nil {
+		t.Fatalf("run with tuned plan: %v\n%s", err, stderr)
+	}
+	if base != tuned {
+		t.Errorf("tuned output %q != baseline %q", tuned, base)
+	}
+
+	// zplc reports the externally planned compilation.
+	out, _, err := runTool(t, "zplc", "-plan", plan, "-emit", "plan", "-config", "n=24",
+		"testdata/quickstart.za")
+	if err == nil {
+		t.Error("plan for frac accepted against quickstart (different program)")
+	} else if out != "" {
+		t.Errorf("unexpected output on mismatched plan: %q", out)
+	}
+
+	// A corrupted spec is rejected up front.
+	badPlan := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(badPlan, []byte(`{"version":99}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = runTool(t, "zplrun", "-bench", "frac", "-plan", badPlan)
+	if c := exitCode(t, err); c != 2 {
+		t.Errorf("bad plan file exit = %d, want 2", c)
 	}
 }

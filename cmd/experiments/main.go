@@ -7,8 +7,9 @@
 //
 //	-run id    which experiment: fig6, fig7, fig8, fig9, fig10, fig11,
 //	           sec55, origin (latency sensitivity), audit (remark
-//	           completeness over the Fig. 7/8 suite), or all (default
-//	           all)
+//	           completeness over the Fig. 7/8 suite), tune (plan-search
+//	           autotuner vs the greedy ladder; also writes tune.json
+//	           under -out), or all (default all)
 //	-size f    problem-size factor for the runtime studies (default 1.0)
 //	-jobs n    measurements to run concurrently (default: all CPUs)
 //	-out dir   also write each table to dir/<id>.txt
@@ -106,6 +107,23 @@ func main() {
 		emit("audit", harness.FormatAudit(rows))
 		if n := harness.AuditProblems(rows); n > 0 {
 			fatal(fmt.Errorf("remark audit: %d problem(s)", n))
+		}
+	}
+
+	if want("tune") {
+		rows, err := harness.RunTune()
+		if err != nil {
+			fatal(err)
+		}
+		emit("tune", harness.FormatTune(rows))
+		if *out != "" {
+			buf, err := harness.TuneJSON(rows)
+			if err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(*out, "tune.json"), buf, 0o644); err != nil {
+				fatal(err)
+			}
 		}
 	}
 

@@ -8,6 +8,8 @@
 //
 //	-O level      optimization level: baseline, f1, c1, f2, f3, c2,
 //	              c2+f3, c2+f4 (default c2+f3)
+//	-plan file    apply an externally supplied fusion/contraction plan
+//	              (a zpltune -emit JSON spec) instead of the -O ladder
 //	-emit form    ast | air | asdg | plan | c | go (default plan)
 //	-config k=v   override a config constant (repeatable)
 //	-p n          compile for n processors (inserts communication)
@@ -63,6 +65,7 @@ func (c configFlags) Set(s string) error {
 
 func main() {
 	level := flag.String("O", "c2+f3", "optimization level")
+	planFile := flag.String("plan", "", "apply a plan spec JSON file instead of the -O ladder")
 	emit := flag.String("emit", "plan", "output form: ast | air | asdg | plan | c | go")
 	procs := flag.Int("p", 1, "processor count (inserts communication when > 1)")
 	scalarRep := flag.Bool("scalarrep", false, "install scalar replacement in the loop nests")
@@ -101,6 +104,17 @@ func main() {
 	}
 
 	opt := driver.Options{Level: lvl, Configs: configs, ScalarReplace: *scalarRep, Check: *runCheck}
+	if *planFile != "" {
+		data, err := os.ReadFile(*planFile)
+		if err != nil {
+			fatal(err)
+		}
+		spec, err := core.ParseSpec(data)
+		if err != nil {
+			fatal(fmt.Errorf("-plan %s: %w", *planFile, err))
+		}
+		opt.Plan = spec
+	}
 	if *procs > 1 {
 		co := comm.DefaultOptions(*procs)
 		if *strat == "favor-comm" {

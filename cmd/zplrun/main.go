@@ -6,6 +6,9 @@
 //	zplrun [flags] file.za
 //
 //	-O level      optimization level (default c2+f3)
+//	-plan file    apply an externally supplied fusion/contraction plan
+//	              (a zpltune -emit JSON spec) instead of the -O ladder;
+//	              the plan is re-proved legal before execution
 //	-config k=v   override a config constant (repeatable)
 //	-p n          simulate n processors (communication inserted)
 //	-dist         execute on the distributed interpreter (real block
@@ -82,6 +85,7 @@ func (c configFlags) Set(s string) error {
 
 func main() {
 	level := flag.String("O", "c2+f3", "optimization level")
+	planFile := flag.String("plan", "", "apply a plan spec JSON file instead of the -O ladder")
 	procs := flag.Int("p", 1, "processor count")
 	distributed := flag.Bool("dist", false, "run on the distributed interpreter")
 	mach := flag.String("machine", "", "machine model: t3e | sp2 | paragon")
@@ -131,6 +135,17 @@ func main() {
 	}
 
 	opt := driver.Options{Level: lvl, Configs: configs, Check: *runCheck}
+	if *planFile != "" {
+		data, err := os.ReadFile(*planFile)
+		if err != nil {
+			fatalUsage(err)
+		}
+		spec, err := core.ParseSpec(data)
+		if err != nil {
+			fatalUsage(fmt.Errorf("-plan %s: %w", *planFile, err))
+		}
+		opt.Plan = spec
+	}
 	if *procs > 1 {
 		co := comm.DefaultOptions(*procs)
 		opt.Comm = &co

@@ -1,0 +1,317 @@
+// Command zpltune searches for a better fusion/contraction plan than
+// the §5.4 strategy ladder's greedy one-shot heuristics: exhaustive
+// enumeration of the legal plan space where the statement blocks are
+// small enough (the result is then proven optimal under the cost
+// model), beam search seeded with every ladder partition otherwise
+// (the result is then guaranteed no worse than the ladder's).
+//
+// Usage:
+//
+//	zpltune [flags] file.za
+//
+//	-O level      the ladder heuristic to beat (default c2+f4)
+//	-bench name   tune a built-in benchmark instead of a file:
+//	              ep, frac, sp, tomcatv, simple, fibro
+//	              (rejected together with a positional file argument)
+//	-config k=v   override a config constant (repeatable)
+//	-p n          tune the n-processor distributed compilation
+//	-strategy s   favor-fusion | favor-comm (requires -p > 1)
+//	-machine m    cost-model machine: t3e | sp2 | paragon | origin
+//	              (default t3e)
+//	-model m      cost model: cycle (analytic) | cache (simulated
+//	              hierarchy sketch); default cycle
+//	-beam n       beam width for large blocks (default 8)
+//	-exhaustive n max fusible statements for exhaustive enumeration
+//	              (default 12)
+//	-states n     exhaustive state budget before falling back to beam
+//	              (default 200000)
+//	-measure      also compile and run the top-K candidate plans on the
+//	              VM and pick the winner by wall clock (sequential only)
+//	-topk n       measured-mode candidate count (default 3)
+//	-emit file    write the tuned plan spec JSON to file ("-" = stdout);
+//	              feed it back with zplrun -plan or zplc -plan
+//	-json         print the full tuning result as JSON instead of the
+//	              table
+//	-check        re-compile with the tuned plan under the static
+//	              verifier (fusion legality, contraction safety) and
+//	              fail on any finding
+//	-timeout d    wall-clock deadline for the whole search
+//
+// Exit codes follow the zplrun scheme:
+//
+//	0  success (tuned plan found, no worse than the heuristic)
+//	1  runtime error — including a tuned plan scoring worse than the
+//	   heuristic, which the search's construction rules out
+//	2  usage error (bad flags, conflicting sources)
+//	3  compile error (parse/sema/lowering/verifier failure)
+//	4  timeout (the -timeout deadline expired mid-search)
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/driver"
+	"repro/internal/machine"
+	"repro/internal/programs"
+	"repro/internal/tune"
+)
+
+// Exit codes; keep in sync with the doc comment above.
+const (
+	exitRuntime = 1
+	exitUsage   = 2
+	exitCompile = 3
+	exitTimeout = 4
+)
+
+type configFlags map[string]int64
+
+func (c configFlags) String() string { return fmt.Sprintf("%v", map[string]int64(c)) }
+
+func (c configFlags) Set(s string) error {
+	k, v, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("want key=value, got %q", s)
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return err
+	}
+	c[k] = n
+	return nil
+}
+
+func main() {
+	level := flag.String("O", "c2+f4", "ladder heuristic to beat")
+	bench := flag.String("bench", "", "built-in benchmark name")
+	procs := flag.Int("p", 1, "processor count")
+	strategy := flag.String("strategy", "", "favor-fusion | favor-comm (requires -p > 1)")
+	mach := flag.String("machine", "t3e", "cost-model machine: t3e | sp2 | paragon | origin")
+	model := flag.String("model", "cycle", "cost model: cycle | cache")
+	beam := flag.Int("beam", 0, "beam width for large blocks (0 = default)")
+	exhaustive := flag.Int("exhaustive", 0, "max fusible statements for exhaustive search (0 = default)")
+	states := flag.Int("states", 0, "exhaustive state budget (0 = default)")
+	measure := flag.Bool("measure", false, "run top-K candidates on the VM, pick by wall clock")
+	topk := flag.Int("topk", 0, "measured-mode candidate count (0 = default)")
+	emit := flag.String("emit", "", "write the tuned plan spec JSON to this file (\"-\" = stdout)")
+	jsonOut := flag.Bool("json", false, "print the tuning result as JSON")
+	runCheck := flag.Bool("check", false, "re-compile with the tuned plan under the static verifier")
+	timeout := flag.Duration("timeout", 0, "wall-clock deadline for the search; 0 disables")
+	configs := configFlags{}
+	flag.Var(configs, "config", "override a config constant, key=value")
+	flag.Parse()
+
+	var src, name string
+	switch {
+	case *bench != "" && flag.NArg() > 0:
+		fatalUsage(fmt.Errorf("-bench %s conflicts with file argument %q: pass one program source, not both", *bench, flag.Arg(0)))
+	case *bench != "":
+		b, ok := programs.ByName(*bench)
+		if !ok {
+			fatalUsage(fmt.Errorf("unknown benchmark %q", *bench))
+		}
+		src, name = b.Source, "bench:"+*bench
+	case flag.NArg() == 1:
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatalUsage(err)
+		}
+		src, name = string(data), flag.Arg(0)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: zpltune [flags] file.za")
+		flag.Usage()
+		os.Exit(exitUsage)
+	}
+
+	lvl, err := core.ParseLevel(*level)
+	if err != nil {
+		fatalUsage(err)
+	}
+	m, ok := machine.ByName(*mach)
+	if !ok {
+		fatalUsage(fmt.Errorf("unknown machine %q (want t3e, sp2, paragon, or origin)", *mach))
+	}
+
+	opt := tune.Options{
+		Level:   lvl,
+		Configs: configs,
+		Search:  tune.SearchOptions{Beam: *beam, ExhaustiveVertices: *exhaustive, MaxStates: *states},
+		Measure: *measure,
+		TopK:    *topk,
+	}
+	if *procs > 1 {
+		co := comm.DefaultOptions(*procs)
+		switch *strategy {
+		case "", "favor-fusion":
+		case "favor-comm":
+			co.Strategy = comm.FavorComm
+		default:
+			fatalUsage(fmt.Errorf("unknown strategy %q (want favor-fusion or favor-comm)", *strategy))
+		}
+		opt.Comm = &co
+	} else if *strategy != "" && *strategy != "favor-fusion" {
+		fatalUsage(fmt.Errorf("-strategy %s requires -p > 1", *strategy))
+	}
+	if *measure && *procs > 1 {
+		fatalUsage(fmt.Errorf("-measure requires a sequential program (the VM backend)"))
+	}
+	switch *model {
+	case "cycle":
+		opt.Model = tune.CycleModel{M: m, Procs: *procs}
+	case "cache":
+		opt.Model = tune.CacheModel{M: m, Procs: *procs}
+	default:
+		fatalUsage(fmt.Errorf("unknown cost model %q (want cycle or cache)", *model))
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	res, err := tune.Tune(ctx, src, opt)
+	if err != nil {
+		var ce *tune.CompileError
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			fatalTimeout(fmt.Errorf("timeout after %v while tuning", *timeout))
+		case errors.As(err, &ce):
+			fatalCompile(err)
+		}
+		fatal(err)
+	}
+
+	// The construction guarantee, asserted on every run: the beam is
+	// seeded with the ladder, so the tuned plan can never score worse.
+	if res.TunedScore > res.HeuristicScore {
+		fatal(fmt.Errorf("tuned plan scores %.0f, worse than the %s heuristic's %.0f — search invariant violated",
+			res.TunedScore, res.HeuristicLevel, res.HeuristicScore))
+	}
+
+	if *runCheck {
+		dopt := driver.Options{Configs: configs, Plan: res.Spec, Check: true, Comm: opt.Comm}
+		if _, err := driver.CompileCtx(ctx, src, dopt); err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				fatalTimeout(fmt.Errorf("timeout after %v while verifying the tuned plan", *timeout))
+			}
+			fatalCompile(fmt.Errorf("tuned plan failed verification: %w", err))
+		}
+		fmt.Fprintln(os.Stderr, "zpltune: tuned plan passed the static verifier")
+	}
+
+	if *emit != "" {
+		buf, err := res.Spec.Marshal()
+		if err != nil {
+			fatal(err)
+		}
+		if *emit == "-" {
+			os.Stdout.Write(buf)
+		} else if err := os.WriteFile(*emit, buf, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Print(formatResult(name, res))
+}
+
+// formatResult renders the heuristic-vs-tuned comparison table.
+func formatResult(name string, res *tune.Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "zpltune: %s, model %s\n\n", name, res.Model)
+
+	// Ladder rungs by score, best first, with the tuned plan in place.
+	type row struct {
+		name  string
+		score float64
+	}
+	rows := []row{{"tuned", res.TunedScore}}
+	for lvl, s := range res.LevelScores {
+		rows = append(rows, row{lvl, s})
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].score != rows[j].score {
+			return rows[i].score < rows[j].score
+		}
+		return rows[i].name < rows[j].name
+	})
+	best := rows[0].score
+	fmt.Fprintf(&b, "%-12s %14s %10s\n", "plan", "score (cycles)", "vs best")
+	for _, r := range rows {
+		marker := ""
+		if r.name == "tuned" {
+			if res.Proven {
+				marker = "  <- optimal (proven by exhaustive search)"
+			} else {
+				marker = "  <- beam search (lower bound not proven)"
+			}
+		} else if r.name == res.HeuristicLevel {
+			marker = "  <- heuristic baseline"
+		}
+		rel := "-"
+		if best > 0 {
+			rel = fmt.Sprintf("+%.1f%%", (r.score-best)/best*100)
+		}
+		fmt.Fprintf(&b, "%-12s %14.0f %10s%s\n", r.name, r.score, rel, marker)
+	}
+
+	fmt.Fprintf(&b, "\nheuristic %s: %.0f cycles; tuned: %.0f cycles (%+.1f%%); winner: %s\n",
+		res.HeuristicLevel, res.HeuristicScore, res.TunedScore,
+		-res.ImprovementPct, res.Winner)
+
+	fmt.Fprintf(&b, "\n%-6s %6s %8s %10s %12s %14s %14s\n",
+		"block", "stmts", "fusible", "method", "states", "heuristic", "tuned")
+	for _, bs := range res.Blocks {
+		fmt.Fprintf(&b, "%-6d %6d %8d %10s %12d %14.0f %14.0f\n",
+			bs.Block, bs.Stmts, bs.Fusible, bs.Method, bs.States,
+			bs.HeuristicScore, bs.TunedScore)
+	}
+
+	if len(res.Measured) > 0 {
+		fmt.Fprintf(&b, "\nmeasured mode (VM wall clock):\n")
+		fmt.Fprintf(&b, "%-12s %14s %12s %12s\n", "plan", "model score", "wall ms", "steps")
+		for _, m := range res.Measured {
+			fmt.Fprintf(&b, "%-12s %14.0f %12.3f %12d\n", m.Name, m.ModelScore, m.WallMS, m.Steps)
+		}
+	}
+	return b.String()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "zpltune:", err)
+	os.Exit(exitRuntime)
+}
+
+func fatalUsage(err error) {
+	fmt.Fprintln(os.Stderr, "zpltune:", err)
+	os.Exit(exitUsage)
+}
+
+func fatalCompile(err error) {
+	fmt.Fprintln(os.Stderr, "zpltune: compile error:", err)
+	os.Exit(exitCompile)
+}
+
+func fatalTimeout(err error) {
+	fmt.Fprintln(os.Stderr, "zpltune:", err)
+	os.Exit(exitTimeout)
+}

@@ -62,6 +62,11 @@ func Fingerprint(opt driver.Options) string {
 		}
 	}
 	fmt.Fprintf(&b, ";scalarrep=%t;check=%t", opt.ScalarReplace, opt.Check)
+	if opt.Plan != nil {
+		// An externally supplied plan replaces the level as the
+		// artifact-shaping input; its content address stands in for it.
+		fmt.Fprintf(&b, ";plan=%s", opt.Plan.Hash())
+	}
 	if opt.Comm != nil && opt.Comm.Procs > 1 {
 		c := opt.Comm
 		fmt.Fprintf(&b, ";comm=procs=%d,strategy=%s,relim=%t,combine=%t,pipeline=%t",
@@ -72,8 +77,20 @@ func Fingerprint(opt driver.Options) string {
 
 // KeyOf derives the content address of (source, options).
 func KeyOf(source string, opt driver.Options) Key {
+	return KeyOfExtra(source, opt, "")
+}
+
+// KeyOfExtra derives a content address for (source, options) plus an
+// extra request dimension the options struct does not carry — e.g.
+// the /tune endpoint folds its search bounds and cost-model choice
+// in, so differently-bounded searches of one source cache separately.
+func KeyOfExtra(source string, opt driver.Options, extra string) Key {
 	h := sha256.New()
 	h.Write([]byte(Fingerprint(opt)))
+	if extra != "" {
+		h.Write([]byte{1})
+		h.Write([]byte(extra))
+	}
 	h.Write([]byte{0})
 	h.Write([]byte(source))
 	var k Key
@@ -90,7 +107,10 @@ type Entry struct {
 	Comp   *driver.Compilation
 	GoSrc  string // generated Go program ("" when emission was not requested)
 	Plan   string // plan summary: contraction counts, nests, comm stats
-	Size   int64  // accounted bytes; see SizeOf
+	// Aux holds endpoint-specific payload bytes — the /tune endpoint
+	// caches its serialized tuning result here with Comp nil.
+	Aux  []byte
+	Size int64 // accounted bytes; see SizeOf
 }
 
 // SizeOf estimates the resident cost of an entry in bytes: the exact
@@ -98,7 +118,7 @@ type Entry struct {
 // IR (nodes are small heap objects; 128 bytes each is deliberately
 // generous so the byte bound errs toward evicting early).
 func SizeOf(e *Entry) int64 {
-	n := int64(len(e.Source) + len(e.GoSrc) + len(e.Plan))
+	n := int64(len(e.Source) + len(e.GoSrc) + len(e.Plan) + len(e.Aux))
 	if e.Comp != nil && e.Comp.LIR != nil {
 		n += 128 * countNodes(e.Comp.LIR)
 	}

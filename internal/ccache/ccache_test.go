@@ -206,4 +206,27 @@ func TestKeySensitivity(t *testing.T) {
 	add("check", KeyOf(src, chk))
 
 	add("source", KeyOf(src+" ", base))
+
+	planned := base
+	planned.Plan = &core.PlanSpec{Version: 1, Blocks: []core.BlockSpec{
+		{Block: 0, Clusters: [][]int{{0, 1}}}}}
+	add("plan", KeyOf(src, planned))
+
+	planned2 := base
+	planned2.Plan = &core.PlanSpec{Version: 1, Blocks: []core.BlockSpec{
+		{Block: 0, Clusters: [][]int{{0, 2}}}}}
+	add("plan2", KeyOf(src, planned2))
+
+	// A plan's provenance note is not part of its content address.
+	noted := base
+	noted.Plan = &core.PlanSpec{Version: 1, Note: "beam", Blocks: planned.Plan.Blocks}
+	if KeyOf(src, planned) != KeyOf(src, noted) {
+		t.Error("plan note changed the key")
+	}
+
+	add("extra", KeyOfExtra(src, base, "beam=8"))
+	add("extra2", KeyOfExtra(src, base, "beam=16"))
+	if KeyOfExtra(src, base, "") != KeyOf(src, base) {
+		t.Error("empty extra diverged from KeyOf")
+	}
 }

@@ -75,6 +75,23 @@ func contractible(p *Partition, x string, cs map[int]bool) bool {
 	return diagnoseContraction(p, x, cs).OK
 }
 
+// FusionOK exposes the FUSION-PARTITION? predicate to external plan
+// generators: merging the clusters in cs must yield a valid fusion
+// partition. As with fusionPartitionOK, the caller is responsible for
+// closing cs under Grow first.
+func FusionOK(p *Partition, cs map[int]bool) bool {
+	return fusionPartitionOK(p, cs)
+}
+
+// ContractionOK exposes the CONTRACTIBLE? predicate to external plan
+// generators: after fusing the clusters in cs, array x is contractible
+// iff every dependence due to x is confined to the fused cluster with
+// a null unconstrained distance vector. Liveness candidacy is the
+// caller's obligation, exactly as for contractible.
+func ContractionOK(p *Partition, x string, cs map[int]bool) bool {
+	return contractible(p, x, cs)
+}
+
 // FusionForContraction is the algorithm of Fig. 3. candidates is the
 // set of arrays whose live ranges allow elimination; the algorithm
 // considers them in order of decreasing reference weight and fuses the

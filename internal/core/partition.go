@@ -34,6 +34,34 @@ func Trivial(g *asdg.Graph) *Partition {
 	return p
 }
 
+// FromClusters builds a partition from an explicit cluster list: each
+// inner slice names the vertices of one cluster; vertices not listed
+// become singletons. It validates indices and disjointness only — the
+// caller proves Definition 5 legality separately (Validate).
+func FromClusters(g *asdg.Graph, clusters [][]int) (*Partition, error) {
+	p := Trivial(g)
+	seen := make([]bool, g.N())
+	for _, members := range clusters {
+		min := -1
+		for _, v := range members {
+			if v < 0 || v >= g.N() {
+				return nil, fmt.Errorf("cluster member v%d out of range [0,%d)", v, g.N())
+			}
+			if seen[v] {
+				return nil, fmt.Errorf("vertex v%d appears in two clusters", v)
+			}
+			seen[v] = true
+			if min < 0 || v < min {
+				min = v
+			}
+		}
+		for _, v := range members {
+			p.rep[v] = min
+		}
+	}
+	return p, nil
+}
+
 // Clone returns an independent copy of the partition.
 func (p *Partition) Clone() *Partition {
 	q := &Partition{G: p.G, rep: make([]int, len(p.rep)), NoCarriedAnti: p.NoCarriedAnti}
@@ -107,6 +135,12 @@ func (p *Partition) clustersReferencing(x string) map[int]bool {
 		}
 	}
 	return out
+}
+
+// ClustersReferencing exposes clustersReferencing for external plan
+// generators (the tune search engine and ApplySpec validation).
+func (p *Partition) ClustersReferencing(x string) map[int]bool {
+	return p.clustersReferencing(x)
 }
 
 // clusterSucc builds the cluster-level successor relation.

@@ -184,6 +184,11 @@ func explainUncontracted(prog *air.Program, level Level, blockIdx int,
 		}
 		return r
 	}
+	if level == External {
+		r.Test = remark.TestPlan
+		r.Reason = "contraction is legal on the final partition but the supplied plan does not perform it"
+		return r
+	}
 	r.Test = remark.TestHeuristic
 	r.Reason = "contraction is legal on the final partition but the greedy weight-ordered pass did not select it"
 	return r
@@ -203,6 +208,8 @@ func unselectedFusion(level Level) (test, reason string) {
 		return remark.TestHeuristic, "greedy pairwise fusion reached its fixed point without this pair becoming legal"
 	case C2F4S:
 		return remark.TestHeuristic, "spatial pairwise fusion merges only statements sharing an operand array"
+	case External:
+		return remark.TestPlan, "the supplied plan does not select this fusion"
 	}
 	return remark.TestHeuristic, "the strategy did not select this fusion"
 }
@@ -211,6 +218,10 @@ func unselectedFusion(level Level) (test, reason string) {
 // the array's class, with the explanation.
 func levelExcludesContraction(level Level, temp bool) (string, bool) {
 	switch {
+	case level == External:
+		// An external plan may contract any candidate; nothing is
+		// excluded by level.
+		return "", false
 	case level == Baseline:
 		return "level baseline performs no contraction", true
 	case level == F1:

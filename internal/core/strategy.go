@@ -39,9 +39,15 @@ const (
 	C2F4S
 )
 
+// External marks a plan that was supplied from outside the strategy
+// ladder (ApplySpec): a serialized PlanSpec, e.g. one found by the
+// zpltune search engine. It is not a ladder rung and never parses.
+const External Level = -1
+
 var levelNames = map[Level]string{
 	Baseline: "baseline", F1: "f1", C1: "c1", F2: "f2",
 	F3: "f3", C2: "c2", C2F3: "c2+f3", C2F4: "c2+f4", C2F4S: "c2+f4s",
+	External: "external",
 }
 
 func (l Level) String() string {
@@ -64,7 +70,7 @@ func AllLevels() []Level {
 // ParseLevel maps a strategy name ("c2", "c2+f3", "c2f3", ...) to its Level.
 func ParseLevel(s string) (Level, error) {
 	for l, n := range levelNames {
-		if s == n {
+		if s == n && l != External {
 			return l, nil
 		}
 	}
@@ -106,6 +112,11 @@ type Plan struct {
 	Level      Level
 	Blocks     []*BlockPlan
 	Contracted map[string]bool
+	// Realigned records whether the temporary-realignment pre-pass ran
+	// before the ASDG was built. A PlanSpec extracted from this plan
+	// must replay the same pre-pass, or its vertex indices would name a
+	// differently-shaped graph.
+	Realigned bool
 	// Remarks explains every decision: one record per fused cluster,
 	// per edge-connected unfused cluster pair, per (un)contracted
 	// candidate, and per liveness-excluded temporary. Always recorded
@@ -173,6 +184,7 @@ func ApplyEx(prog *air.Program, level Level, cfg Config) *Plan {
 		candidates := cands[b]
 		if level.FusesUsers() && !cfg.DisableRealign {
 			RealignTemps(prog, b, candidates)
+			plan.Realigned = true
 		}
 		cfg.begin("asdg")
 		g := asdg.Build(b.Stmts)
@@ -181,50 +193,8 @@ func ApplyEx(prog *air.Program, level Level, cfg Config) *Plan {
 		}
 		cfg.done("asdg")
 
-		var temps []string
-		for _, x := range candidates {
-			if a := prog.Arrays[x]; a != nil && a.Temp {
-				temps = append(temps, x)
-			}
-		}
-
-		var p *Partition
-		contracted := map[string]bool{}
 		cfg.begin("fusion")
-		switch level {
-		case Baseline:
-			p = Trivial(g)
-		case F1:
-			p, _ = FusionForContraction(g, nil, temps)
-		case C1:
-			p, contracted = FusionForContraction(g, nil, temps)
-		case F2:
-			var all map[string]bool
-			p, all = FusionForContraction(g, nil, candidates)
-			for x := range all {
-				if a := prog.Arrays[x]; a != nil && a.Temp {
-					contracted[x] = true
-				}
-			}
-		case F3:
-			p, contracted = FusionForContraction(g, nil, temps)
-			p = FusionForLocality(g, p, AllArrays(g))
-		case C2:
-			p, contracted = FusionForContraction(g, nil, candidates)
-		case C2F3:
-			p, contracted = FusionForContraction(g, nil, candidates)
-			p = FusionForLocality(g, p, AllArrays(g))
-		case C2F4:
-			p, contracted = FusionForContraction(g, nil, candidates)
-			p = FusionForLocality(g, p, AllArrays(g))
-			p = GreedyPairwise(p)
-		case C2F4S:
-			p, contracted = FusionForContraction(g, nil, candidates)
-			p = FusionForLocality(g, p, AllArrays(g))
-			p = GreedyPairwiseShared(p, 1)
-		default:
-			p = Trivial(g)
-		}
+		p, contracted := LadderPartition(prog, g, level, candidates)
 		cfg.done("fusion")
 
 		bp := &BlockPlan{Block: b, Graph: g, Part: p}
@@ -243,6 +213,65 @@ func ApplyEx(prog *air.Program, level Level, cfg Config) *Plan {
 		plan.Blocks = append(plan.Blocks, bp)
 	}
 	return plan
+}
+
+// LadderPartition runs one rung of the §5.4 strategy ladder on a
+// single block's graph, returning the fusion partition and the set of
+// arrays the rung contracts. candidates is the block's liveness-
+// approved contraction candidate list; the rungs below user
+// contraction narrow it to compiler temporaries themselves. The
+// External level (no ladder rung) degrades to the trivial partition.
+//
+// This is the ladder as one plan generator among several: ApplyEx
+// calls it, and the zpltune search engine calls it to seed and score
+// the heuristic plans it competes against.
+func LadderPartition(prog *air.Program, g *asdg.Graph, level Level,
+	candidates []string) (*Partition, map[string]bool) {
+
+	var temps []string
+	for _, x := range candidates {
+		if a := prog.Arrays[x]; a != nil && a.Temp {
+			temps = append(temps, x)
+		}
+	}
+
+	var p *Partition
+	contracted := map[string]bool{}
+	switch level {
+	case Baseline:
+		p = Trivial(g)
+	case F1:
+		p, _ = FusionForContraction(g, nil, temps)
+	case C1:
+		p, contracted = FusionForContraction(g, nil, temps)
+	case F2:
+		var all map[string]bool
+		p, all = FusionForContraction(g, nil, candidates)
+		for x := range all {
+			if a := prog.Arrays[x]; a != nil && a.Temp {
+				contracted[x] = true
+			}
+		}
+	case F3:
+		p, contracted = FusionForContraction(g, nil, temps)
+		p = FusionForLocality(g, p, AllArrays(g))
+	case C2:
+		p, contracted = FusionForContraction(g, nil, candidates)
+	case C2F3:
+		p, contracted = FusionForContraction(g, nil, candidates)
+		p = FusionForLocality(g, p, AllArrays(g))
+	case C2F4:
+		p, contracted = FusionForContraction(g, nil, candidates)
+		p = FusionForLocality(g, p, AllArrays(g))
+		p = GreedyPairwise(p)
+	case C2F4S:
+		p, contracted = FusionForContraction(g, nil, candidates)
+		p = FusionForLocality(g, p, AllArrays(g))
+		p = GreedyPairwiseShared(p, 1)
+	default:
+		p = Trivial(g)
+	}
+	return p, contracted
 }
 
 // StaticArrayCounts reports, for Fig. 7, the number of static arrays

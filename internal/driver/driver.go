@@ -59,6 +59,11 @@ type Options struct {
 	// Comm, when non-nil, inserts and optimizes communication for a
 	// distributed execution with the given settings (§5.5).
 	Comm *comm.Options
+	// Plan, when non-nil, supplies the fusion/contraction plan
+	// externally (core.ApplySpec) instead of running the Level ladder:
+	// the path by which a zpltune-found plan reaches the backend. The
+	// spec is re-proved legal during application; Level is ignored.
+	Plan *core.PlanSpec
 	// ScalarReplace additionally installs scalar replacement in the
 	// generated loop nests (the §6 related-work technique; repeated
 	// per-iteration reads load once into a register).
@@ -152,7 +157,16 @@ func CompileCtx(ctx context.Context, src string, opt Options) (*Compilation, err
 		return nil, err
 	}
 
-	plan := core.ApplyEx(airProg, opt.Level, cfg)
+	var plan *core.Plan
+	if opt.Plan != nil {
+		var err2 error
+		plan, err2 = core.ApplySpec(airProg, opt.Plan, cfg)
+		if err2 != nil {
+			return nil, fmt.Errorf("driver: %w", err2)
+		}
+	} else {
+		plan = core.ApplyEx(airProg, opt.Level, cfg)
+	}
 	if opt.Check {
 		h.begin("check")
 		var reps []check.Report

@@ -109,6 +109,23 @@ func Origin() Model {
 	}
 }
 
+// ByName resolves a short machine name ("t3e", "sp2", "paragon",
+// "origin") to its model; the second result reports whether the name
+// is known.
+func ByName(name string) (Model, bool) {
+	switch name {
+	case "t3e":
+		return T3E(), true
+	case "sp2":
+		return SP2(), true
+	case "paragon":
+		return Paragon(), true
+	case "origin":
+		return Origin(), true
+	}
+	return Model{}, false
+}
+
 // Models returns the three paper machines in presentation order.
 // (Origin is the conclusion's extrapolation target, exercised by the
 // latency-sensitivity study, not part of the paper's tables.)

@@ -19,12 +19,16 @@ import (
 // Kind is the decision a remark records.
 type Kind string
 
-// The four decision kinds.
+// The five decision kinds.
 const (
 	Fused         Kind = "fused"
 	NotFused      Kind = "not-fused"
 	Contracted    Kind = "contracted"
 	NotContracted Kind = "not-contracted"
+	// Plan records a whole-plan provenance note: how the plan applied
+	// to the program was chosen (e.g. by the zpltune search engine)
+	// rather than a single fuse/contract decision.
+	Plan Kind = "plan"
 )
 
 // Test identifiers: the legality test a negative decision failed, or
@@ -71,6 +75,9 @@ const (
 	// greedy heuristic never selected it (e.g. no shared array drives
 	// locality fusion at c2+f3).
 	TestHeuristic = "heuristic"
+	// TestPlan: the transformation is legal but the externally
+	// supplied plan (core.ApplySpec) does not perform it.
+	TestPlan = "plan"
 )
 
 // Edge is the witness dependence edge of a negative decision: the

@@ -19,11 +19,12 @@ import (
 //
 // Pipeline phases land in Phases via driver hooks ("parse", "sema",
 // "lower", "comm", "asdg", "fusion", "contraction", "scalarize",
-// "check") plus the service's own "run" and "gogen" phases; whole
-// requests land in per-endpoint histograms.
+// "check") plus the service's own "run", "gogen", and "tune" phases;
+// whole requests land in per-endpoint histograms.
 type Metrics struct {
 	mu       sync.Mutex
 	requests map[string]int64 // "endpoint|status" -> count
+	tunes    int64            // /tune requests accepted for processing
 	inflight int64
 	rejected int64            // queue-depth 429s
 	drained  int64            // requests refused because the server is draining
@@ -67,6 +68,14 @@ func (m *Metrics) DecInflight() {
 	m.mu.Unlock()
 }
 
+// TuneRequest counts one /tune request admitted past the method and
+// body checks (zpld_tune_requests_total).
+func (m *Metrics) TuneRequest() {
+	m.mu.Lock()
+	m.tunes++
+	m.mu.Unlock()
+}
+
 // Rejected counts a queue-depth rejection (HTTP 429).
 func (m *Metrics) Rejected() {
 	m.mu.Lock()
@@ -99,8 +108,9 @@ func (m *Metrics) Drained() {
 	m.mu.Unlock()
 }
 
-// Render emits the registry plus the cache's counters.
-func (m *Metrics) Render(cs ccache.Stats) string {
+// Render emits the registry plus the counters of the compilation
+// cache (cs) and the tuned-plan cache (ts).
+func (m *Metrics) Render(cs, ts ccache.Stats) string {
 	var b strings.Builder
 
 	m.mu.Lock()
@@ -114,6 +124,7 @@ func (m *Metrics) Render(cs ccache.Stats) string {
 		ep, status, _ := strings.Cut(k, "|")
 		fmt.Fprintf(&b, "zpld_requests_total{endpoint=%q,code=%q} %d\n", ep, status, m.requests[k])
 	}
+	fmt.Fprintf(&b, "# TYPE zpld_tune_requests_total counter\nzpld_tune_requests_total %d\n", m.tunes)
 	fmt.Fprintf(&b, "# TYPE zpld_inflight gauge\nzpld_inflight %d\n", m.inflight)
 	fmt.Fprintf(&b, "# TYPE zpld_queue_rejections_total counter\nzpld_queue_rejections_total %d\n", m.rejected)
 	fmt.Fprintf(&b, "# TYPE zpld_drain_rejections_total counter\nzpld_drain_rejections_total %d\n", m.drained)
@@ -150,6 +161,13 @@ func (m *Metrics) Render(cs ccache.Stats) string {
 	fmt.Fprintf(&b, "# TYPE zpld_cache_bytes gauge\nzpld_cache_bytes %d\n", cs.Bytes)
 	fmt.Fprintf(&b, "# TYPE zpld_cache_entries gauge\nzpld_cache_entries %d\n", cs.Entries)
 	fmt.Fprintf(&b, "# TYPE zpld_cache_max_bytes gauge\nzpld_cache_max_bytes %d\n", cs.MaxBytes)
+
+	fmt.Fprintf(&b, "# TYPE zpld_tune_cache_hits_total counter\nzpld_tune_cache_hits_total %d\n", ts.Hits)
+	fmt.Fprintf(&b, "# TYPE zpld_tune_cache_misses_total counter\nzpld_tune_cache_misses_total %d\n", ts.Misses)
+	fmt.Fprintf(&b, "# TYPE zpld_tune_cache_dedup_hits_total counter\nzpld_tune_cache_dedup_hits_total %d\n", ts.DedupHits)
+	fmt.Fprintf(&b, "# TYPE zpld_tune_cache_evictions_total counter\nzpld_tune_cache_evictions_total %d\n", ts.Evictions)
+	fmt.Fprintf(&b, "# TYPE zpld_tune_cache_bytes gauge\nzpld_tune_cache_bytes %d\n", ts.Bytes)
+	fmt.Fprintf(&b, "# TYPE zpld_tune_cache_entries gauge\nzpld_tune_cache_entries %d\n", ts.Entries)
 
 	renderHistograms(&b, "zpld_phase_seconds", "phase", m.Phases)
 	renderHistograms(&b, "zpld_request_seconds", "endpoint", m.byRoute)

@@ -8,6 +8,8 @@
 //
 //	POST /compile  compile a program, serve the artifact from cache
 //	POST /run      compile (cached) and execute, sequential or -dist
+//	POST /tune     search for a better fusion/contraction plan (zpltune
+//	               as a service; results cached by content address)
 //	GET  /metrics  Prometheus text exposition of counters + histograms
 //	GET  /healthz  liveness ("ok"; 503 while draining)
 //
@@ -56,6 +58,7 @@ type Config struct {
 	QueueDepth     int           // admitted-but-waiting requests; default 4×Workers
 	MaxBodyBytes   int64         // request size limit; default 1 MiB
 	CacheBytes     int64         // compilation cache budget; default 64 MiB
+	TuneCacheBytes int64         // tuned-plan cache budget; default 16 MiB
 	DefaultTimeout time.Duration // per-request deadline when the client sends none; default 30s
 	MaxTimeout     time.Duration // cap on client-supplied deadlines; default 5m
 	MaxSteps       int64         // execution budget per run; 0 = interpreter default
@@ -81,6 +84,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheBytes == 0 {
 		c.CacheBytes = 64 << 20
+	}
+	if c.TuneCacheBytes == 0 {
+		c.TuneCacheBytes = 16 << 20
 	}
 	if c.DefaultTimeout <= 0 {
 		c.DefaultTimeout = 30 * time.Second
@@ -167,6 +173,7 @@ type ErrorResponse struct {
 type Server struct {
 	cfg      Config
 	cache    *ccache.Cache
+	tcache   *ccache.Cache // tuned-plan results (Entry.Aux payloads)
 	metrics  *Metrics
 	sem      chan struct{} // worker-pool slots
 	queue    chan struct{} // admission tickets (workers + waiting)
@@ -180,6 +187,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:     cfg,
 		cache:   ccache.New(cfg.CacheBytes),
+		tcache:  ccache.New(cfg.TuneCacheBytes),
 		metrics: NewMetrics(),
 		sem:     make(chan struct{}, cfg.Workers),
 		queue:   make(chan struct{}, cfg.Workers+cfg.QueueDepth),
@@ -191,8 +199,11 @@ func New(cfg Config) *Server {
 // Metrics exposes the registry (for embedding and tests).
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
-// CacheStats exposes the cache counters.
+// CacheStats exposes the compilation cache counters.
 func (s *Server) CacheStats() ccache.Stats { return s.cache.Stats() }
+
+// TuneCacheStats exposes the tuned-plan cache counters.
+func (s *Server) TuneCacheStats() ccache.Stats { return s.tcache.Stats() }
 
 // SetDraining flips the drain flag: new work is refused with 503 while
 // in-flight requests finish.
@@ -203,6 +214,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/compile", func(w http.ResponseWriter, r *http.Request) { s.serve(w, r, false) })
 	mux.HandleFunc("/run", func(w http.ResponseWriter, r *http.Request) { s.serve(w, r, true) })
+	mux.HandleFunc("/tune", s.handleTune)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
@@ -210,7 +222,7 @@ func (s *Server) Handler() http.Handler {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	io.WriteString(w, s.metrics.Render(s.cache.Stats()))
+	io.WriteString(w, s.metrics.Render(s.cache.Stats(), s.tcache.Stats()))
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -14,6 +14,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/tune"
 )
 
 func heatSource(t *testing.T) string {
@@ -522,7 +524,7 @@ func TestCompileLintAndRemarks(t *testing.T) {
 		t.Error("heat.za at the default level should have negative remarks")
 	}
 
-	metrics := s.Metrics().Render(s.CacheStats())
+	metrics := s.Metrics().Render(s.CacheStats(), s.TuneCacheStats())
 	if !strings.Contains(metrics, "zpld_remarks_total{kind=") {
 		t.Errorf("metrics missing zpld_remarks_total:\n%s", metrics)
 	}
@@ -559,8 +561,167 @@ end;
 	if !found {
 		t.Errorf("lint findings missing unused-array for U: %+v", wresp.Lint)
 	}
-	metrics = s.Metrics().Render(s.CacheStats())
+	metrics = s.Metrics().Render(s.CacheStats(), s.TuneCacheStats())
 	if !strings.Contains(metrics, `zpld_lint_findings_total{rule="unused-array"`) {
 		t.Errorf("metrics missing zpld_lint_findings_total:\n%s", metrics)
+	}
+}
+
+func postTune(t *testing.T, url string, req TuneRequest) (int, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/tune", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+// TestTuneEndpoint: /tune finds a plan no worse than the heuristic,
+// caches the result by content address, and separates differently
+// bounded searches into distinct entries.
+func TestTuneEndpoint(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	req := TuneRequest{Bench: "frac", Configs: map[string]int64{"n": 24}}
+
+	status, body := postTune(t, ts.URL, req)
+	if status != http.StatusOK {
+		t.Fatalf("first tune: HTTP %d: %s", status, body)
+	}
+	var first TuneResponse
+	if err := json.Unmarshal(body, &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached || first.Key == "" {
+		t.Errorf("first tune: cached=%t key=%q", first.Cached, first.Key)
+	}
+	var res tune.Result
+	if err := json.Unmarshal(first.Result, &res); err != nil {
+		t.Fatalf("result payload not a tune.Result: %v", err)
+	}
+	if res.Spec == nil || res.TunedScore > res.HeuristicScore {
+		t.Errorf("bad tuning result: spec=%v tuned=%.0f heuristic=%.0f",
+			res.Spec, res.TunedScore, res.HeuristicScore)
+	}
+
+	// The identical request is a cache hit with an identical payload.
+	status, body = postTune(t, ts.URL, req)
+	if status != http.StatusOK {
+		t.Fatalf("second tune: HTTP %d: %s", status, body)
+	}
+	var second TuneResponse
+	if err := json.Unmarshal(body, &second); err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached || second.Key != first.Key {
+		t.Errorf("second tune: cached=%t key match=%t", second.Cached, second.Key == first.Key)
+	}
+	if !bytes.Equal(second.Result, first.Result) {
+		t.Error("cached tune payload diverged")
+	}
+
+	// Different search bounds address a different cache entry.
+	bounded := req
+	bounded.Beam = 2
+	status, body = postTune(t, ts.URL, bounded)
+	if status != http.StatusOK {
+		t.Fatalf("bounded tune: HTTP %d: %s", status, body)
+	}
+	var third TuneResponse
+	if err := json.Unmarshal(body, &third); err != nil {
+		t.Fatal(err)
+	}
+	if third.Cached || third.Key == first.Key {
+		t.Errorf("bounded tune: cached=%t, key collides=%t", third.Cached, third.Key == first.Key)
+	}
+
+	st := s.TuneCacheStats()
+	if st.Misses != 2 || st.Hits != 1 {
+		t.Errorf("tune cache stats: %+v", st)
+	}
+	// The compilation cache is untouched by /tune.
+	if cst := s.CacheStats(); cst.Misses != 0 {
+		t.Errorf("tune polluted the compilation cache: %+v", cst)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	mb, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(mb)
+	for _, want := range []string{
+		"zpld_tune_requests_total 3",
+		"zpld_tune_cache_hits_total 1",
+		"zpld_tune_cache_misses_total 2",
+		`zpld_phase_seconds_count{phase="tune"} 2`,
+		`zpld_request_seconds_count{endpoint="/tune"} 3`,
+		`zpld_requests_total{endpoint="/tune",code="200"} 3`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestTuneStatusMapping drives /tune's error paths to the shared
+// status scheme.
+func TestTuneStatusMapping(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	check := func(name string, wantStatus int, wantKind string, req TuneRequest) {
+		t.Helper()
+		status, body := postTune(t, ts.URL, req)
+		if status != wantStatus {
+			t.Errorf("%s: HTTP %d, want %d (%s)", name, status, wantStatus, body)
+			return
+		}
+		var er ErrorResponse
+		if err := json.Unmarshal(body, &er); err != nil {
+			t.Errorf("%s: bad error body %q", name, body)
+			return
+		}
+		if er.Kind != wantKind {
+			t.Errorf("%s: kind %q, want %q", name, er.Kind, wantKind)
+		}
+	}
+
+	check("compile error", http.StatusUnprocessableEntity, "compile_error",
+		TuneRequest{Source: "program junk; not a program"})
+	check("no source", http.StatusBadRequest, "bad_request", TuneRequest{})
+	check("both sources", http.StatusBadRequest, "bad_request",
+		TuneRequest{Source: "x", Bench: "frac"})
+	check("unknown bench", http.StatusBadRequest, "bad_request", TuneRequest{Bench: "bogus"})
+	check("bad level", http.StatusBadRequest, "bad_request",
+		TuneRequest{Bench: "frac", Level: "O9"})
+	check("bad machine", http.StatusBadRequest, "bad_request",
+		TuneRequest{Bench: "frac", Machine: "cray-3"})
+	check("bad model", http.StatusBadRequest, "bad_request",
+		TuneRequest{Bench: "frac", Model: "psychic"})
+	check("measure distributed", http.StatusBadRequest, "bad_request",
+		TuneRequest{Bench: "frac", Procs: 4, Measure: true})
+	check("timeout", http.StatusGatewayTimeout, "timeout",
+		TuneRequest{Bench: "sp", TimeoutMS: 1})
+
+	// Wrong method → 405.
+	resp, err := http.Get(ts.URL + "/tune")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /tune: HTTP %d", resp.StatusCode)
 	}
 }

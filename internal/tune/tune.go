@@ -1,0 +1,335 @@
+package tune
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/air"
+	"repro/internal/asdg"
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/driver"
+	"repro/internal/liveness"
+	"repro/internal/lower"
+	"repro/internal/machine"
+	"repro/internal/parser"
+	"repro/internal/sema"
+	"repro/internal/source"
+	"repro/internal/vm"
+)
+
+// CompileError marks a failure of the source itself (parse, sema,
+// lower) as opposed to a failure of the search: the CLI and service
+// map it to exit code 3 / HTTP 422.
+type CompileError struct{ Err error }
+
+func (e *CompileError) Error() string { return e.Err.Error() }
+func (e *CompileError) Unwrap() error { return e.Err }
+
+// Options configures one tuning run.
+type Options struct {
+	// Level is the ladder heuristic the search competes against
+	// (the headline comparison); default C2F4, the strongest rung.
+	Level core.Level
+	// Model scores candidates; nil means the analytic cycle model on
+	// the Cray T3E.
+	Model CostModel
+	// Configs overrides config constants (problem size).
+	Configs map[string]int64
+	// Comm, when non-nil with Procs > 1, tunes the distributed
+	// compilation: communication is inserted before planning, exactly
+	// as the driver would, and the FavorComm segment constraint is
+	// enforced on every candidate.
+	Comm *comm.Options
+	// Search bounds the per-block search.
+	Search SearchOptions
+	// Measure additionally compiles and runs the top-K candidate
+	// plans on the VM and picks the winner by wall clock
+	// (single-process only).
+	Measure bool
+	// TopK is the measured-mode candidate count (default 3; the
+	// tuned plan and the comparison heuristic are always included).
+	TopK int
+}
+
+func (o Options) model() CostModel {
+	if o.Model != nil {
+		return o.Model
+	}
+	return CycleModel{M: machine.T3E(), Procs: o.procs()}
+}
+
+func (o Options) procs() int {
+	if o.Comm != nil && o.Comm.Procs > 1 {
+		return o.Comm.Procs
+	}
+	return 1
+}
+
+// BlockStats reports one block's search outcome.
+type BlockStats struct {
+	Block          int     `json:"block"`
+	Stmts          int     `json:"stmts"`
+	Fusible        int     `json:"fusible"`
+	States         int     `json:"states"`
+	Method         string  `json:"method"` // exhaustive | beam
+	Exhaustive     bool    `json:"exhaustive"`
+	HeuristicScore float64 `json:"heuristic_score"`
+	TunedScore     float64 `json:"tuned_score"`
+}
+
+// Measured is one measured-mode candidate execution.
+type Measured struct {
+	Name       string  `json:"name"` // "tuned" or a ladder level
+	ModelScore float64 `json:"model_score"`
+	WallMS     float64 `json:"wall_ms"`
+	Steps      int64   `json:"steps"`
+}
+
+// Result is the outcome of one tuning run.
+type Result struct {
+	Spec           *core.PlanSpec     `json:"spec"`
+	Model          string             `json:"model"`
+	HeuristicLevel string             `json:"heuristic_level"`
+	HeuristicScore float64            `json:"heuristic_score"`
+	TunedScore     float64            `json:"tuned_score"`
+	// Proven is true when every block was searched exhaustively: the
+	// tuned plan is optimal under the model, so the heuristic's gap
+	// to it is a gap to the true optimum.
+	Proven         bool               `json:"proven"`
+	ImprovementPct float64            `json:"improvement_pct"`
+	Winner         string             `json:"winner"` // tuned | tie
+	LevelScores    map[string]float64 `json:"level_scores"`
+	Blocks         []BlockStats       `json:"blocks"`
+	Measured       []Measured         `json:"measured,omitempty"`
+}
+
+// frontEnd replicates the driver pipeline up to the planning phase:
+// parse, sema (with config overrides), lower, and — for distributed
+// tuning — communication insertion with the derived core.Config.
+func frontEnd(src string, configs map[string]int64, commOpt *comm.Options) (*air.Program, core.Config, error) {
+	var cfg core.Config
+	var errs source.ErrorList
+	prog := parser.Parse(src, &errs)
+	if errs.HasErrors() {
+		return nil, cfg, &CompileError{errs.Err()}
+	}
+	info := sema.Check(prog, configs, &errs)
+	if errs.HasErrors() {
+		return nil, cfg, &CompileError{errs.Err()}
+	}
+	airProg := lower.Lower(info, &errs)
+	if errs.HasErrors() {
+		return nil, cfg, &CompileError{errs.Err()}
+	}
+	if commOpt != nil && commOpt.Procs > 1 {
+		comm.Insert(airProg, *commOpt)
+		cfg.DisableRealign = true
+		if commOpt.Strategy == comm.FavorComm {
+			cfg.SegmentFn = comm.Segments
+		}
+	}
+	return airProg, cfg, nil
+}
+
+// Tune searches for the best legal fusion/contraction plan of the
+// program and compares it to the strategy ladder. The returned spec
+// always scores no worse than the comparison heuristic: the beam
+// search is seeded with every ladder partition, and exhaustive
+// enumeration covers the whole legal space.
+func Tune(ctx context.Context, src string, opt Options) (*Result, error) {
+	model := opt.model()
+	prog, cfg, err := frontEnd(src, opt.Configs, opt.Comm)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	cands := liveness.Candidates(prog)
+	realign := opt.Level.FusesUsers() && !cfg.DisableRealign
+
+	res := &Result{
+		Spec:           &core.PlanSpec{Version: core.SpecVersion, Realign: realign},
+		Model:          model.Name(),
+		HeuristicLevel: opt.Level.String(),
+		Proven:         true,
+		LevelScores:    map[string]float64{},
+	}
+
+	for bi, b := range prog.AllBlocks() {
+		candidates := cands[b]
+		if realign {
+			core.RealignTemps(prog, b, candidates)
+		}
+		g := asdg.Build(b.Stmts)
+		if cfg.SegmentFn != nil {
+			g.Seg = cfg.SegmentFn(b.Stmts)
+		}
+
+		heurP, heurC := core.LadderPartition(prog, g, opt.Level, candidates)
+		heurScore := model.BlockScore(prog, g, heurP, heurC)
+
+		bs, err := searchBlock(ctx, prog, g, candidates, model, opt.Search)
+		if err != nil {
+			return nil, err
+		}
+		if bs.Score > heurScore {
+			// Defensive: the search is seeded with the ladder, so this
+			// cannot happen; if it ever did, fall back to the heuristic
+			// partition with maximal contraction.
+			bs.Part = heurP
+			bs.Contracted = maximalContraction(heurP, candidates)
+			bs.Score = model.BlockScore(prog, g, heurP, bs.Contracted)
+			bs.Proven = false
+		}
+
+		bspec := core.BlockSpec{Block: bi}
+		for _, c := range bs.Part.Clusters() {
+			if ms := bs.Part.Members(c); len(ms) >= 2 {
+				bspec.Clusters = append(bspec.Clusters, ms)
+			}
+		}
+		for x := range bs.Contracted {
+			bspec.Contract = append(bspec.Contract, x)
+		}
+		sort.Strings(bspec.Contract)
+		res.Spec.Blocks = append(res.Spec.Blocks, bspec)
+
+		fus := 0
+		for v := 0; v < g.N(); v++ {
+			if g.IsFusible(v) {
+				fus++
+			}
+		}
+		res.Blocks = append(res.Blocks, BlockStats{
+			Block: bi, Stmts: g.N(), Fusible: fus,
+			States: bs.States, Method: bs.Method, Exhaustive: bs.Proven,
+			HeuristicScore: heurScore, TunedScore: bs.Score,
+		})
+		res.HeuristicScore += heurScore
+		res.TunedScore += bs.Score
+		res.Proven = res.Proven && bs.Proven
+	}
+
+	if res.HeuristicScore > 0 {
+		res.ImprovementPct = (res.HeuristicScore - res.TunedScore) / res.HeuristicScore * 100
+	}
+	if res.TunedScore < res.HeuristicScore {
+		res.Winner = "tuned"
+	} else {
+		res.Winner = "tie"
+	}
+	method := "beam"
+	if res.Proven {
+		method = "exhaustive"
+	}
+	res.Spec.Note = fmt.Sprintf("plan chosen by %s search, model %s, score %.0f vs %s %.0f (%+.1f%%)",
+		method, model.Name(), res.TunedScore, res.HeuristicLevel,
+		res.HeuristicScore, -res.ImprovementPct)
+
+	// Score every ladder rung for the comparison table, each through
+	// its own fresh front end (realignment mutates the AIR).
+	for _, lvl := range core.AllLevels() {
+		s, err := scoreLevel(src, opt, lvl, model)
+		if err != nil {
+			return nil, err
+		}
+		res.LevelScores[lvl.String()] = s
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+
+	if opt.Measure {
+		if err := measure(ctx, src, opt, res); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// scoreLevel compiles the program fresh at one ladder level and sums
+// the model score over its blocks.
+func scoreLevel(src string, opt Options, lvl core.Level, model CostModel) (float64, error) {
+	prog, cfg, err := frontEnd(src, opt.Configs, opt.Comm)
+	if err != nil {
+		return 0, err
+	}
+	plan := core.ApplyEx(prog, lvl, cfg)
+	total := 0.0
+	for _, bp := range plan.Blocks {
+		contracted := map[string]bool{}
+		for _, x := range bp.Contracted {
+			contracted[x] = true
+		}
+		total += model.BlockScore(prog, bp.Graph, bp.Part, contracted)
+	}
+	return total, nil
+}
+
+// measure runs the top-K candidates (the tuned plan plus the
+// best-scoring ladder rungs) on the VM and records wall-clock times;
+// the fastest becomes the winner.
+func measure(ctx context.Context, src string, opt Options, res *Result) error {
+	if opt.procs() > 1 {
+		return fmt.Errorf("measured mode requires a single process (the VM backend)")
+	}
+	topK := opt.TopK
+	if topK <= 0 {
+		topK = 3
+	}
+
+	type cand struct {
+		name  string
+		score float64
+		dopt  driver.Options
+	}
+	cands := []cand{{
+		name: "tuned", score: res.TunedScore,
+		dopt: driver.Options{Configs: opt.Configs, Plan: res.Spec},
+	}, {
+		name: res.HeuristicLevel, score: res.HeuristicScore,
+		dopt: driver.Options{Configs: opt.Configs, Level: opt.Level},
+	}}
+	var rest []cand
+	for _, lvl := range core.AllLevels() {
+		if lvl == opt.Level {
+			continue
+		}
+		rest = append(rest, cand{
+			name: lvl.String(), score: res.LevelScores[lvl.String()],
+			dopt: driver.Options{Configs: opt.Configs, Level: lvl},
+		})
+	}
+	sort.SliceStable(rest, func(i, j int) bool { return rest[i].score < rest[j].score })
+	cands = append(cands, rest...)
+	if len(cands) > topK {
+		cands = cands[:topK]
+	}
+
+	bestMS := -1.0
+	for _, c := range cands {
+		comp, err := driver.CompileCtx(ctx, src, c.dopt)
+		if err != nil {
+			return fmt.Errorf("measured mode: compiling %s: %w", c.name, err)
+		}
+		start := time.Now()
+		_, r, err := comp.Run(vm.Options{Ctx: ctx})
+		if err != nil {
+			return fmt.Errorf("measured mode: running %s: %w", c.name, err)
+		}
+		ms := float64(time.Since(start).Microseconds()) / 1000
+		res.Measured = append(res.Measured, Measured{
+			Name: c.name, ModelScore: c.score, WallMS: ms, Steps: r.Steps,
+		})
+		if bestMS < 0 || ms < bestMS {
+			bestMS = ms
+			res.Winner = c.name
+		}
+	}
+	return nil
+}

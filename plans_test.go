@@ -1,0 +1,79 @@
+// Golden-plan regression tests: the exact fusion partition and
+// contraction set the ladder chooses for every benchmark at every
+// level, serialized as canonical plan specs under testdata/plans/.
+// A change in the optimizer's decisions shows up as a readable JSON
+// diff; refresh deliberately with
+//
+//	go test -run TestGoldenPlans -update
+package repro
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/driver"
+	"repro/internal/programs"
+)
+
+var updatePlans = flag.Bool("update", false, "rewrite the golden plan specs in testdata/plans")
+
+func TestGoldenPlans(t *testing.T) {
+	if *updatePlans {
+		if err := os.MkdirAll(filepath.Join("testdata", "plans"), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, b := range programs.All() {
+		for _, lvl := range core.AllLevels() {
+			name := fmt.Sprintf("%s-%s.json", b.Name, lvl)
+			path := filepath.Join("testdata", "plans", name)
+			c, err := driver.Compile(b.Source, driver.Options{Level: lvl})
+			if err != nil {
+				t.Fatalf("%s at %s: %v", b.Name, lvl, err)
+			}
+			spec := core.Extract(c.Plan)
+			got, err := spec.Marshal()
+			if err != nil {
+				t.Fatalf("%s: marshal: %v", name, err)
+			}
+			if *updatePlans {
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				continue
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%s: %v (refresh with go test -run TestGoldenPlans -update)", name, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("%s: plan changed; got:\n%s\nwant:\n%s\n(refresh deliberately with -update)",
+					name, got, want)
+			}
+
+			// The golden file must round-trip: parse it back, re-apply it
+			// to a fresh compilation, and land on the same content hash.
+			reparsed, err := core.ParseSpec(want)
+			if err != nil {
+				t.Fatalf("%s: golden file does not parse: %v", name, err)
+			}
+			if reparsed.Hash() != spec.Hash() {
+				t.Errorf("%s: hash changed across serialization: %s vs %s",
+					name, reparsed.Hash()[:12], spec.Hash()[:12])
+			}
+			c2, err := driver.Compile(b.Source, driver.Options{Plan: reparsed, Check: true})
+			if err != nil {
+				t.Errorf("%s: golden plan rejected on re-application: %v", name, err)
+				continue
+			}
+			if got2, _ := core.Extract(c2.Plan).Marshal(); !bytes.Equal(got, got2) {
+				t.Errorf("%s: plan not a fixed point of apply∘extract:\n%s\nvs\n%s", name, got, got2)
+			}
+		}
+	}
+}
