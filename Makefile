@@ -8,7 +8,7 @@ STATICCHECK_VERSION ?= 2024.1.1
 GOVULNCHECK_VERSION ?= v1.1.3
 
 .PHONY: all build test vet race check serve-test ci experiments \
-	lint-self staticcheck govulncheck audit tune-smoke
+	lint-self staticcheck govulncheck audit tune-smoke backend-diff
 
 all: build test
 
@@ -79,7 +79,15 @@ tune-smoke: build
 	$(GO) run ./cmd/zpltune -bench frac -config n=24 -check
 	$(GO) run ./cmd/zpltune -bench fibro -config n=16 -check
 
-ci: vet test race serve-test check lint-self audit staticcheck govulncheck tune-smoke
+# Differential backend check: every testdata program (short ladder)
+# plus every benchmark under its golden tuned plan must produce
+# byte-identical output on the native backend and the VM, and a seeded
+# miscompile must be caught. Skips gracefully on a host without a go
+# toolchain (the backend package's tests skip themselves).
+backend-diff: build
+	$(GO) test -count=1 -run 'TestBackendBitIdentical|TestSeedFaultCaught' -v ./internal/backend
+
+ci: vet test race serve-test check lint-self audit staticcheck govulncheck tune-smoke backend-diff
 
 experiments:
 	$(GO) run ./cmd/experiments

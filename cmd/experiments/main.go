@@ -9,7 +9,11 @@
 //	           sec55, origin (latency sensitivity), audit (remark
 //	           completeness over the Fig. 7/8 suite), tune (plan-search
 //	           autotuner vs the greedy ladder; also writes tune.json
-//	           under -out), or all (default all)
+//	           under -out), backend (VM-vs-native differential run and
+//	           speedup table over every benchmark x level; every cell
+//	           is asserted bit-identical; also writes backend.json
+//	           under -out; skipped with a notice when the host has no
+//	           go toolchain), or all (default all)
 //	-size f    problem-size factor for the runtime studies (default 1.0)
 //	-jobs n    measurements to run concurrently (default: all CPUs)
 //	-out dir   also write each table to dir/<id>.txt
@@ -25,6 +29,7 @@ import (
 	"path/filepath"
 	"runtime"
 
+	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/harness"
 )
@@ -123,6 +128,36 @@ func main() {
 			}
 			if err := os.WriteFile(filepath.Join(*out, "tune.json"), buf, 0o644); err != nil {
 				fatal(err)
+			}
+		}
+	}
+
+	if want("backend") {
+		if !backend.Available() {
+			// Graceful degradation: the differential study needs the
+			// host toolchain; everything else in the suite does not.
+			fmt.Fprintln(os.Stderr, "experiments: skipping backend study: no go toolchain on PATH")
+		} else {
+			store, err := backend.Open("")
+			if err != nil {
+				fatal(err)
+			}
+			rows, err := harness.RunBackend(store, *size)
+			if err != nil {
+				fatal(err)
+			}
+			emit("backend", harness.FormatBackend(rows))
+			if *out != "" {
+				buf, err := harness.BackendJSON(rows)
+				if err != nil {
+					fatal(err)
+				}
+				if err := os.WriteFile(filepath.Join(*out, "backend.json"), buf, 0o644); err != nil {
+					fatal(err)
+				}
+			}
+			if !harness.NativeWinsAll(rows) {
+				fatal(fmt.Errorf("backend study: the native backend did not win every cell"))
 			}
 		}
 	}

@@ -8,6 +8,10 @@
 //
 //	-O level      optimization level: baseline, f1, c1, f2, f3, c2,
 //	              c2+f3, c2+f4 (default c2+f3)
+//	-backend b    vm (default; -emit output only) | go: additionally
+//	              build the program natively into the content-addressed
+//	              artifact store and print the artifact's address,
+//	              binary path, cache outcome, and build time
 //	-plan file    apply an externally supplied fusion/contraction plan
 //	              (a zpltune -emit JSON spec) instead of the -O ladder
 //	-emit form    ast | air | asdg | plan | c | go (default plan)
@@ -27,14 +31,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/air"
 	"repro/internal/ast"
+	"repro/internal/backend"
 	"repro/internal/check"
 	"repro/internal/comm"
 	"repro/internal/core"
@@ -65,6 +72,7 @@ func (c configFlags) Set(s string) error {
 
 func main() {
 	level := flag.String("O", "c2+f3", "optimization level")
+	backendName := flag.String("backend", "vm", "vm | go: go also builds the native artifact")
 	planFile := flag.String("plan", "", "apply a plan spec JSON file instead of the -O ladder")
 	emit := flag.String("emit", "plan", "output form: ast | air | asdg | plan | c | go")
 	procs := flag.Int("p", 1, "processor count (inserts communication when > 1)")
@@ -103,7 +111,15 @@ func main() {
 		return
 	}
 
-	opt := driver.Options{Level: lvl, Configs: configs, ScalarReplace: *scalarRep, Check: *runCheck}
+	be, err := driver.ParseBackend(*backendName)
+	if err != nil {
+		fatal(err)
+	}
+	if be.Native() && *procs > 1 {
+		fatal(fmt.Errorf("-backend=go compiles the sequential program; it cannot be combined with -p > 1"))
+	}
+
+	opt := driver.Options{Level: lvl, Configs: configs, ScalarReplace: *scalarRep, Check: *runCheck, Backend: be}
 	if *planFile != "" {
 		data, err := os.ReadFile(*planFile)
 		if err != nil {
@@ -159,6 +175,26 @@ func main() {
 	}
 	if *remarks {
 		printRemarks(flag.Arg(0), c)
+	}
+
+	if be.Native() {
+		if !backend.Available() {
+			fatal(fmt.Errorf("-backend=go requires a go toolchain on PATH"))
+		}
+		store, err := backend.Open("")
+		if err != nil {
+			fatal(err)
+		}
+		art, _, err := store.BuildProgram(context.Background(), c.LIR)
+		if err != nil {
+			fatal(err)
+		}
+		cache := "miss"
+		if art.Hit {
+			cache = "hit"
+		}
+		fmt.Printf("artifact %s\nbinary %s\ncache %s\nbuild %v\n",
+			art.Key, art.Bin, cache, art.Build.Round(time.Millisecond))
 	}
 }
 

@@ -19,6 +19,10 @@
 //	-timeout d         default per-request deadline (default 30s)
 //	-max-timeout d     cap on client-supplied deadlines (default 5m)
 //	-maxsteps n        execution budget per run; 0 = interpreter default
+//	-artifact-dir d    native-artifact store for backend "go" requests
+//	                   (default $ZPL_ARTIFACT_DIR, else the user cache
+//	                   directory; requests are refused with 400 when the
+//	                   host has no go toolchain)
 //	-drain d           graceful-shutdown grace period (default 10s)
 //	-quiet             suppress the JSON request log on stderr
 //
@@ -51,6 +55,7 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-request deadline")
 	maxTimeout := flag.Duration("max-timeout", 5*time.Minute, "cap on client-supplied deadlines")
 	maxSteps := flag.Int64("maxsteps", 0, "execution budget per run (0 = interpreter default)")
+	artifactDir := flag.String("artifact-dir", "", "native-artifact store for backend \"go\" (\"\" = default location)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown grace period")
 	quiet := flag.Bool("quiet", false, "suppress the JSON request log")
 	flag.Parse()
@@ -64,12 +69,16 @@ func main() {
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		MaxSteps:       *maxSteps,
+		ArtifactDir:    *artifactDir,
 		DrainTimeout:   *drain,
 	}
 	if !*quiet {
 		cfg.Logs = os.Stderr
 	}
 	s := svc.New(cfg)
+	if !s.NativeAvailable() {
+		fmt.Fprintln(os.Stderr, "zpld: native backend unavailable (no go toolchain); backend \"go\" requests will be refused")
+	}
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {

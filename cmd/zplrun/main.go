@@ -6,6 +6,12 @@
 //	zplrun [flags] file.za
 //
 //	-O level      optimization level (default c2+f3)
+//	-backend b    execution backend: vm (the bytecode interpreter,
+//	              default) | go (emit Go, build it with the host
+//	              toolchain into the content-addressed artifact store,
+//	              and execute the native binary; output is asserted
+//	              bit-identical to the VM by the differential harness,
+//	              see experiments -run backend)
 //	-plan file    apply an externally supplied fusion/contraction plan
 //	              (a zpltune -emit JSON spec) instead of the -O ladder;
 //	              the plan is re-proved legal before execution
@@ -33,10 +39,15 @@
 // can tell them apart):
 //
 //	0  success
-//	1  runtime error (execution fault, budget exhaustion)
-//	2  usage error (bad flags, conflicting sources)
-//	3  compile error (parse/sema/lowering/verifier failure)
-//	4  timeout (the -timeout deadline expired, compiling or running)
+//	1  runtime error (execution fault, budget exhaustion, or a
+//	   native-binary runtime trap under -backend=go)
+//	2  usage error (bad flags, conflicting sources, no go toolchain
+//	   for -backend=go)
+//	3  compile error (parse/sema/lowering/verifier failure, or a
+//	   go build failure of emitted code — the toolchain diagnostics
+//	   are surfaced on stderr)
+//	4  timeout (the -timeout deadline expired: compiling, building,
+//	   or running)
 package main
 
 import (
@@ -49,6 +60,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/backend"
 	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/distvm"
@@ -85,6 +97,7 @@ func (c configFlags) Set(s string) error {
 
 func main() {
 	level := flag.String("O", "c2+f3", "optimization level")
+	backendName := flag.String("backend", "vm", "execution backend: vm | go")
 	planFile := flag.String("plan", "", "apply a plan spec JSON file instead of the -O ladder")
 	procs := flag.Int("p", 1, "processor count")
 	distributed := flag.Bool("dist", false, "run on the distributed interpreter")
@@ -126,6 +139,28 @@ func main() {
 	if err != nil {
 		fatalUsage(err)
 	}
+	be, err := driver.ParseBackend(*backendName)
+	if err != nil {
+		fatalUsage(err)
+	}
+	if be.Native() {
+		// The native backend is the sequential execution engine; the
+		// interpreter-only features are rejected rather than silently
+		// ignored.
+		switch {
+		case *distributed:
+			fatalUsage(fmt.Errorf("-backend=go cannot be combined with -dist (native code is the sequential program)"))
+		case *procs > 1:
+			fatalUsage(fmt.Errorf("-backend=go cannot be combined with -p > 1 (no communication in native code)"))
+		case *mach != "":
+			fatalUsage(fmt.Errorf("-backend=go cannot be combined with -machine (cost models price the traced VM execution)"))
+		case *maxSteps != 0:
+			fatalUsage(fmt.Errorf("-backend=go does not support -maxsteps (step budgets are an interpreter feature)"))
+		}
+		if !backend.Available() {
+			fatalUsage(fmt.Errorf("-backend=go requires a go toolchain on PATH"))
+		}
+	}
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -134,7 +169,7 @@ func main() {
 		defer cancel()
 	}
 
-	opt := driver.Options{Level: lvl, Configs: configs, Check: *runCheck}
+	opt := driver.Options{Level: lvl, Configs: configs, Check: *runCheck, Backend: be}
 	if *planFile != "" {
 		data, err := os.ReadFile(*planFile)
 		if err != nil {
@@ -167,6 +202,11 @@ func main() {
 		for _, r := range c.Plan.Remarks {
 			fmt.Fprintf(os.Stderr, "%s:%s\n", name, r)
 		}
+	}
+
+	if be.Native() {
+		runNative(ctx, c, *timeout)
+		return
 	}
 
 	var model *machine.Model
@@ -226,6 +266,38 @@ func main() {
 				model.Caches[i].Name, cache.Accesses, cache.MissRate()*100)
 		}
 	}
+}
+
+// runNative builds the compiled program into the content-addressed
+// artifact store and executes the binary, mapping the failure paths
+// onto zplrun's exit codes: a go build failure of emitted code is a
+// compile error (exit 3, toolchain diagnostics on stderr), a runtime
+// trap in the generated binary is a runtime error (exit 1), and a
+// deadline expiry either way is a timeout (exit 4).
+func runNative(ctx context.Context, c *driver.Compilation, timeout time.Duration) {
+	store, err := backend.Open("")
+	if err != nil {
+		fatal(err)
+	}
+	art, _, err := store.BuildProgram(ctx, c.LIR)
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			fatalTimeout(fmt.Errorf("timeout after %v while building native code", timeout))
+		}
+		// Emission errors and *backend.BuildError both mean the
+		// program never reached execution: compile error.
+		fatalCompile(err)
+	}
+	stats, err := art.Run(ctx, os.Stdout)
+	if err != nil {
+		fatalRun(err, timeout)
+	}
+	cache := "miss"
+	if art.Hit {
+		cache = "hit"
+	}
+	fmt.Fprintf(os.Stderr, "zplrun: native backend: artifact %.12s (cache %s, build %v), compute %v, wall %v\n",
+		art.Key, cache, art.Build.Round(time.Millisecond), stats.Compute, stats.Wall)
 }
 
 // fatalRun classifies an execution failure: a deadline expiry is a

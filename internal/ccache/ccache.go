@@ -37,16 +37,43 @@ type Key [sha256.Size]byte
 // always uses the full digest).
 func (k Key) String() string { return hex.EncodeToString(k[:]) }
 
+// ArtifactKind says what payload an entry holds beyond the compiled
+// IR. It is part of the content address: a native-backend /run and a
+// VM /run of the same (source, options) must not share an entry,
+// because only one of them carries a built binary — serving the other
+// from it would silently answer a native request with a VM artifact
+// (or vice versa).
+type ArtifactKind string
+
+// The artifact kinds.
+const (
+	// ArtifactIR is a plain compilation: AIR/LIR plus plan metadata
+	// (the default; the empty string means ArtifactIR).
+	ArtifactIR ArtifactKind = "ir"
+	// ArtifactNative is a compilation plus a built native binary
+	// (Entry.Bin) produced by the go backend.
+	ArtifactNative ArtifactKind = "native"
+	// ArtifactTune is a serialized tuning result (Entry.Aux) with no
+	// compilation attached.
+	ArtifactTune ArtifactKind = "tune"
+)
+
 // Fingerprint renders the semantically significant fields of
 // driver.Options in a canonical form: optimization level, sorted
-// config overrides, scalar replacement, verifier gating, and the full
-// communication configuration (processor count, strategy, and each
-// optimization toggle — the "machine model" of a request). Hooks are
-// deliberately excluded: they observe a compilation without changing
-// its artifact.
+// config overrides, scalar replacement, verifier gating, the
+// execution backend, and the full communication configuration
+// (processor count, strategy, and each optimization toggle — the
+// "machine model" of a request). Hooks are deliberately excluded:
+// they observe a compilation without changing its artifact. The
+// backend is included precisely because the artifact differs: a
+// native-backend entry holds a built binary. BackendVM (and "") add
+// nothing, keeping every pre-backend fingerprint stable.
 func Fingerprint(opt driver.Options) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "level=%s", opt.Level)
+	if opt.Backend != "" && opt.Backend != driver.BackendVM {
+		fmt.Fprintf(&b, ";backend=%s", opt.Backend)
+	}
 	if len(opt.Configs) > 0 {
 		names := make([]string, 0, len(opt.Configs))
 		for k := range opt.Configs {
@@ -80,6 +107,17 @@ func KeyOf(source string, opt driver.Options) Key {
 	return KeyOfExtra(source, opt, "")
 }
 
+// KeyOfKind derives the content address of (source, options) holding
+// an artifact of the given kind. ArtifactIR (and "") is the identity:
+// it produces KeyOf's address, so plain compilations keep their
+// pre-kind keys.
+func KeyOfKind(source string, opt driver.Options, kind ArtifactKind) Key {
+	if kind == "" || kind == ArtifactIR {
+		return KeyOf(source, opt)
+	}
+	return KeyOfExtra(source, opt, "kind="+string(kind))
+}
+
 // KeyOfExtra derives a content address for (source, options) plus an
 // extra request dimension the options struct does not carry — e.g.
 // the /tune endpoint folds its search bounds and cost-model choice
@@ -103,10 +141,19 @@ func KeyOfExtra(source string, opt driver.Options, extra string) Key {
 // metadata the service reports without re-deriving.
 type Entry struct {
 	Key    Key
+	Kind   ArtifactKind // what the entry holds; "" means ArtifactIR
 	Source string
 	Comp   *driver.Compilation
 	GoSrc  string // generated Go program ("" when emission was not requested)
 	Plan   string // plan summary: contraction counts, nests, comm stats
+	// Bin is the path of the built native binary in the backend's
+	// artifact store (ArtifactNative entries only). The store is
+	// content-addressed on the generated source, so the path stays
+	// valid for the life of the store directory.
+	Bin string
+	// BinKey is the backend artifact store's content address of the
+	// generated Go source (its hex digest), for logs and responses.
+	BinKey string
 	// Aux holds endpoint-specific payload bytes — the /tune endpoint
 	// caches its serialized tuning result here with Comp nil.
 	Aux  []byte
@@ -118,7 +165,7 @@ type Entry struct {
 // IR (nodes are small heap objects; 128 bytes each is deliberately
 // generous so the byte bound errs toward evicting early).
 func SizeOf(e *Entry) int64 {
-	n := int64(len(e.Source) + len(e.GoSrc) + len(e.Plan) + len(e.Aux))
+	n := int64(len(e.Source) + len(e.GoSrc) + len(e.Plan) + len(e.Aux) + len(e.Bin) + len(e.BinKey))
 	if e.Comp != nil && e.Comp.LIR != nil {
 		n += 128 * countNodes(e.Comp.LIR)
 	}

@@ -229,4 +229,28 @@ func TestKeySensitivity(t *testing.T) {
 	if KeyOfExtra(src, base, "") != KeyOf(src, base) {
 		t.Error("empty extra diverged from KeyOf")
 	}
+
+	// The execution backend is a key dimension: a native request must
+	// not alias the VM entry for the same (source, level).
+	native := base
+	native.Backend = driver.BackendGo
+	add("backend=go", KeyOf(src, native))
+
+	// ...but the VM backend spelled explicitly is the default spelled
+	// implicitly: pre-backend keys stay stable.
+	vmExplicit := base
+	vmExplicit.Backend = driver.BackendVM
+	if KeyOf(src, base) != KeyOf(src, vmExplicit) {
+		t.Error("explicit vm backend changed the key")
+	}
+
+	// The artifact kind is a further dimension on top of the backend.
+	add("kind=native", KeyOfKind(src, native, ArtifactNative))
+	add("kind=tune", KeyOfKind(src, base, ArtifactTune))
+	if KeyOfKind(src, base, ArtifactIR) != KeyOf(src, base) {
+		t.Error("ArtifactIR kind diverged from KeyOf")
+	}
+	if KeyOfKind(src, base, "") != KeyOf(src, base) {
+		t.Error("empty kind diverged from KeyOf")
+	}
 }

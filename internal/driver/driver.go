@@ -50,6 +50,37 @@ func (h Hooks) done(name string) {
 	}
 }
 
+// Backend names an execution engine for the compiled program. The
+// driver itself always produces the same IR; the backend choice is
+// carried in Options because it shapes the *artifact* a cached
+// compilation must hold (the native backend's entry includes a built
+// binary), so it participates in the ccache fingerprint.
+type Backend string
+
+// The execution backends.
+const (
+	// BackendVM interprets the LIR on the bytecode VM (the default;
+	// the empty string means BackendVM).
+	BackendVM Backend = "vm"
+	// BackendGo emits the LIR as Go, builds it with the host
+	// toolchain, and executes the native binary (internal/backend).
+	BackendGo Backend = "go"
+)
+
+// ParseBackend parses a -backend flag value.
+func ParseBackend(s string) (Backend, error) {
+	switch s {
+	case "", "vm":
+		return BackendVM, nil
+	case "go":
+		return BackendGo, nil
+	}
+	return BackendVM, fmt.Errorf("unknown backend %q (want vm or go)", s)
+}
+
+// Native reports whether the backend executes host machine code.
+func (b Backend) Native() bool { return b == BackendGo }
+
 // Options selects problem size and optimization strategy.
 type Options struct {
 	// Configs overrides config constants by name (problem size).
@@ -71,6 +102,11 @@ type Options struct {
 	// Check runs the static verifier (package check) between pipeline
 	// phases and fails the compilation on any report.
 	Check bool
+	// Backend selects the execution engine the artifact targets; the
+	// zero value is BackendVM. The pipeline is backend-independent,
+	// but the fingerprint is not: a native-backend artifact carries a
+	// built binary a VM artifact does not (see ccache.Fingerprint).
+	Backend Backend
 	// Hooks observes phase boundaries (metrics, tracing). Not part of
 	// a compilation's semantic identity: two Options differing only in
 	// Hooks produce identical artifacts (see ccache.Fingerprint).

@@ -5,6 +5,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
@@ -130,6 +131,87 @@ func TestEmitAllBenchmarks(t *testing.T) {
 			if _, err := gogen.Emit(c.LIR); err != nil {
 				t.Errorf("%s at %v: %v", b.Name, lvl, err)
 			}
+		}
+	}
+}
+
+// TestImportsMatchUsage: the emitter imports exactly what the program
+// uses — no blank-identifier hack keeping a spurious import alive, and
+// no math import unless the program actually calls into math.
+func TestImportsMatchUsage(t *testing.T) {
+	noMath := `
+program nomath;
+config n : integer = 8;
+region R = [1..n];
+var A : [R] double;
+var s : double;
+proc main()
+begin
+  [R] A := index1 * 2.0;
+  s := +<< [R] A;
+  writeln("s", s);
+end;
+`
+	c, err := driver.Compile(noMath, driver.Options{Level: core.C2F3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := gogen.Emit(c.LIR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(src, "var _ =") {
+		t.Errorf("emitted source carries a blank-identifier import hack:\n%s", src)
+	}
+	if strings.Contains(src, `"math"`) {
+		t.Errorf("math imported by a program that never uses it:\n%s", src)
+	}
+
+	// A max-reduction needs math (the -Inf identity and math.Max).
+	withMath := strings.Replace(noMath, "+<<", "max<<", 1)
+	c, err = driver.Compile(withMath, driver.Options{Level: core.C2F3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err = gogen.Emit(c.LIR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(src, `"math"`) {
+		t.Errorf("max-reduction program missing its math import:\n%s", src)
+	}
+	if strings.Contains(src, "var _ =") {
+		t.Errorf("emitted source carries a blank-identifier import hack:\n%s", src)
+	}
+}
+
+// TestEmittedSourceVetClean: go vet accepts the emitted source for
+// every benchmark — in particular it finds no unused identifiers or
+// suspect format strings in generated code.
+func TestEmittedSourceVetClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes the go toolchain")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("no go toolchain on PATH")
+	}
+	for _, b := range programs.All() {
+		c, err := driver.Compile(b.Source, driver.Options{Level: core.C2F4S})
+		if err != nil {
+			t.Fatal(err)
+		}
+		src, err := gogen.Emit(c.LIR)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, "main.go"), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		cmd := exec.Command("go", "vet", "main.go")
+		cmd.Dir = dir
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Errorf("%s: go vet rejects emitted source: %v\n%s", b.Name, err, out)
 		}
 	}
 }

@@ -1,0 +1,195 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"repro/internal/backend"
+	"repro/internal/core"
+	"repro/internal/driver"
+	"repro/internal/programs"
+	"repro/internal/vm"
+)
+
+// BackendRow is one benchmark × level cell of the VM-vs-native study:
+// the differential check (the native binary's stdout must be
+// byte-identical to the VM's) plus the wall-clock comparison. NativeMS
+// is the binary's self-timed compute (process startup excluded), so
+// the speedup compares the two execution engines, not exec overhead.
+type BackendRow struct {
+	Benchmark string  `json:"benchmark"`
+	Level     string  `json:"level"`
+	Match     bool    `json:"match"`     // outputs byte-identical
+	VMMS      float64 `json:"vm_ms"`     // interpreter wall clock
+	NativeMS  float64 `json:"native_ms"` // native compute wall clock
+	BuildMS   float64 `json:"build_ms"`  // toolchain time (0 on a store hit)
+	BuildHit  bool    `json:"build_hit"`
+	Speedup   float64 `json:"speedup"` // VMMS / NativeMS
+	Steps     int64   `json:"steps"`   // VM element statements
+}
+
+// RunBackend measures every benchmark at every ladder level on both
+// execution engines, asserting bit-identical output cell by cell. A
+// mismatch is an error, not a row: a miscompile invalidates the whole
+// table. Cells run on the harness worker pool; the shared store
+// deduplicates identical emissions across cells.
+func RunBackend(store *backend.Store, sizeFactor float64) ([]BackendRow, error) {
+	if sizeFactor == 0 {
+		sizeFactor = 1
+	}
+	type cell struct {
+		b   programs.Benchmark
+		lvl core.Level
+	}
+	var cells []cell
+	for _, b := range programs.All() {
+		for _, lvl := range core.AllLevels() {
+			cells = append(cells, cell{b, lvl})
+		}
+	}
+	return parallelMap(cells, func(_ int, c cell) (BackendRow, error) {
+		size := int64(float64(c.b.DefaultSize) * sizeFactor)
+		if size < 8 {
+			size = 8
+		}
+		comp, err := driver.Compile(c.b.Source, hooked(driver.Options{
+			Level:   c.lvl,
+			Configs: map[string]int64{c.b.SizeConfig: size},
+		}))
+		if err != nil {
+			return BackendRow{}, fmt.Errorf("%s at %s: %w", c.b.Name, c.lvl, err)
+		}
+
+		var vmOut bytes.Buffer
+		t0 := time.Now()
+		_, res, err := vm.Run(comp.LIR, vm.Options{Out: &vmOut})
+		vmD := time.Since(t0)
+		if err != nil {
+			return BackendRow{}, fmt.Errorf("%s at %s: vm: %w", c.b.Name, c.lvl, err)
+		}
+
+		art, _, err := store.BuildProgram(context.Background(), comp.LIR)
+		if err != nil {
+			return BackendRow{}, fmt.Errorf("%s at %s: build: %w", c.b.Name, c.lvl, err)
+		}
+		var natOut bytes.Buffer
+		stats, err := art.Run(context.Background(), &natOut)
+		if err != nil {
+			return BackendRow{}, fmt.Errorf("%s at %s: native run: %w", c.b.Name, c.lvl, err)
+		}
+		if natOut.String() != vmOut.String() {
+			return BackendRow{}, fmt.Errorf(
+				"%s at %s: native output diverges from VM\nnative: %q\nvm:     %q",
+				c.b.Name, c.lvl, natOut.String(), vmOut.String())
+		}
+
+		native := stats.Compute
+		if native <= 0 {
+			native = stats.Wall
+		}
+		row := BackendRow{
+			Benchmark: c.b.Name,
+			Level:     c.lvl.String(),
+			Match:     true,
+			VMMS:      float64(vmD) / float64(time.Millisecond),
+			NativeMS:  float64(native) / float64(time.Millisecond),
+			BuildMS:   float64(art.Build) / float64(time.Millisecond),
+			BuildHit:  art.Hit,
+			Steps:     res.Steps,
+		}
+		if native > 0 {
+			row.Speedup = float64(vmD) / float64(native)
+		}
+		return row, nil
+	})
+}
+
+// FormatBackend renders the speedup table plus the per-benchmark
+// summary the acceptance check reads (native must win everywhere).
+func FormatBackend(rows []BackendRow) string {
+	var b strings.Builder
+	b.WriteString("Native backend vs bytecode VM: bit-identical differential run,\n")
+	b.WriteString("wall-clock speedup per benchmark x optimization level\n\n")
+	fmt.Fprintf(&b, "%-10s %-10s %10s %12s %12s %10s %8s\n",
+		"app", "level", "vm ms", "native ms", "build ms", "speedup", "match")
+	for _, r := range rows {
+		match := "DIVERGED"
+		if r.Match {
+			match = "ok"
+		}
+		build := fmt.Sprintf("%.0f", r.BuildMS)
+		if r.BuildHit {
+			build = "hit"
+		}
+		fmt.Fprintf(&b, "%-10s %-10s %10.2f %12.4f %12s %9.0fx %8s\n",
+			r.Benchmark, r.Level, r.VMMS, r.NativeMS, build, r.Speedup, match)
+	}
+
+	// Per-benchmark worst case: the weakest cell still decides whether
+	// native "wins the benchmark".
+	order := []string{}
+	min := map[string]float64{}
+	geo := map[string]float64{}
+	n := map[string]int{}
+	for _, r := range rows {
+		if _, ok := min[r.Benchmark]; !ok {
+			order = append(order, r.Benchmark)
+			min[r.Benchmark] = r.Speedup
+		}
+		if r.Speedup < min[r.Benchmark] {
+			min[r.Benchmark] = r.Speedup
+		}
+		geo[r.Benchmark] += math.Log(r.Speedup)
+		n[r.Benchmark]++
+	}
+	b.WriteString("\nper-benchmark speedup (native over VM):\n")
+	fmt.Fprintf(&b, "%-10s %12s %12s %8s\n", "app", "geomean", "min", "wins")
+	wins := 0
+	for _, name := range order {
+		g := math.Exp(geo[name] / float64(n[name]))
+		win := "no"
+		if min[name] > 1 {
+			win = "yes"
+			wins++
+		}
+		fmt.Fprintf(&b, "%-10s %11.0fx %11.0fx %8s\n", name, g, min[name], win)
+	}
+	fmt.Fprintf(&b, "\nnative wins %d/%d benchmarks (every cell bit-identical: %t)\n",
+		wins, len(order), AllMatch(rows))
+	return b.String()
+}
+
+// AllMatch reports whether every cell passed the differential check.
+func AllMatch(rows []BackendRow) bool {
+	for _, r := range rows {
+		if !r.Match {
+			return false
+		}
+	}
+	return true
+}
+
+// NativeWinsAll reports whether the native backend beat the VM in
+// every cell — the table's acceptance condition.
+func NativeWinsAll(rows []BackendRow) bool {
+	for _, r := range rows {
+		if r.Speedup <= 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// BackendJSON serializes the rows for results/backend.json.
+func BackendJSON(rows []BackendRow) ([]byte, error) {
+	buf, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, '\n'), nil
+}

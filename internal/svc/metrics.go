@@ -19,8 +19,8 @@ import (
 //
 // Pipeline phases land in Phases via driver hooks ("parse", "sema",
 // "lower", "comm", "asdg", "fusion", "contraction", "scalarize",
-// "check") plus the service's own "run", "gogen", and "tune" phases;
-// whole requests land in per-endpoint histograms.
+// "check") plus the service's own "run", "gogen", "backend_build",
+// and "tune" phases; whole requests land in per-endpoint histograms.
 type Metrics struct {
 	mu       sync.Mutex
 	requests map[string]int64 // "endpoint|status" -> count
@@ -31,6 +31,9 @@ type Metrics struct {
 	lints    map[string]int64 // lint findings per severity ("rule|severity")
 	remarks  map[string]int64 // optimization remarks per kind
 
+	backendBuilds map[string]int64 // native artifact builds per outcome (hit|miss|error)
+	backendRuns   map[string]int64 // native executions ("backend|outcome")
+
 	Phases  *phase.Collector // per-phase compile/run latencies
 	byRoute *phase.Collector // whole-request latencies per endpoint
 }
@@ -38,11 +41,13 @@ type Metrics struct {
 // NewMetrics returns an empty registry.
 func NewMetrics() *Metrics {
 	return &Metrics{
-		requests: map[string]int64{},
-		lints:    map[string]int64{},
-		remarks:  map[string]int64{},
-		Phases:   phase.NewCollector(),
-		byRoute:  phase.NewCollector(),
+		requests:      map[string]int64{},
+		lints:         map[string]int64{},
+		remarks:       map[string]int64{},
+		backendBuilds: map[string]int64{},
+		backendRuns:   map[string]int64{},
+		Phases:        phase.NewCollector(),
+		byRoute:       phase.NewCollector(),
 	}
 }
 
@@ -101,6 +106,27 @@ func (m *Metrics) Remarks(counts map[remark.Kind]int) {
 	m.mu.Unlock()
 }
 
+// BackendBuild counts one native-artifact build by outcome: "hit"
+// (binary already in the store), "miss" (toolchain invoked), or
+// "error" (the build failed) — zpld_backend_builds_total.
+func (m *Metrics) BackendBuild(outcome string) {
+	m.mu.Lock()
+	m.backendBuilds[outcome]++
+	m.mu.Unlock()
+}
+
+// BackendRun counts one native execution by backend and outcome —
+// zpld_backend_runs_total.
+func (m *Metrics) BackendRun(backend string, ok bool) {
+	outcome := "error"
+	if ok {
+		outcome = "ok"
+	}
+	m.mu.Lock()
+	m.backendRuns[backend+"|"+outcome]++
+	m.mu.Unlock()
+}
+
 // Drained counts a request refused during shutdown (HTTP 503).
 func (m *Metrics) Drained() {
 	m.mu.Lock()
@@ -149,6 +175,29 @@ func (m *Metrics) Render(cs, ts ccache.Stats) string {
 		b.WriteString("# TYPE zpld_remarks_total counter\n")
 		for _, k := range rk {
 			fmt.Fprintf(&b, "zpld_remarks_total{kind=%q} %d\n", k, m.remarks[k])
+		}
+	}
+	if len(m.backendBuilds) > 0 {
+		bk := make([]string, 0, len(m.backendBuilds))
+		for k := range m.backendBuilds {
+			bk = append(bk, k)
+		}
+		sort.Strings(bk)
+		b.WriteString("# TYPE zpld_backend_builds_total counter\n")
+		for _, k := range bk {
+			fmt.Fprintf(&b, "zpld_backend_builds_total{outcome=%q} %d\n", k, m.backendBuilds[k])
+		}
+	}
+	if len(m.backendRuns) > 0 {
+		bk := make([]string, 0, len(m.backendRuns))
+		for k := range m.backendRuns {
+			bk = append(bk, k)
+		}
+		sort.Strings(bk)
+		b.WriteString("# TYPE zpld_backend_runs_total counter\n")
+		for _, k := range bk {
+			be, outcome, _ := strings.Cut(k, "|")
+			fmt.Fprintf(&b, "zpld_backend_runs_total{backend=%q,outcome=%q} %d\n", be, outcome, m.backendRuns[k])
 		}
 	}
 	m.mu.Unlock()

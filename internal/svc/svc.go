@@ -7,7 +7,11 @@
 // Endpoints:
 //
 //	POST /compile  compile a program, serve the artifact from cache
-//	POST /run      compile (cached) and execute, sequential or -dist
+//	POST /run      compile (cached) and execute on the requested
+//	               backend: the bytecode VM (default), the distributed
+//	               interpreter (dist), or native code (backend "go":
+//	               emitted Go built through the content-addressed
+//	               artifact store and executed on the host CPU)
 //	POST /tune     search for a better fusion/contraction plan (zpltune
 //	               as a service; results cached by content address)
 //	GET  /metrics  Prometheus text exposition of counters + histograms
@@ -15,15 +19,19 @@
 //
 // Status mapping (the error paths the CLIs collapse are distinct here):
 //
-//	400 malformed request (bad JSON, unknown level/strategy/bench)
+//	400 malformed request (bad JSON, unknown level/strategy/bench,
+//	    native backend requested with no go toolchain on the host)
 //	404 unknown endpoint
 //	405 wrong method
 //	413 request body over the configured limit
-//	422 compile error (the program is at fault)
+//	422 compile error (the program is at fault; includes a go build
+//	    failure of emitted code under backend "go" — the toolchain
+//	    diagnostics ride in the error body)
 //	429 queue depth exceeded (back off and retry)
-//	500 runtime error (execution fault, budget exhaustion)
+//	500 runtime error (execution fault, budget exhaustion, or a
+//	    native-binary runtime trap under backend "go")
 //	503 draining (shutdown in progress)
-//	504 request deadline expired (compiling or running)
+//	504 request deadline expired (compiling, building, or running)
 package svc
 
 import (
@@ -40,6 +48,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/backend"
 	"repro/internal/ccache"
 	"repro/internal/comm"
 	"repro/internal/core"
@@ -64,6 +73,7 @@ type Config struct {
 	MaxSteps       int64         // execution budget per run; 0 = interpreter default
 	DrainTimeout   time.Duration // graceful-shutdown grace; default 10s
 	Logs           io.Writer     // JSON-lines request log; nil disables
+	ArtifactDir    string        // native-artifact store; "" = backend.DefaultDir
 }
 
 func (c Config) withDefaults() Config {
@@ -108,6 +118,13 @@ type Request struct {
 	Source string `json:"source,omitempty"`
 	Bench  string `json:"bench,omitempty"`
 
+	// Backend selects the execution engine: "vm" (default, the
+	// bytecode interpreter) or "go" (native code: emitted Go built
+	// through the artifact store and executed on the host CPU). A
+	// /compile with backend "go" pre-builds the binary so the first
+	// /run is a build hit.
+	Backend string `json:"backend,omitempty"`
+
 	Level     string           `json:"level,omitempty"`    // default "c2+f3"
 	Configs   map[string]int64 `json:"configs,omitempty"`  // config-constant overrides
 	Procs     int              `json:"procs,omitempty"`    // >1 inserts communication
@@ -145,6 +162,10 @@ type CompileResponse struct {
 	Contracted int    `json:"contracted"`
 	GoSource   string `json:"go_source,omitempty"`
 
+	// Artifact is the native store's content address of the built
+	// binary (backend "go" only).
+	Artifact string `json:"artifact,omitempty"`
+
 	// Lint carries the lint findings when the request set lint; Remarks
 	// the optimization remarks when it set remarks.
 	Lint    []lint.Finding  `json:"lint,omitempty"`
@@ -159,6 +180,12 @@ type RunResponse struct {
 	MemoryBytes int64   `json:"memory_bytes,omitempty"`
 	Procs       int     `json:"procs,omitempty"` // distributed runs only
 	RunMS       float64 `json:"run_ms"`
+
+	// Native-backend runs only.
+	Backend   string  `json:"backend,omitempty"`    // "go"
+	BuildHit  bool    `json:"build_hit,omitempty"`  // binary served from the store
+	BuildMS   float64 `json:"build_ms,omitempty"`   // artifact lookup/build time
+	ComputeMS float64 `json:"compute_ms,omitempty"` // binary's self-timed za_main
 }
 
 // ErrorResponse is the JSON reply of every non-2xx outcome.
@@ -173,7 +200,8 @@ type ErrorResponse struct {
 type Server struct {
 	cfg      Config
 	cache    *ccache.Cache
-	tcache   *ccache.Cache // tuned-plan results (Entry.Aux payloads)
+	tcache   *ccache.Cache  // tuned-plan results (Entry.Aux payloads)
+	store    *backend.Store // native-artifact store; nil when no toolchain
 	metrics  *Metrics
 	sem      chan struct{} // worker-pool slots
 	queue    chan struct{} // admission tickets (workers + waiting)
@@ -193,8 +221,20 @@ func New(cfg Config) *Server {
 		queue:   make(chan struct{}, cfg.Workers+cfg.QueueDepth),
 		logMu:   make(chan struct{}, 1),
 	}
+	if backend.Available() {
+		// A store that fails to open (read-only cache dir, say) leaves
+		// the native backend unavailable rather than killing the whole
+		// service; VM and dist runs are unaffected.
+		if st, err := backend.Open(cfg.ArtifactDir); err == nil {
+			s.store = st
+		}
+	}
 	return s
 }
+
+// NativeAvailable reports whether this server can serve backend "go"
+// requests (toolchain present and the artifact store opened).
+func (s *Server) NativeAvailable() bool { return s.store != nil }
 
 // Metrics exposes the registry (for embedding and tests).
 func (s *Server) Metrics() *Metrics { return s.metrics }
@@ -324,7 +364,11 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request, run bool) {
 	s.metrics.IncInflight()
 	defer s.metrics.DecInflight()
 
-	key := ccache.KeyOf(src, opt)
+	akind := ccache.ArtifactIR
+	if opt.Backend.Native() {
+		akind = ccache.ArtifactNative
+	}
+	key := ccache.KeyOfKind(src, opt, akind)
 	entry, lookup, err := s.cache.GetOrCompute(key, func() (*ccache.Entry, error) {
 		hooked := opt
 		start, end := s.metrics.Phases.StartEnd()
@@ -333,7 +377,7 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request, run bool) {
 		if err != nil {
 			return nil, err
 		}
-		e := &ccache.Entry{Source: src, Comp: c, Plan: planSummary(c)}
+		e := &ccache.Entry{Kind: akind, Source: src, Comp: c, Plan: planSummary(c)}
 		// The generated Go rides in the artifact so emit_go requests
 		// hit too; gogen cannot emit distributed programs.
 		if opt.Comm == nil {
@@ -342,7 +386,28 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request, run bool) {
 			end("gogen")
 			if err == nil {
 				e.GoSrc = goSrc
+			} else if opt.Backend.Native() {
+				// On the VM path a failed emission only degrades
+				// emit_go; on the native path there is nothing to run.
+				return nil, err
 			}
+		}
+		if opt.Backend.Native() {
+			start("backend_build")
+			art, berr := s.store.Build(ctx, e.GoSrc)
+			end("backend_build")
+			if berr != nil {
+				// *backend.BuildError flows to the compile_error reply
+				// (422) with the toolchain diagnostics in the body.
+				s.metrics.BackendBuild("error")
+				return nil, berr
+			}
+			if art.Hit {
+				s.metrics.BackendBuild("hit")
+			} else {
+				s.metrics.BackendBuild("miss")
+			}
+			e.Bin, e.BinKey = art.Bin, art.Key
 		}
 		return e, nil
 	})
@@ -359,10 +424,11 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request, run bool) {
 	outcome = lookup.String()
 
 	cresp := CompileResponse{
-		Key:    entry.Key.String(),
-		Cached: lookup == ccache.Hit,
-		Dedup:  lookup == ccache.Dedup,
-		Plan:   entry.Plan,
+		Key:      entry.Key.String(),
+		Cached:   lookup == ccache.Hit,
+		Dedup:    lookup == ccache.Dedup,
+		Plan:     entry.Plan,
+		Artifact: entry.BinKey,
 	}
 	counts := core.CountStaticArrays(entry.Comp.AIR, entry.Comp.Plan)
 	cresp.NestCount = entry.Comp.LIR.CountNests()
@@ -412,8 +478,11 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request, run bool) {
 	json.NewEncoder(w).Encode(resp)
 }
 
-// execute runs a cached compilation on the requested interpreter.
+// execute runs a cached compilation on the requested backend.
 func (s *Server) execute(ctx context.Context, entry *ccache.Entry, req *Request) (*RunResponse, int, string, error) {
+	if entry.Kind == ccache.ArtifactNative {
+		return s.executeNative(ctx, entry)
+	}
 	maxSteps := req.MaxSteps
 	if maxSteps <= 0 {
 		maxSteps = s.cfg.MaxSteps
@@ -456,6 +525,54 @@ func (s *Server) execute(ctx context.Context, entry *ccache.Entry, req *Request)
 	return resp, http.StatusOK, "", nil
 }
 
+// executeNative runs a native-backend entry: the binary is re-derived
+// from the store (content-addressed on the cached Go source, so this
+// is normally an instant hit — and a rebuild if the store directory
+// was wiped underneath a live ccache entry) and executed. A runtime
+// trap in the binary maps to 500 runtime_error; a deadline to 504.
+func (s *Server) executeNative(ctx context.Context, entry *ccache.Entry) (*RunResponse, int, string, error) {
+	if s.store == nil {
+		// Unreachable after resolve, but a nil store must not panic.
+		return nil, http.StatusBadRequest, "bad_request", fmt.Errorf("native backend unavailable")
+	}
+	t0 := time.Now()
+	art, err := s.store.Build(ctx, entry.GoSrc)
+	buildD := time.Since(t0)
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			st, kind := statusForCtx(err)
+			return nil, st, kind, fmt.Errorf("native build aborted: %w", err)
+		}
+		var berr *backend.BuildError
+		if errors.As(err, &berr) {
+			return nil, http.StatusUnprocessableEntity, "compile_error", err
+		}
+		return nil, http.StatusInternalServerError, "runtime_error", err
+	}
+	var out bytes.Buffer
+	t1 := time.Now()
+	stats, err := art.Run(ctx, &out)
+	d := time.Since(t1)
+	s.metrics.Phases.Observe("run", d)
+	if err != nil {
+		s.metrics.BackendRun("go", false)
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			st, kind := statusForCtx(err)
+			return nil, st, kind, fmt.Errorf("run aborted: %w", err)
+		}
+		return nil, http.StatusInternalServerError, "runtime_error", err
+	}
+	s.metrics.BackendRun("go", true)
+	return &RunResponse{
+		Output:    out.String(),
+		RunMS:     float64(d) / float64(time.Millisecond),
+		Backend:   string(driver.BackendGo),
+		BuildHit:  art.Hit,
+		BuildMS:   float64(buildD) / float64(time.Millisecond),
+		ComputeMS: float64(stats.Compute) / float64(time.Millisecond),
+	}, http.StatusOK, "", nil
+}
+
 // statusForCtx maps a context error to (status, kind): an expired
 // deadline is a 504 timeout; a client disconnect is reported as 499
 // (nginx's convention; the client is gone either way).
@@ -493,7 +610,27 @@ func (s *Server) resolve(req *Request, run bool) (string, driver.Options, error)
 	if err != nil {
 		return "", opt, err
 	}
-	opt = driver.Options{Level: lvl, Configs: req.Configs, ScalarReplace: req.ScalarRep, Check: req.Check}
+	be, err := driver.ParseBackend(req.Backend)
+	if err != nil {
+		return "", opt, err
+	}
+	if be.Native() {
+		// Mirror zplrun's rejections: native code is the sequential
+		// program, so the interpreter-only knobs are refused rather
+		// than silently ignored.
+		switch {
+		case req.Dist:
+			return "", opt, fmt.Errorf("backend %q cannot be combined with dist", req.Backend)
+		case req.Procs > 1:
+			return "", opt, fmt.Errorf("backend %q cannot be combined with procs > 1", req.Backend)
+		case req.MaxSteps > 0:
+			return "", opt, fmt.Errorf("backend %q does not support max_steps (step budgets are an interpreter feature)", req.Backend)
+		}
+		if s.store == nil {
+			return "", opt, fmt.Errorf("native backend unavailable: no go toolchain on this host")
+		}
+	}
+	opt = driver.Options{Level: lvl, Configs: req.Configs, ScalarReplace: req.ScalarRep, Check: req.Check, Backend: be}
 
 	if req.Procs > 1 {
 		co := comm.DefaultOptions(req.Procs)

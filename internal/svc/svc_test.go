@@ -256,21 +256,50 @@ func TestSingleflightDedup(t *testing.T) {
 // draining refuses work with 503.
 func TestQueueSheddingAndDrain(t *testing.T) {
 	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
-	// Saturate: a batch of slow runs against a 2-ticket queue. Fire
-	// enough at once that, whatever the scheduling, the queue is full
-	// for some of them.
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	got := map[int]int{}
-	for i := 0; i < 12; i++ {
+	record := func(status int) {
+		mu.Lock()
+		got[status]++
+		mu.Unlock()
+	}
+
+	// Occupy the single worker with one multi-second run, so the
+	// 2-ticket queue stays saturated for the whole burst below —
+	// deterministically, whatever the goroutine scheduling.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		status, _ := post(t, ts.URL+"/run",
+			Request{Source: bigProgram(), Configs: map[string]int64{"steps": 300}, TimeoutMS: 30000})
+		record(status)
+	}()
+	// Wait until it is admitted past the queue to the worker.
+	for deadline := time.Now().Add(10 * time.Second); ; time.Sleep(time.Millisecond) {
+		resp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if strings.Contains(string(body), "zpld_inflight 1") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("long run never reached the worker")
+		}
+	}
+
+	// The burst: one request can take the remaining ticket and wait;
+	// the rest find the queue full and must shed.
+	for i := 0; i < 11; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			status, _ := post(t, ts.URL+"/run",
 				Request{Source: bigProgram(), Configs: map[string]int64{"steps": 2}, TimeoutMS: 30000})
-			mu.Lock()
-			got[status]++
-			mu.Unlock()
+			record(status)
 		}()
 	}
 	wg.Wait()
