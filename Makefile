@@ -8,7 +8,8 @@ STATICCHECK_VERSION ?= 2024.1.1
 GOVULNCHECK_VERSION ?= v1.1.3
 
 .PHONY: all build test vet race check serve-test ci experiments \
-	lint-self staticcheck govulncheck audit tune-smoke backend-diff
+	lint-self staticcheck govulncheck audit tune-smoke backend-diff \
+	prove-fuzz prove-smoke
 
 all: build test
 
@@ -87,7 +88,22 @@ tune-smoke: build
 backend-diff: build
 	$(GO) test -count=1 -run 'TestBackendBitIdentical|TestSeedFaultCaught' -v ./internal/backend
 
-ci: vet test race serve-test check lint-self audit staticcheck govulncheck tune-smoke backend-diff
+# Prover differential fuzz: random programs across the ladder must be
+# fully proven, run bit-identical checked vs proof-carrying, and a
+# seeded one-element evidence fault must be caught — statically by the
+# bounds cross-validator and dynamically by the differential.
+prove-fuzz: build
+	$(GO) test -count=1 -run 'TestQuickProve' -v ./internal/driver
+
+# Prover native smoke: the unchecked emission (hoisted base pointers,
+# trap scaffold elided when everything is proven) must stay
+# byte-identical to the checked emission and to the VM, and a faulted
+# proof must surface as a wrong answer or a trap, never silence. Skips
+# itself on a host without a go toolchain.
+prove-smoke: build
+	$(GO) test -count=1 -run 'TestProveBitIdentical|TestProveFaultCaughtNative' -v ./internal/backend
+
+ci: vet test race serve-test check lint-self audit staticcheck govulncheck tune-smoke backend-diff prove-fuzz prove-smoke
 
 experiments:
 	$(GO) run ./cmd/experiments

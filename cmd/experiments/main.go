@@ -13,6 +13,11 @@
 //	           speedup table over every benchmark x level; every cell
 //	           is asserted bit-identical; also writes backend.json
 //	           under -out; skipped with a notice when the host has no
+//	           go toolchain), prove (bounds-prover coverage and the
+//	           checked-vs-unchecked differential on both engines over
+//	           every benchmark at the ladder ends; fails unless every
+//	           cell is bit-identical and ≥90% of sites are proven;
+//	           also writes prove.json under -out; skipped without a
 //	           go toolchain), or all (default all)
 //	-size f    problem-size factor for the runtime studies (default 1.0)
 //	-jobs n    measurements to run concurrently (default: all CPUs)
@@ -158,6 +163,34 @@ func main() {
 			}
 			if !harness.NativeWinsAll(rows) {
 				fatal(fmt.Errorf("backend study: the native backend did not win every cell"))
+			}
+		}
+	}
+
+	if want("prove") {
+		if !backend.Available() {
+			fmt.Fprintln(os.Stderr, "experiments: skipping prove study: no go toolchain on PATH")
+		} else {
+			store, err := backend.Open("")
+			if err != nil {
+				fatal(err)
+			}
+			rows, err := harness.RunProve(store, *size)
+			if err != nil {
+				fatal(err)
+			}
+			emit("prove", harness.FormatProve(rows))
+			if *out != "" {
+				buf, err := harness.ProveJSON(rows)
+				if err != nil {
+					fatal(err)
+				}
+				if err := os.WriteFile(filepath.Join(*out, "prove.json"), buf, 0o644); err != nil {
+					fatal(err)
+				}
+			}
+			if min := harness.MinProvenRate(rows); min < 90 {
+				fatal(fmt.Errorf("prove study: only %.0f%% of sites proven in the worst cell (acceptance needs >= 90%%)", min))
 			}
 		}
 	}

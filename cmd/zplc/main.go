@@ -20,6 +20,12 @@
 //	-comm strat   favor-fusion | favor-comm (with -p > 1)
 //	-check        run the static verifier (zplcheck's passes) between
 //	              pipeline phases; any finding fails the compilation
+//	-prove        run the bounds prover so proven accesses compile
+//	              unchecked (the default; combining it with -noprove
+//	              is a usage error, exit 2)
+//	-noprove      skip the prover: emitted code keeps every check
+//	-provefault n seed an evidence fault into the n-th proven site
+//	              (soundness self-test for the differential harness)
 //	-remarks      print one optimization remark per fusion/contraction
 //	              decision (the blocking edge, distance vector, and
 //	              failed legality test for every negative decision)
@@ -79,6 +85,9 @@ func main() {
 	scalarRep := flag.Bool("scalarrep", false, "install scalar replacement in the loop nests")
 	strat := flag.String("comm", "favor-fusion", "communication strategy: favor-fusion | favor-comm")
 	runCheck := flag.Bool("check", false, "run the static verifier between pipeline phases")
+	prove := flag.Bool("prove", false, "run the bounds prover (the default; spell it to assert it)")
+	noProve := flag.Bool("noprove", false, "skip the bounds prover: generated code keeps every check")
+	proveFault := flag.Int("provefault", 0, "seed an evidence fault into the n-th proven site; 0 disables")
 	remarks := flag.Bool("remarks", false, "print one optimization remark per fusion/contraction decision")
 	checkFault := flag.String("checkfault", "", "inject a seeded bug and require the named verifier pass to catch it")
 	configs := configFlags{}
@@ -89,6 +98,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: zplc [flags] file.za")
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *prove && *noProve {
+		fatalUsage(fmt.Errorf("-prove and -noprove are contradictory: pick one"))
+	}
+	if *noProve && *proveFault > 0 {
+		fatalUsage(fmt.Errorf("-provefault %d needs the prover that -noprove disables", *proveFault))
 	}
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
@@ -119,7 +134,8 @@ func main() {
 		fatal(fmt.Errorf("-backend=go compiles the sequential program; it cannot be combined with -p > 1"))
 	}
 
-	opt := driver.Options{Level: lvl, Configs: configs, ScalarReplace: *scalarRep, Check: *runCheck, Backend: be}
+	opt := driver.Options{Level: lvl, Configs: configs, ScalarReplace: *scalarRep, Check: *runCheck, Backend: be,
+		NoProve: *noProve, ProveFault: *proveFault}
 	if *planFile != "" {
 		data, err := os.ReadFile(*planFile)
 		if err != nil {
@@ -163,7 +179,7 @@ func main() {
 	case "c":
 		fmt.Print(lir.EmitC(c.LIR))
 	case "go":
-		src, err := gogen.Emit(c.LIR)
+		src, err := gogen.EmitBounds(c.LIR, c.Bounds)
 		if err != nil {
 			fatal(err)
 		}
@@ -185,7 +201,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		art, _, err := store.BuildProgram(context.Background(), c.LIR)
+		art, _, err := store.BuildProgramBounds(context.Background(), c.LIR, c.Bounds)
 		if err != nil {
 			fatal(err)
 		}
@@ -395,4 +411,11 @@ func faultComm(c *driver.Compilation) bool {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "zplc:", err)
 	os.Exit(1)
+}
+
+// fatalUsage reports a flag-level mistake; exit 2 matches the no-file
+// usage path so scripts can tell misuse from compile failures.
+func fatalUsage(err error) {
+	fmt.Fprintln(os.Stderr, "zplc:", err)
+	os.Exit(2)
 }

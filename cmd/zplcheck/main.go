@@ -12,6 +12,12 @@
 //	-O levels     comma-separated optimization levels to verify at
 //	              (default "baseline,c1,c2,c2+f3"); "all" expands to
 //	              the paper's full ladder plus extensions
+//	-pass names   comma-separated verifier passes to run (default
+//	              "all"): air-wellformed, asdg-crosscheck,
+//	              fusion-legality, contraction-safety, comm-schedule,
+//	              bounds. The bounds pass re-derives every array
+//	              access hull and cross-checks the abstract
+//	              interpreter's ProvenSafe evidence
 //	-p n          additionally verify a distributed compilation for
 //	              n processors (communication inserted)
 //	-config k=v   override a config constant (repeatable)
@@ -71,6 +77,7 @@ type unit struct {
 
 func main() {
 	levelsFlag := flag.String("O", "baseline,c1,c2,c2+f3", "comma-separated optimization levels; \"all\" for the full ladder")
+	passFlag := flag.String("pass", "all", "comma-separated verifier passes; \"all\" runs every pass")
 	procs := flag.Int("p", 0, "additionally verify a distributed compilation for n processors")
 	bench := flag.String("bench", "", "built-in benchmark name, or \"all\"")
 	verbose := flag.Bool("v", false, "list clean configurations too")
@@ -126,6 +133,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "zplcheck: -json and -sarif are mutually exclusive")
 		os.Exit(2)
 	}
+	passes, err := parsePasses(*passFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "zplcheck:", err)
+		os.Exit(2)
+	}
 	var collect []lint.Finding
 	structured := *jsonOut || *sarifOut
 
@@ -136,13 +148,13 @@ func main() {
 			if structured {
 				collector = &collect
 			}
-			failures += verify(u, lvl, driver.Options{Level: lvl, Configs: configs}, "", *verbose, collector)
+			failures += verify(u, lvl, driver.Options{Level: lvl, Configs: configs}, "", *verbose, passes, collector)
 			configurations++
 			if *procs > 1 {
 				co := comm.DefaultOptions(*procs)
 				failures += verify(u, lvl,
 					driver.Options{Level: lvl, Configs: configs, Comm: &co},
-					fmt.Sprintf(" p=%d", *procs), *verbose, collector)
+					fmt.Sprintf(" p=%d", *procs), *verbose, passes, collector)
 				configurations++
 			}
 		}
@@ -172,7 +184,7 @@ func main() {
 // finding or compile error, 0 when clean. When collect is non-nil the
 // findings are appended there (labelled with the configuration) for a
 // structured report instead of being printed.
-func verify(u unit, lvl core.Level, opt driver.Options, suffix string, verbose bool, collect *[]lint.Finding) int {
+func verify(u unit, lvl core.Level, opt driver.Options, suffix string, verbose bool, passes map[string]bool, collect *[]lint.Finding) int {
 	label := fmt.Sprintf("%s at %s%s", u.name, lvl, suffix)
 	c, err := driver.Compile(u.src, opt)
 	if err != nil {
@@ -186,7 +198,7 @@ func verify(u unit, lvl core.Level, opt driver.Options, suffix string, verbose b
 		}
 		return 1
 	}
-	reps := check.All(c.AIR, c.Plan, c.LIR, c.Comm != nil)
+	reps := runPasses(c, passes)
 	if collect != nil {
 		*collect = append(*collect, lint.FromReports(label, reps)...)
 	}
@@ -203,4 +215,64 @@ func verify(u unit, lvl core.Level, opt driver.Options, suffix string, verbose b
 		}
 	}
 	return 1
+}
+
+// knownPasses maps every selectable pass name to true.
+var knownPasses = map[string]bool{
+	check.PassAIR:         true,
+	check.PassASDG:        true,
+	check.PassFusion:      true,
+	check.PassContraction: true,
+	check.PassComm:        true,
+	check.PassBounds:      true,
+}
+
+// parsePasses turns the -pass flag into a selection set; nil means all.
+func parsePasses(s string) (map[string]bool, error) {
+	if s == "" || s == "all" {
+		return nil, nil
+	}
+	sel := map[string]bool{}
+	for _, name := range strings.Split(s, ",") {
+		name = strings.TrimSpace(name)
+		if !knownPasses[name] {
+			return nil, fmt.Errorf("unknown verifier pass %q (want all, %s, %s, %s, %s, %s, or %s)",
+				name, check.PassAIR, check.PassASDG, check.PassFusion,
+				check.PassContraction, check.PassComm, check.PassBounds)
+		}
+		sel[name] = true
+	}
+	return sel, nil
+}
+
+// runPasses runs the selected verifier passes (nil = every pass) over
+// one compilation. The bounds pass cross-checks the abstract
+// interpreter's result, which the driver attaches to the compilation
+// by default.
+func runPasses(c *driver.Compilation, sel map[string]bool) []check.Report {
+	want := func(p string) bool { return sel == nil || sel[p] }
+	var out []check.Report
+	if want(check.PassAIR) {
+		out = append(out, check.AIRWellFormed(c.AIR)...)
+	}
+	if c.Plan != nil {
+		if want(check.PassASDG) {
+			out = append(out, check.ASDGCrossCheck(c.AIR, c.Plan)...)
+		}
+		if want(check.PassFusion) {
+			out = append(out, check.FusionLegality(c.AIR, c.Plan)...)
+		}
+		if want(check.PassContraction) {
+			out = append(out, check.ContractionSafety(c.AIR, c.Plan)...)
+		}
+	}
+	if c.LIR != nil {
+		if want(check.PassComm) {
+			out = append(out, check.CommSchedule(c.AIR, c.LIR, c.Comm != nil)...)
+		}
+		if want(check.PassBounds) && c.Bounds != nil {
+			out = append(out, check.Bounds(c.LIR, c.Bounds)...)
+		}
+	}
+	return out
 }

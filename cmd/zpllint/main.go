@@ -4,8 +4,11 @@
 //
 //   - lint findings: unused and write-only arrays, dead statements,
 //     redundant and unused regions, shadowed declarations, @-offset
-//     reads escaping the declared region, and temporaries that would
-//     contract but for a single offending reference (with a fix-it);
+//     reads escaping the declared region, temporaries that would
+//     contract but for a single offending reference (with a fix-it),
+//     and the bounds prover's verdicts — an unproven access warns, a
+//     proven-out-of-bounds access errors, and -bounds adds one note
+//     per proven access with the evidence that eliminated its check;
 //   - optimization remarks (-remarks): one structured record per
 //     fusion/contraction decision, naming the blocking dependence
 //     edge, its unconstrained distance vector, and the legality test
@@ -21,6 +24,8 @@
 //	-bench name    lint a built-in benchmark; "all" for every one
 //	-format f      output format: text (default), json, or sarif
 //	-remarks       include optimization remarks in the output
+//	-bounds        emit one proven-bounds note per array access the
+//	               abstract interpreter proves safe
 //	-strict        exit nonzero on warnings, not just errors
 //
 // Exit status: 0 clean (notes never fail a run), 1 on error-severity
@@ -75,6 +80,7 @@ func run(args []string) int {
 	bench := fs.String("bench", "", "built-in benchmark name, or \"all\"")
 	strict := fs.Bool("strict", false, "exit nonzero on warnings too")
 	remarks := fs.Bool("remarks", false, "include optimization remarks in the output")
+	boundsNotes := fs.Bool("bounds", false, "emit one note per proven array access")
 	configs := configFlags{}
 	fs.Var(configs, "config", "override a config constant, key=value (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -125,7 +131,7 @@ func run(args []string) int {
 	var allRemarks []remark.Remark
 	compileFailed := false
 	for _, u := range units {
-		res, err := lint.Run(u.src, lint.Options{File: u.name, Level: lvl, Configs: configs})
+		res, err := lint.Run(u.src, lint.Options{File: u.name, Level: lvl, Configs: configs, BoundsNotes: *boundsNotes})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "zpllint: %s: %v\n", u.name, err)
 			compileFailed = true

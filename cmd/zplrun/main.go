@@ -28,6 +28,14 @@
 //	              (rejected together with a positional file argument)
 //	-check        run the static verifier between pipeline phases;
 //	              any finding aborts before execution
+//	-prove        run the abstract-interpretation bounds prover and
+//	              execute proven accesses unchecked (this is the
+//	              default; the flag exists to assert it explicitly —
+//	              combining it with -noprove is a usage error)
+//	-noprove      skip the prover: every array access stays checked
+//	-provefault n seed a one-element evidence fault into the n-th
+//	              proven site (soundness self-test; the differential
+//	              harness must observe the divergence)
 //	-remarks      print one optimization remark per fusion/contraction
 //	              decision to stderr before executing
 //	-timeout d    wall-clock deadline for the whole compile+run
@@ -104,6 +112,9 @@ func main() {
 	mach := flag.String("machine", "", "machine model: t3e | sp2 | paragon")
 	bench := flag.String("bench", "", "built-in benchmark name")
 	runCheck := flag.Bool("check", false, "run the static verifier between pipeline phases")
+	prove := flag.Bool("prove", false, "run the bounds prover and eliminate proven checks (the default; spell it to assert it)")
+	noProve := flag.Bool("noprove", false, "skip the bounds prover: every array access stays checked")
+	proveFault := flag.Int("provefault", 0, "seed an evidence fault into the n-th proven site (soundness self-test); 0 disables")
 	remarks := flag.Bool("remarks", false, "print optimization remarks to stderr before running")
 	timeout := flag.Duration("timeout", 0, "wall-clock deadline for compile+run; 0 disables")
 	maxSteps := flag.Int64("maxsteps", 0, "element-statement execution budget; 0 = interpreter default")
@@ -113,6 +124,12 @@ func main() {
 
 	var src string
 	switch {
+	case *prove && *noProve:
+		// A silent winner would either run checks the user asked to drop
+		// or drop checks the user asked to keep.
+		fatalUsage(fmt.Errorf("-prove and -noprove are contradictory: pick one"))
+	case *noProve && *proveFault > 0:
+		fatalUsage(fmt.Errorf("-provefault %d needs the prover that -noprove disables", *proveFault))
 	case *bench != "" && flag.NArg() > 0:
 		// A silent choice between the two sources would run something
 		// other than what the user named.
@@ -169,7 +186,8 @@ func main() {
 		defer cancel()
 	}
 
-	opt := driver.Options{Level: lvl, Configs: configs, Check: *runCheck, Backend: be}
+	opt := driver.Options{Level: lvl, Configs: configs, Check: *runCheck, Backend: be,
+		NoProve: *noProve, ProveFault: *proveFault}
 	if *planFile != "" {
 		data, err := os.ReadFile(*planFile)
 		if err != nil {
@@ -279,7 +297,7 @@ func runNative(ctx context.Context, c *driver.Compilation, timeout time.Duration
 	if err != nil {
 		fatal(err)
 	}
-	art, _, err := store.BuildProgram(ctx, c.LIR)
+	art, _, err := store.BuildProgramBounds(ctx, c.LIR, c.Bounds)
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
 			fatalTimeout(fmt.Errorf("timeout after %v while building native code", timeout))

@@ -25,8 +25,12 @@
 //	              (default 12)
 //	-states n     exhaustive state budget before falling back to beam
 //	              (default 200000)
-//	-measure      also compile and run the top-K candidate plans on the
-//	              VM and pick the winner by wall clock (sequential only)
+//	-measure      also compile and run the top-K candidate plans and
+//	              pick the winner by wall clock (sequential only)
+//	-backend b    measured-mode execution engine: vm (default) | go
+//	              (build each candidate natively through the artifact
+//	              store and time the binary, so the wall clocks match
+//	              the engine the plan will actually run on)
 //	-topk n       measured-mode candidate count (default 3)
 //	-emit file    write the tuned plan spec JSON to file ("-" = stdout);
 //	              feed it back with zplrun -plan or zplc -plan
@@ -58,6 +62,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/backend"
 	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/driver"
@@ -101,7 +106,8 @@ func main() {
 	beam := flag.Int("beam", 0, "beam width for large blocks (0 = default)")
 	exhaustive := flag.Int("exhaustive", 0, "max fusible statements for exhaustive search (0 = default)")
 	states := flag.Int("states", 0, "exhaustive state budget (0 = default)")
-	measure := flag.Bool("measure", false, "run top-K candidates on the VM, pick by wall clock")
+	measure := flag.Bool("measure", false, "run top-K candidates, pick by wall clock")
+	backendName := flag.String("backend", "vm", "measured-mode execution engine: vm | go")
 	topk := flag.Int("topk", 0, "measured-mode candidate count (0 = default)")
 	emit := flag.String("emit", "", "write the tuned plan spec JSON to this file (\"-\" = stdout)")
 	jsonOut := flag.Bool("json", false, "print the tuning result as JSON")
@@ -162,8 +168,21 @@ func main() {
 	} else if *strategy != "" && *strategy != "favor-fusion" {
 		fatalUsage(fmt.Errorf("-strategy %s requires -p > 1", *strategy))
 	}
+	be, err := driver.ParseBackend(*backendName)
+	if err != nil {
+		fatalUsage(err)
+	}
+	opt.Backend = be
 	if *measure && *procs > 1 {
-		fatalUsage(fmt.Errorf("-measure requires a sequential program (the VM backend)"))
+		fatalUsage(fmt.Errorf("-measure requires a sequential program"))
+	}
+	if be.Native() {
+		if !*measure {
+			fatalUsage(fmt.Errorf("-backend=go only affects measured mode; pass -measure"))
+		}
+		if !backend.Available() {
+			fatalUsage(fmt.Errorf("-backend=go requires a go toolchain on PATH"))
+		}
 	}
 	switch *model {
 	case "cycle":
@@ -287,7 +306,7 @@ func formatResult(name string, res *tune.Result) string {
 	}
 
 	if len(res.Measured) > 0 {
-		fmt.Fprintf(&b, "\nmeasured mode (VM wall clock):\n")
+		fmt.Fprintf(&b, "\nmeasured mode (%s wall clock):\n", res.MeasuredBackend)
 		fmt.Fprintf(&b, "%-12s %14s %12s %12s\n", "plan", "model score", "wall ms", "steps")
 		for _, m := range res.Measured {
 			fmt.Fprintf(&b, "%-12s %14.0f %12.3f %12d\n", m.Name, m.ModelScore, m.WallMS, m.Steps)

@@ -1,0 +1,254 @@
+package absint
+
+import (
+	"math"
+	"testing"
+)
+
+func TestIntervalJoin(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b Interval
+		want Interval
+	}{
+		{"disjoint", Range(1, 3), Range(7, 9), Range(1, 9)},
+		{"overlap", Range(1, 5), Range(3, 9), Range(1, 9)},
+		{"nested", Range(1, 10), Range(4, 5), Range(1, 10)},
+		{"empty-left", EmptyInterval(), Range(2, 4), Range(2, 4)},
+		{"empty-right", Range(2, 4), EmptyInterval(), Range(2, 4)},
+		{"empty-empty", EmptyInterval(), EmptyInterval(), EmptyInterval()},
+		{"top-absorbs", TopInterval(), Range(0, 1), TopInterval()},
+		{"const-const", ConstInterval(5), ConstInterval(-5), Range(-5, 5)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := c.a.Join(c.b); got != c.want {
+				t.Errorf("%s ⊔ %s = %s, want %s", c.a, c.b, got, c.want)
+			}
+			if got := c.b.Join(c.a); got != c.want {
+				t.Errorf("join not commutative: %s ⊔ %s = %s, want %s", c.b, c.a, got, c.want)
+			}
+		})
+	}
+}
+
+func TestIntervalMeet(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b Interval
+		want Interval
+	}{
+		{"overlap", Range(1, 5), Range(3, 9), Range(3, 5)},
+		{"disjoint-empty", Range(1, 3), Range(7, 9), EmptyInterval()},
+		{"touching", Range(1, 3), Range(3, 9), ConstInterval(3)},
+		{"nested", Range(1, 10), Range(4, 5), Range(4, 5)},
+		{"empty-propagates", EmptyInterval(), TopInterval(), EmptyInterval()},
+		{"top-identity", TopInterval(), Range(-2, 2), Range(-2, 2)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := c.a.Meet(c.b); got != c.want {
+				t.Errorf("%s ⊓ %s = %s, want %s", c.a, c.b, got, c.want)
+			}
+		})
+	}
+}
+
+func TestIntervalWiden(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b Interval
+		want Interval
+	}{
+		{"stable", Range(0, 10), Range(0, 10), Range(0, 10)},
+		{"hi-grows", Range(0, 10), Range(0, 11), Range(0, Inf)},
+		{"lo-grows", Range(0, 10), Range(-1, 10), Interval{Lo: NegInf, Hi: 10, nonEmpty: true}},
+		{"both-grow", Range(0, 10), Range(-1, 11), TopInterval()},
+		{"shrink-keeps", Range(0, 10), Range(2, 8), Range(0, 10)},
+		{"from-empty", EmptyInterval(), Range(1, 2), Range(1, 2)},
+		{"to-empty", Range(1, 2), EmptyInterval(), Range(1, 2)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := c.a.Widen(c.b); got != c.want {
+				t.Errorf("%s ∇ %s = %s, want %s", c.a, c.b, got, c.want)
+			}
+		})
+	}
+}
+
+func TestIntervalArithmeticSaturation(t *testing.T) {
+	big := int64(math.MaxInt64 - 1)
+	cases := []struct {
+		name string
+		got  Interval
+		want Interval
+	}{
+		{"add", Range(1, 2).Add(Range(10, 20)), Range(11, 22)},
+		{"add-overflow-hi", ConstInterval(big).Add(ConstInterval(big)), ConstInterval(Inf)},
+		{"add-overflow-lo", ConstInterval(-big).Add(ConstInterval(-big)), ConstInterval(NegInf)},
+		{"add-inf-sticky", Range(0, Inf).Add(ConstInterval(-5)), Range(-5, Inf)},
+		{"sub", Range(10, 20).Sub(Range(1, 2)), Range(8, 19)},
+		{"sub-neginf-sticky", Range(NegInf, 0).Sub(ConstInterval(1)), Range(NegInf, -1)},
+		{"neg", Range(-3, 7).Neg(), Range(-7, 3)},
+		{"neg-mininit", ConstInterval(NegInf).Neg(), ConstInterval(Inf)},
+		{"mul", Range(-2, 3).Mul(Range(4, 5)), Range(-10, 15)},
+		{"mul-overflow", ConstInterval(big).Mul(ConstInterval(4)), ConstInterval(Inf)},
+		{"mul-overflow-neg", ConstInterval(big).Mul(ConstInterval(-4)), ConstInterval(NegInf)},
+		{"mul-zero-inf", ConstInterval(0).Mul(TopInterval()), ConstInterval(0)},
+		{"add-empty-propagates", EmptyInterval().Add(Range(1, 2)), EmptyInterval()},
+		{"sub-empty-propagates", Range(1, 2).Sub(EmptyInterval()), EmptyInterval()},
+		{"mul-empty-propagates", EmptyInterval().Mul(TopInterval()), EmptyInterval()},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if c.got != c.want {
+				t.Errorf("got %s, want %s", c.got, c.want)
+			}
+		})
+	}
+}
+
+func TestIntervalContains(t *testing.T) {
+	if !Range(0, 10).Contains(Range(2, 8)) {
+		t.Error("[0,10] should contain [2,8]")
+	}
+	if Range(0, 10).Contains(Range(2, 11)) {
+		t.Error("[0,10] should not contain [2,11]")
+	}
+	if !Range(0, 10).Contains(EmptyInterval()) {
+		t.Error("anything contains empty")
+	}
+	if EmptyInterval().Contains(ConstInterval(0)) {
+		t.Error("empty contains nothing non-empty")
+	}
+	if !TopInterval().ContainsPoint(math.MaxInt64) {
+		t.Error("top contains every point")
+	}
+}
+
+func TestStrideJoin(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b Stride
+		want Stride
+	}{
+		{"const-same", ConstStride(6), ConstStride(6), ConstStride(6)},
+		{"const-diff", ConstStride(3), ConstStride(7), Congruent(4, 3)},
+		{"const-congr", ConstStride(5), Congruent(4, 1), Congruent(4, 1)},
+		{"congr-congr", Congruent(12, 2), Congruent(8, 6), Congruent(4, 2)},
+		{"to-top", Congruent(2, 0), Congruent(2, 1), TopStride()},
+		{"bot-identity", BotStride(), Congruent(4, 1), Congruent(4, 1)},
+		{"bot-bot", BotStride(), BotStride(), BotStride()},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := c.a.Join(c.b); got != c.want {
+				t.Errorf("%s ⊔ %s = %s, want %s", c.a, c.b, got, c.want)
+			}
+			if got := c.b.Join(c.a); got != c.want {
+				t.Errorf("join not commutative: got %s, want %s", got, c.want)
+			}
+		})
+	}
+}
+
+func TestStrideMeet(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b Stride
+		want Stride
+	}{
+		{"crt", Congruent(4, 3), Congruent(6, 1), Congruent(12, 7)},
+		{"crt-infeasible", Congruent(4, 0), Congruent(2, 1), BotStride()},
+		{"const-in", ConstStride(9), Congruent(3, 0), ConstStride(9)},
+		{"const-out", ConstStride(8), Congruent(3, 0), BotStride()},
+		{"const-const-same", ConstStride(2), ConstStride(2), ConstStride(2)},
+		{"const-const-diff", ConstStride(2), ConstStride(3), BotStride()},
+		{"top-identity", TopStride(), Congruent(5, 2), Congruent(5, 2)},
+		{"bot-dominates", BotStride(), TopStride(), BotStride()},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := c.a.Meet(c.b); got != c.want {
+				t.Errorf("%s ⊓ %s = %s, want %s", c.a, c.b, got, c.want)
+			}
+			if got := c.b.Meet(c.a); got != c.want {
+				t.Errorf("meet not commutative: got %s, want %s", got, c.want)
+			}
+		})
+	}
+}
+
+func TestStrideMeetOverflowFallsBack(t *testing.T) {
+	huge := int64(1) << 62
+	a, b := Congruent(huge, 1), Congruent(huge-2, 1)
+	got := a.Meet(b)
+	// lcm overflows int64; the finer operand is a sound over-approximation.
+	if got != a {
+		t.Errorf("overflowing meet should return the finer operand, got %s", got)
+	}
+}
+
+func TestStrideArithmetic(t *testing.T) {
+	cases := []struct {
+		name string
+		got  Stride
+		want Stride
+	}{
+		{"add-const", ConstStride(3).Add(ConstStride(4)), ConstStride(7)},
+		{"add-shift", Congruent(8, 3).Add(ConstStride(10)), Congruent(8, 5)},
+		{"add-congr", Congruent(6, 1).Add(Congruent(4, 3)), Congruent(2, 0)},
+		{"neg", Congruent(8, 3).Neg(), Congruent(8, 5)},
+		{"sub", Congruent(8, 3).Sub(ConstStride(4)), Congruent(8, 7)},
+		{"mul-const", Congruent(4, 1).Mul(ConstStride(3)), Congruent(12, 3)},
+		{"mul-congr", Congruent(4, 0).Mul(Congruent(6, 0)), Congruent(24, 0)},
+		{"mul-overflow-top", ConstStride(math.MaxInt64 / 2).Mul(ConstStride(4)), TopStride()},
+		{"bot-propagates", BotStride().Add(ConstStride(1)), BotStride()},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if c.got != c.want {
+				t.Errorf("got %s, want %s", c.got, c.want)
+			}
+		})
+	}
+}
+
+func TestValueReducedProduct(t *testing.T) {
+	// A singleton interval pins the congruence.
+	v := Value{I: ConstInterval(7), S: TopStride(), Int: true}.reduce()
+	if c, ok := v.S.IsConst(); !ok || c != 7 {
+		t.Errorf("reduce should pin stride to constant 7, got %s", v.S)
+	}
+	// A contradiction between components empties the value.
+	v = Value{I: ConstInterval(7), S: Congruent(2, 0), Int: true}.reduce()
+	if !v.IsBottom() {
+		t.Errorf("7 ∧ (0 mod 2) should be bottom, got %s", v)
+	}
+	// Bottom propagates through arithmetic.
+	b := v.Add(ConstValue(1))
+	if !b.IsBottom() {
+		t.Errorf("bottom + 1 should stay bottom, got %s", b)
+	}
+	// Join of bottoms and values.
+	j := v.Join(ConstValue(3))
+	if j.IsBottom() {
+		t.Errorf("bottom ⊔ 3 should be 3, got %s", j)
+	}
+}
+
+func TestValueWiden(t *testing.T) {
+	a := RangeValue(0, 10)
+	b := RangeValue(0, 12)
+	w := a.Widen(b)
+	if w.I != Range(0, Inf) {
+		t.Errorf("widen interval: got %s", w.I)
+	}
+	// Congruence widening is the join (finite chains).
+	c := Value{I: Range(0, 100), S: Congruent(4, 0), Int: true}
+	d := Value{I: Range(0, 100), S: Congruent(6, 0), Int: true}
+	if got := c.Widen(d).S; got != Congruent(2, 0) {
+		t.Errorf("stride widen: got %s", got)
+	}
+}

@@ -43,6 +43,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/absint"
 	"repro/internal/gogen"
 	"repro/internal/lir"
 )
@@ -298,12 +299,22 @@ func atomicWrite(path string, data []byte) error {
 	return nil
 }
 
-// BuildProgram emits p as Go and builds it, returning the artifact
-// and the emitted source. An emission failure (unsupported construct)
-// is returned as a plain error — a compile error without toolchain
-// diagnostics; build failures are *BuildError.
+// BuildProgram emits p as Go (fully bounds-checked) and builds it,
+// returning the artifact and the emitted source. An emission failure
+// (unsupported construct) is returned as a plain error — a compile
+// error without toolchain diagnostics; build failures are *BuildError.
 func (s *Store) BuildProgram(ctx context.Context, p *lir.Program) (*Artifact, string, error) {
-	goSrc, err := gogen.Emit(p)
+	return s.BuildProgramBounds(ctx, p, nil)
+}
+
+// BuildProgramBounds is BuildProgram with the bounds prover's verdicts
+// applied: ProvenSafe accesses compile unchecked (gogen.EmitBounds),
+// and because the prover's fingerprint is stamped into the emitted
+// source, artifacts built under different verdicts occupy different
+// store keys — a proven and an unproven build of the same program
+// never alias.
+func (s *Store) BuildProgramBounds(ctx context.Context, p *lir.Program, bounds *absint.Result) (*Artifact, string, error) {
+	goSrc, err := gogen.EmitBounds(p, bounds)
 	if err != nil {
 		return nil, "", err
 	}

@@ -89,6 +89,16 @@ func Fingerprint(opt driver.Options) string {
 		}
 	}
 	fmt.Fprintf(&b, ";scalarrep=%t;check=%t", opt.ScalarReplace, opt.Check)
+	// The bounds prover shapes the artifact (unchecked dispatch, elided
+	// trap scaffold), so a proven and an unproven compilation of the
+	// same source never alias; the default (prover on, no fault) adds
+	// no term, keeping pre-existing fingerprints stable.
+	if opt.NoProve {
+		b.WriteString(";prove=off")
+	}
+	if opt.ProveFault > 0 {
+		fmt.Fprintf(&b, ";provefault=%d", opt.ProveFault)
+	}
 	if opt.Plan != nil {
 		// An externally supplied plan replaces the level as the
 		// artifact-shaping input; its content address stands in for it.

@@ -230,6 +230,21 @@ func TestKeySensitivity(t *testing.T) {
 		t.Error("empty extra diverged from KeyOf")
 	}
 
+	// Bounds-check elimination shapes the artifact: a compilation with
+	// the prover disabled (every check kept) must not alias the default
+	// proven one, and a seeded-fault compilation must alias neither.
+	noprove := base
+	noprove.NoProve = true
+	add("prove=off", KeyOf(src, noprove))
+
+	fault := base
+	fault.ProveFault = 1
+	add("provefault=1", KeyOf(src, fault))
+
+	fault2 := base
+	fault2.ProveFault = 2
+	add("provefault=2", KeyOf(src, fault2))
+
 	// The execution backend is a key dimension: a native request must
 	// not alias the VM entry for the same (source, level).
 	native := base

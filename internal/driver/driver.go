@@ -12,6 +12,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/absint"
 	"repro/internal/air"
 	"repro/internal/check"
 	"repro/internal/comm"
@@ -28,8 +29,8 @@ import (
 // Hooks observes pipeline phase boundaries. The driver brackets each
 // phase with PhaseStart(name)/PhaseEnd(name); the names it emits are
 // "parse", "sema", "lower", "comm", "asdg", "fusion", "contraction",
-// "scalarize", and "check" (the optimizer's internal asdg/fusion/
-// contraction phases are reported once per statement block). Either
+// "scalarize", "prove", and "check" (the optimizer's internal asdg/
+// fusion/contraction phases are reported once per statement block). Either
 // callback may be nil. A Hooks value belongs to a single Compile call:
 // it is invoked sequentially, but two concurrent compilations must not
 // share one stateful pair.
@@ -102,6 +103,20 @@ type Options struct {
 	// Check runs the static verifier (package check) between pipeline
 	// phases and fails the compilation on any report.
 	Check bool
+	// NoProve disables the abstract-interpretation bounds prover
+	// (internal/absint). By default every compilation carries per-site
+	// safety verdicts (Compilation.Bounds) that let the VM and the
+	// native emitter drop bounds checks at ProvenSafe sites; NoProve
+	// keeps every runtime check, which is the differential baseline the
+	// prove harness compares against. The flag participates in the
+	// ccache fingerprint: checked and unchecked artifacts never alias.
+	NoProve bool
+	// ProveFault, when > 0, makes the prover deliberately perturb the
+	// evidence of the Nth ProvenSafe site (1-based) by one element — a
+	// seeded miscompile for the soundness self-test. The bounds
+	// verifier (check.Bounds, enabled with Check) and the differential
+	// harness must both catch it.
+	ProveFault int
 	// Backend selects the execution engine the artifact targets; the
 	// zero value is BackendVM. The pipeline is backend-independent,
 	// but the fingerprint is not: a native-backend artifact carries a
@@ -120,6 +135,10 @@ type Compilation struct {
 	Plan *core.Plan
 	LIR  *lir.Program
 	Comm *comm.Result // nil when communication was not requested
+	// Bounds carries the per-access-site safety verdicts of the
+	// abstract-interpretation bounds prover; nil when Options.NoProve
+	// disabled it. Backends consult it to elide proven checks.
+	Bounds *absint.Result
 }
 
 // Compile runs the full pipeline on ZA source text.
@@ -243,11 +262,37 @@ func CompileCtx(ctx context.Context, src string, opt Options) (*Compilation, err
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return &Compilation{Info: info, AIR: airProg, Plan: plan, LIR: lirProg, Comm: commRes}, nil
+
+	var bounds *absint.Result
+	if !opt.NoProve {
+		h.begin("prove")
+		bounds = absint.AnalyzeOpts(lirProg, absint.Options{FaultSite: opt.ProveFault})
+		h.done("prove")
+		if err := bounds.Err(); err != nil {
+			return nil, fmt.Errorf("driver: bounds: %w", err)
+		}
+		if opt.Check {
+			h.begin("check")
+			err := check.Err(check.Bounds(lirProg, bounds))
+			h.done("check")
+			if err != nil {
+				return nil, fmt.Errorf("driver: after proving: %w", err)
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	return &Compilation{Info: info, AIR: airProg, Plan: plan, LIR: lirProg, Comm: commRes, Bounds: bounds}, nil
 }
 
-// Run executes the compiled program on the VM.
+// Run executes the compiled program on the VM. The prover's verdicts
+// ride along automatically: ProvenSafe sites take the VM's unchecked
+// dispatch unless the caller supplied its own Options.Bounds.
 func (c *Compilation) Run(opt vm.Options) (*vm.Machine, *vm.Result, error) {
+	if opt.Bounds == nil && c.Bounds != nil {
+		opt.Bounds = c.Bounds
+	}
 	return vm.Run(c.LIR, opt)
 }
 

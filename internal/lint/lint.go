@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/absint"
 	"repro/internal/air"
 	"repro/internal/ast"
 	"repro/internal/core"
@@ -22,6 +23,7 @@ import (
 	"repro/internal/lower"
 	"repro/internal/parser"
 	"repro/internal/remark"
+	"repro/internal/scalarize"
 	"repro/internal/sema"
 	"repro/internal/source"
 )
@@ -46,6 +48,9 @@ const (
 	RuleUnusedRegion   = "unused-region"
 	RuleOutOfRegion    = "out-of-region-read"
 	RuleShadowedDecl   = "shadowed-decl"
+	RuleProvenBounds   = "proven-bounds"
+	RuleUnprovenBounds = "unproven-bounds"
+	RuleUnsafeBounds   = "unsafe-bounds"
 )
 
 // Rules describes every rule for tool metadata (SARIF rule objects).
@@ -61,6 +66,9 @@ var Rules = []struct {
 	{RuleUnusedRegion, "region is declared but never used", SevNote},
 	{RuleOutOfRegion, "@-offset read falls outside the array's declared region", SevWarning},
 	{RuleShadowedDecl, "local declaration shadows a global of the same name", SevNote},
+	{RuleProvenBounds, "array access is proven in bounds; its runtime check is eliminated", SevNote},
+	{RuleUnprovenBounds, "array access cannot be proven in bounds; a runtime check remains", SevWarning},
+	{RuleUnsafeBounds, "array access is proven out-of-bounds for every execution", SevError},
 }
 
 // Finding is one lint diagnostic.
@@ -91,6 +99,11 @@ type Options struct {
 	Level core.Level
 	// Configs overrides config constants (problem size).
 	Configs map[string]int64
+	// BoundsNotes emits one proven-bounds note per access the abstract
+	// interpreter proves safe (the per-site evidence). Unproven and
+	// proven-unsafe accesses are always reported; the proven notes are
+	// opt-in so clean programs stay finding-free by default.
+	BoundsNotes bool
 }
 
 // Result is a lint run's output.
@@ -99,6 +112,9 @@ type Result struct {
 	// Remarks are the optimizer's decisions at opt.Level, for callers
 	// that also display or encode them (-remarks).
 	Remarks []remark.Remark
+	// Bounds is the abstract interpreter's result at opt.Level, for
+	// callers that summarize the prover (proven/unknown/unsafe counts).
+	Bounds *absint.Result
 }
 
 // MaxSeverity returns the most severe finding level, or "" when clean.
@@ -133,8 +149,13 @@ func Run(src string, opt Options) (*Result, error) {
 		return nil, errs.Err()
 	}
 	plan := core.Apply(airProg, opt.Level)
+	lirProg, err := scalarize.Scalarize(airProg, plan)
+	if err != nil {
+		return nil, err
+	}
+	bounds := absint.Analyze(lirProg)
 
-	res := &Result{Remarks: plan.Remarks}
+	res := &Result{Remarks: plan.Remarks, Bounds: bounds}
 	var fs []Finding
 	fs = append(fs, arrayUsage(info)...)
 	fs = append(fs, regionRules(info)...)
@@ -142,6 +163,7 @@ func Run(src string, opt Options) (*Result, error) {
 	fs = append(fs, outOfRegionReads(info)...)
 	fs = append(fs, deadStmts(airProg)...)
 	fs = append(fs, wouldContract(plan)...)
+	fs = append(fs, boundsFindings(bounds, opt.BoundsNotes)...)
 	for i := range fs {
 		fs[i].File = opt.File
 	}
@@ -555,6 +577,35 @@ func deadAfter(rest []air.Stmt, w *air.ArrayStmt) bool {
 	// Block ends without any read: the liveness verdict proved the
 	// array never escapes this block, so the value dies unread.
 	return true
+}
+
+// boundsFindings surfaces the abstract interpreter's per-site
+// verdicts: an unproven access warns (the runtime check it keeps is
+// the cost), a proven-unsafe access is an error (it faults on every
+// execution), and — when notes is set — each proven access carries a
+// note with the evidence that eliminated its check.
+func boundsFindings(r *absint.Result, notes bool) []Finding {
+	var out []Finding
+	for _, s := range r.Sites {
+		rw := "read"
+		if s.Write {
+			rw = "write"
+		}
+		switch s.Verdict {
+		case absint.ProvenSafe:
+			if notes {
+				out = append(out, Finding{Rule: RuleProvenBounds, Severity: SevNote, Pos: s.Pos,
+					Message: fmt.Sprintf("%s of %s proven in bounds, check eliminated: %s", rw, s.Array, s.Reason)})
+			}
+		case absint.Unknown:
+			out = append(out, Finding{Rule: RuleUnprovenBounds, Severity: SevWarning, Pos: s.Pos,
+				Message: fmt.Sprintf("%s of %s cannot be proven in bounds: %s; a runtime check remains", rw, s.Array, s.Reason)})
+		case absint.ProvenUnsafe:
+			out = append(out, Finding{Rule: RuleUnsafeBounds, Severity: SevError, Pos: s.Pos,
+				Message: fmt.Sprintf("%s of %s is proven out-of-bounds: %s", rw, s.Array, s.Reason)})
+		}
+	}
+	return out
 }
 
 // wouldContract surfaces the optimizer's fix-it remarks: temporaries

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/absint"
 	"repro/internal/ccache"
 	"repro/internal/lint"
 	"repro/internal/phase"
@@ -30,6 +31,7 @@ type Metrics struct {
 	drained  int64            // requests refused because the server is draining
 	lints    map[string]int64 // lint findings per severity ("rule|severity")
 	remarks  map[string]int64 // optimization remarks per kind
+	bounds   map[string]int64 // prover sites per verdict (proven|unknown|unsafe)
 
 	backendBuilds map[string]int64 // native artifact builds per outcome (hit|miss|error)
 	backendRuns   map[string]int64 // native executions ("backend|outcome")
@@ -44,6 +46,7 @@ func NewMetrics() *Metrics {
 		requests:      map[string]int64{},
 		lints:         map[string]int64{},
 		remarks:       map[string]int64{},
+		bounds:        map[string]int64{},
 		backendBuilds: map[string]int64{},
 		backendRuns:   map[string]int64{},
 		Phases:        phase.NewCollector(),
@@ -94,6 +97,17 @@ func (m *Metrics) Lint(findings []lint.Finding) {
 	for _, f := range findings {
 		m.lints[fmt.Sprintf("%s|%s", f.Rule, f.Severity)]++
 	}
+	m.mu.Unlock()
+}
+
+// Bounds counts one fresh compilation's prover sites by verdict —
+// zpld_bounds_sites_total. Like Remarks, it is recorded only on cache
+// misses so hits do not multiply the census by request rate.
+func (m *Metrics) Bounds(r *absint.Result) {
+	m.mu.Lock()
+	m.bounds["proven"] += int64(r.NumProven)
+	m.bounds["unknown"] += int64(r.NumUnknown)
+	m.bounds["unsafe"] += int64(r.NumUnsafe)
 	m.mu.Unlock()
 }
 
@@ -175,6 +189,17 @@ func (m *Metrics) Render(cs, ts ccache.Stats) string {
 		b.WriteString("# TYPE zpld_remarks_total counter\n")
 		for _, k := range rk {
 			fmt.Fprintf(&b, "zpld_remarks_total{kind=%q} %d\n", k, m.remarks[k])
+		}
+	}
+	if len(m.bounds) > 0 {
+		bk := make([]string, 0, len(m.bounds))
+		for k := range m.bounds {
+			bk = append(bk, k)
+		}
+		sort.Strings(bk)
+		b.WriteString("# TYPE zpld_bounds_sites_total counter\n")
+		for _, k := range bk {
+			fmt.Fprintf(&b, "zpld_bounds_sites_total{verdict=%q} %d\n", k, m.bounds[k])
 		}
 	}
 	if len(m.backendBuilds) > 0 {

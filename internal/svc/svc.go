@@ -132,6 +132,10 @@ type Request struct {
 	ScalarRep bool             `json:"scalarrep,omitempty"`
 	Check     bool             `json:"check,omitempty"`
 
+	// NoProve skips the bounds prover: every array access keeps its
+	// runtime check and the response carries no bounds summary.
+	NoProve bool `json:"noprove,omitempty"`
+
 	EmitGo bool `json:"emit_go,omitempty"` // include generated Go in the response
 
 	// Lint runs the source-level lint rules (zpllint's) and includes
@@ -170,6 +174,18 @@ type CompileResponse struct {
 	// the optimization remarks when it set remarks.
 	Lint    []lint.Finding  `json:"lint,omitempty"`
 	Remarks []remark.Remark `json:"remarks,omitempty"`
+
+	// Bounds summarizes the abstract-interpretation bounds prover
+	// (absent when the request set noprove).
+	Bounds *BoundsSummary `json:"bounds,omitempty"`
+}
+
+// BoundsSummary is the prover's verdict census for one compilation.
+type BoundsSummary struct {
+	Sites   int `json:"sites"`
+	Proven  int `json:"proven"`
+	Unknown int `json:"unknown,omitempty"`
+	Unsafe  int `json:"unsafe,omitempty"`
 }
 
 // RunResponse is the JSON reply of /run.
@@ -382,7 +398,7 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request, run bool) {
 		// hit too; gogen cannot emit distributed programs.
 		if opt.Comm == nil {
 			start("gogen")
-			goSrc, err := gogen.Emit(c.LIR)
+			goSrc, err := gogen.EmitBounds(c.LIR, c.Bounds)
 			end("gogen")
 			if err == nil {
 				e.GoSrc = goSrc
@@ -434,6 +450,12 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request, run bool) {
 	cresp.NestCount = entry.Comp.LIR.CountNests()
 	cresp.Arrays = counts.Before()
 	cresp.Contracted = counts.ContractedCompiler + counts.ContractedUser
+	if b := entry.Comp.Bounds; b != nil {
+		cresp.Bounds = &BoundsSummary{
+			Sites: len(b.Sites), Proven: b.NumProven,
+			Unknown: b.NumUnknown, Unsafe: b.NumUnsafe,
+		}
+	}
 	if req.EmitGo {
 		cresp.GoSource = entry.GoSrc
 	}
@@ -441,6 +463,9 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request, run bool) {
 		// Count each plan's remarks once, at compile time; cache hits
 		// would multiply them by request rate.
 		s.metrics.Remarks(remark.CountByKind(entry.Comp.Plan.Remarks))
+		if entry.Comp.Bounds != nil {
+			s.metrics.Bounds(entry.Comp.Bounds)
+		}
 	}
 	if req.Remarks {
 		cresp.Remarks = entry.Comp.Plan.Remarks
@@ -630,7 +655,8 @@ func (s *Server) resolve(req *Request, run bool) (string, driver.Options, error)
 			return "", opt, fmt.Errorf("native backend unavailable: no go toolchain on this host")
 		}
 	}
-	opt = driver.Options{Level: lvl, Configs: req.Configs, ScalarReplace: req.ScalarRep, Check: req.Check, Backend: be}
+	opt = driver.Options{Level: lvl, Configs: req.Configs, ScalarReplace: req.ScalarRep, Check: req.Check, Backend: be,
+		NoProve: req.NoProve}
 
 	if req.Procs > 1 {
 		co := comm.DefaultOptions(req.Procs)

@@ -3,11 +3,13 @@ package tune
 import (
 	"context"
 	"fmt"
+	"io"
 	"sort"
 	"time"
 
 	"repro/internal/air"
 	"repro/internal/asdg"
+	"repro/internal/backend"
 	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/driver"
@@ -46,9 +48,13 @@ type Options struct {
 	// Search bounds the per-block search.
 	Search SearchOptions
 	// Measure additionally compiles and runs the top-K candidate
-	// plans on the VM and picks the winner by wall clock
-	// (single-process only).
+	// plans and picks the winner by wall clock (single-process only).
 	Measure bool
+	// Backend selects the measured-mode execution engine: the VM
+	// (default) or the native backend (BackendGo), which builds each
+	// candidate through the artifact store and times the binary — so
+	// the measurement reflects the engine the user will actually run.
+	Backend driver.Backend
 	// TopK is the measured-mode candidate count (default 3; the
 	// tuned plan and the comparison heuristic are always included).
 	TopK int
@@ -104,6 +110,9 @@ type Result struct {
 	LevelScores    map[string]float64 `json:"level_scores"`
 	Blocks         []BlockStats       `json:"blocks"`
 	Measured       []Measured         `json:"measured,omitempty"`
+	// MeasuredBackend names the engine the measured-mode wall clocks
+	// timed ("vm" or "go"); empty without Measure.
+	MeasuredBackend string `json:"measured_backend,omitempty"`
 }
 
 // frontEnd replicates the driver pipeline up to the planning phase:
@@ -272,11 +281,24 @@ func scoreLevel(src string, opt Options, lvl core.Level, model CostModel) (float
 }
 
 // measure runs the top-K candidates (the tuned plan plus the
-// best-scoring ladder rungs) on the VM and records wall-clock times;
-// the fastest becomes the winner.
+// best-scoring ladder rungs) on the selected backend and records
+// wall-clock times; the fastest becomes the winner. With the native
+// backend each candidate is built through the artifact store first,
+// so only execution — not the toolchain — is timed.
 func measure(ctx context.Context, src string, opt Options, res *Result) error {
 	if opt.procs() > 1 {
-		return fmt.Errorf("measured mode requires a single process (the VM backend)")
+		return fmt.Errorf("measured mode requires a single process")
+	}
+	var store *backend.Store
+	if opt.Backend.Native() {
+		if !backend.Available() {
+			return fmt.Errorf("measured mode on the native backend requires a go toolchain on PATH")
+		}
+		s, err := backend.Open("")
+		if err != nil {
+			return err
+		}
+		store = s
 	}
 	topK := opt.TopK
 	if topK <= 0 {
@@ -311,20 +333,40 @@ func measure(ctx context.Context, src string, opt Options, res *Result) error {
 		cands = cands[:topK]
 	}
 
+	res.MeasuredBackend = string(opt.Backend)
+	if res.MeasuredBackend == "" {
+		res.MeasuredBackend = string(driver.BackendVM)
+	}
 	bestMS := -1.0
 	for _, c := range cands {
+		c.dopt.Backend = opt.Backend
 		comp, err := driver.CompileCtx(ctx, src, c.dopt)
 		if err != nil {
 			return fmt.Errorf("measured mode: compiling %s: %w", c.name, err)
 		}
-		start := time.Now()
-		_, r, err := comp.Run(vm.Options{Ctx: ctx})
-		if err != nil {
-			return fmt.Errorf("measured mode: running %s: %w", c.name, err)
+		var ms float64
+		var steps int64
+		if store != nil {
+			art, _, err := store.BuildProgramBounds(ctx, comp.LIR, comp.Bounds)
+			if err != nil {
+				return fmt.Errorf("measured mode: building %s: %w", c.name, err)
+			}
+			start := time.Now()
+			if _, err := art.Run(ctx, io.Discard); err != nil {
+				return fmt.Errorf("measured mode: running %s: %w", c.name, err)
+			}
+			ms = float64(time.Since(start).Microseconds()) / 1000
+		} else {
+			start := time.Now()
+			_, r, err := comp.Run(vm.Options{Ctx: ctx})
+			if err != nil {
+				return fmt.Errorf("measured mode: running %s: %w", c.name, err)
+			}
+			ms = float64(time.Since(start).Microseconds()) / 1000
+			steps = r.Steps
 		}
-		ms := float64(time.Since(start).Microseconds()) / 1000
 		res.Measured = append(res.Measured, Measured{
-			Name: c.name, ModelScore: c.score, WallMS: ms, Steps: r.Steps,
+			Name: c.name, ModelScore: c.score, WallMS: ms, Steps: steps,
 		})
 		if bestMS < 0 || ms < bestMS {
 			bestMS = ms

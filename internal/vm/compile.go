@@ -3,7 +3,9 @@ package vm
 import (
 	"fmt"
 	"math"
+	"unsafe"
 
+	"repro/internal/absint"
 	"repro/internal/air"
 	"repro/internal/lir"
 	"repro/internal/sema"
@@ -328,11 +330,15 @@ func (m *Machine) compilePartialReduce(x *lir.PartialReduce) (execFn, error) {
 	if err != nil {
 		return nil, err
 	}
-	load, _, err := m.compileExpr(&air.RefExpr{Ref: air.Ref{Array: x.LHS, Off: air.Zero(rank)}})
+	var loadSite, storeSite *absint.Site
+	if m.bounds != nil {
+		loadSite, storeSite = m.bounds.ReduceLoad(x), m.bounds.ReduceStore(x)
+	}
+	load, err := m.compileLoad(x.LHS, air.Zero(rank), loadSite)
 	if err != nil {
 		return nil, err
 	}
-	store, err := m.compileStore(x.LHS, air.Zero(rank))
+	store, err := m.compileStore(x.LHS, air.Zero(rank), storeSite)
 	if err != nil {
 		return nil, err
 	}
@@ -405,12 +411,16 @@ func (m *Machine) compileNest(x *lir.Nest) (execFn, error) {
 	var stmts []stmtC
 
 	// Scalar-replacement preloads run first in every iteration.
-	for _, pl := range x.Preloads {
+	for i, pl := range x.Preloads {
 		slot, ok := m.slotIdx[pl.Var]
 		if !ok {
 			return nil, fmt.Errorf("unknown preload register %s", pl.Var)
 		}
-		load, _, err := m.compileExpr(&air.RefExpr{Ref: air.Ref{Array: pl.Array, Off: pl.Off}})
+		var site *absint.Site
+		if m.bounds != nil {
+			site = m.bounds.PreloadSite(x, i)
+		}
+		load, err := m.compileLoad(pl.Array, pl.Off, site)
 		if err != nil {
 			return nil, err
 		}
@@ -467,7 +477,11 @@ func (m *Machine) compileNest(x *lir.Nest) (execFn, error) {
 				},
 			})
 		default:
-			store, err := m.compileStore(s.LHS, air.Zero(rank))
+			var site *absint.Site
+			if m.bounds != nil {
+				site = m.bounds.Store(s)
+			}
+			store, err := m.compileStore(s.LHS, air.Zero(rank), site)
 			if err != nil {
 				return nil, err
 			}
@@ -592,8 +606,10 @@ func reduceCombine(op air.ReduceOp) func(a, b float64) float64 {
 // Expression compilation
 
 // compileStore returns a function writing one element of an array at
-// the given offset from the current indices.
-func (m *Machine) compileStore(name string, off air.Offset) (func(*Machine, float64), error) {
+// the given offset from the current indices. A ProvenSafe site (and
+// no tracer) takes the unchecked path: a raw pointer store with no
+// slice bounds check, licensed by the prover's interval evidence.
+func (m *Machine) compileStore(name string, off air.Offset, site *absint.Site) (func(*Machine, float64), error) {
 	a, ok := m.arrays[name]
 	if !ok {
 		return nil, fmt.Errorf("unknown array %s", name)
@@ -606,7 +622,74 @@ func (m *Machine) compileStore(name string, off air.Offset) (func(*Machine, floa
 			a.data[p] = v
 		}, nil
 	}
+	if unchecked(site, a) {
+		base, n := unsafe.Pointer(&a.data[0]), len(a.data)
+		if shift := site.FaultShift; shift != 0 {
+			return func(m *Machine, v float64) {
+				*(*float64)(unsafe.Add(base, uintptr(faultPos(pos(m), shift, n))*8)) = v
+			}, nil
+		}
+		return func(m *Machine, v float64) {
+			*(*float64)(unsafe.Add(base, uintptr(pos(m))*8)) = v
+		}, nil
+	}
 	return func(m *Machine, v float64) { a.data[pos(m)] = v }, nil
+}
+
+// compileLoad returns a function reading one element of an array (or
+// the register of a contracted array) at the given offset from the
+// current indices, taking the unchecked path when the prover's site
+// verdict licenses it.
+func (m *Machine) compileLoad(name string, off air.Offset, site *absint.Site) (evalFn, error) {
+	if info := m.prog.Source.Arrays[name]; info != nil && info.Contracted {
+		slot, ok := m.slotIdx[name]
+		if !ok {
+			return nil, fmt.Errorf("no register for contracted %s", name)
+		}
+		return func(m *Machine) float64 { return m.slots[slot] }, nil
+	}
+	a, ok := m.arrays[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown array %s", name)
+	}
+	pos, addr := accessFns(a, off)
+	if m.tracer != nil {
+		return func(m *Machine) float64 {
+			p := pos(m)
+			m.tracer.Access(addr(p), false)
+			return a.data[p]
+		}, nil
+	}
+	if unchecked(site, a) {
+		base, n := unsafe.Pointer(&a.data[0]), len(a.data)
+		if shift := site.FaultShift; shift != 0 {
+			return func(m *Machine) float64 {
+				return *(*float64)(unsafe.Add(base, uintptr(faultPos(pos(m), shift, n))*8))
+			}, nil
+		}
+		return func(m *Machine) float64 {
+			return *(*float64)(unsafe.Add(base, uintptr(pos(m))*8))
+		}, nil
+	}
+	return func(m *Machine) float64 { return a.data[pos(m)] }, nil
+}
+
+// unchecked reports whether an access site may skip the bounds check.
+func unchecked(site *absint.Site, a *arrayStore) bool {
+	return site != nil && site.Verdict == absint.ProvenSafe && len(a.data) > 0
+}
+
+// faultPos displaces a seeded-fault access by the injected evidence
+// shift, wrapped into the storage so the deliberate miscompile reads a
+// deterministic wrong element rather than unowned memory.
+func faultPos(p, shift, n int) int {
+	p += shift
+	if p < 0 {
+		p += n
+	} else if p >= n {
+		p -= n
+	}
+	return p
 }
 
 func accessFns(a *arrayStore, off air.Offset) (func(*Machine) int, func(int) int64) {
@@ -640,27 +723,12 @@ func (m *Machine) compileExpr(e air.Expr) (evalFn, int64, error) {
 		}
 		return func(m *Machine) float64 { return m.slots[slot] }, 0, nil
 	case *air.RefExpr:
-		// Contracted arrays read from their register.
-		if info := m.prog.Source.Arrays[x.Ref.Array]; info != nil && info.Contracted {
-			slot, ok := m.slotIdx[x.Ref.Array]
-			if !ok {
-				return nil, 0, fmt.Errorf("no register for contracted %s", x.Ref.Array)
-			}
-			return func(m *Machine) float64 { return m.slots[slot] }, 0, nil
+		var site *absint.Site
+		if m.bounds != nil {
+			site = m.bounds.Read(x)
 		}
-		a, ok := m.arrays[x.Ref.Array]
-		if !ok {
-			return nil, 0, fmt.Errorf("unknown array %s", x.Ref.Array)
-		}
-		pos, addr := accessFns(a, x.Ref.Off)
-		if m.tracer != nil {
-			return func(m *Machine) float64 {
-				p := pos(m)
-				m.tracer.Access(addr(p), false)
-				return a.data[p]
-			}, 0, nil
-		}
-		return func(m *Machine) float64 { return a.data[pos(m)] }, 0, nil
+		fn, err := m.compileLoad(x.Ref.Array, x.Ref.Off, site)
+		return fn, 0, err
 	case *air.IndexExpr:
 		d := x.Dim - 1
 		return func(m *Machine) float64 { return float64(m.idx[d]) }, 0, nil

@@ -14,6 +14,7 @@ import (
 	"io"
 	"sort"
 
+	"repro/internal/absint"
 	"repro/internal/air"
 	"repro/internal/lir"
 )
@@ -46,6 +47,18 @@ type Options struct {
 	// ctxPollInterval scalar statements. The run reports ctx.Err()
 	// (errors.Is-testable for context.DeadlineExceeded).
 	Ctx context.Context
+	// Bounds carries the abstract-interpretation prover's per-site
+	// verdicts (internal/absint) for this exact LIR instance. Accesses
+	// at ProvenSafe sites compile to unchecked dispatch — a raw pointer
+	// load/store with no slice bounds check — which is sound precisely
+	// because the prover's interval evidence covers every index the
+	// site can produce. Nil keeps every access on the checked path.
+	// Traced runs (Tracer != nil) also stay checked: they measure the
+	// memory model, not raw speed. A Faulted site (the -provefault
+	// self-test) has its unchecked access displaced by FaultShift
+	// elements, so the seeded wrong evidence becomes an observable
+	// wrong answer for the differential harness to catch.
+	Bounds *absint.Result
 }
 
 // ctxPollInterval is the number of charged statements between context
@@ -66,6 +79,7 @@ type Machine struct {
 	slotIdx map[string]int
 	arrays  map[string]*arrayStore
 	procs   map[string]*compiledProc
+	bounds  *absint.Result
 
 	out     io.Writer
 	tracer  Tracer
@@ -127,6 +141,7 @@ func New(p *lir.Program, opt Options) (*Machine, error) {
 		tracer:  opt.Tracer,
 		max:     opt.MaxSteps,
 		ctx:     opt.Ctx,
+		bounds:  opt.Bounds,
 	}
 	if m.max == 0 {
 		m.max = 1e10
