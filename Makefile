@@ -9,7 +9,7 @@ GOVULNCHECK_VERSION ?= v1.1.3
 
 .PHONY: all build test vet race check serve-test ci experiments \
 	lint-self staticcheck govulncheck audit tune-smoke backend-diff \
-	prove-fuzz prove-smoke
+	prove-fuzz prove-smoke lazy-smoke
 
 all: build test
 
@@ -103,7 +103,16 @@ prove-fuzz: build
 prove-smoke: build
 	$(GO) test -count=1 -run 'TestProveBitIdentical|TestProveFaultCaughtNative' -v ./internal/backend
 
-ci: vet test race serve-test check lint-self audit staticcheck govulncheck tune-smoke backend-diff prove-fuzz prove-smoke
+# Lazy-runtime smoke: the example solver builds, and the differential
+# test (lazy output byte-identical to the equivalent ZA program across
+# three ladder levels, VM and native) plus the steady-state cache
+# property (a double-buffer swap never recompiles) run under the race
+# detector.
+lazy-smoke: build
+	$(GO) build -o /dev/null ./examples/lazy
+	$(GO) test -race -count=1 -run 'TestLazyMatchesZA|TestSteadyStateZeroRecompile|TestQuickstart' -v ./internal/lazy ./zpl
+
+ci: vet test race serve-test check lint-self audit staticcheck govulncheck tune-smoke backend-diff prove-fuzz prove-smoke lazy-smoke
 
 experiments:
 	$(GO) run ./cmd/experiments

@@ -30,6 +30,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/programs"
 	"repro/internal/vm"
+	"repro/zpl"
 )
 
 // benchSize keeps -bench runs quick; cmd/experiments uses full sizes.
@@ -373,4 +374,50 @@ func BenchmarkAblationScalarReplacement(b *testing.B) {
 		b.ReportMetric(srep, "accesses-scalar-replaced")
 		b.ReportMetric((plain/srep-1)*100, "pct-accesses-saved")
 	}
+}
+
+// BenchmarkLazySteadyState measures the zpl lazy runtime's cached
+// steady state: one double-buffered Jacobi sweep per iteration, every
+// Eval after the warm-up a pure fingerprint hit. The reported metrics
+// back results/lazy's narrative: zero compilations inside the timed
+// loop however long it runs, hit rate 1 per iteration.
+func BenchmarkLazySteadyState(b *testing.B) {
+	const n = 32
+	ctx := zpl.New(zpl.Config{Level: core.C2F4S})
+	full := zpl.R(1, n, 1, n)
+	inner := zpl.R(2, n-1, 2, n-1)
+	cur := ctx.Array("cur", full)
+	nxt := ctx.Array("nxt", full)
+	res := ctx.Scalar("res", 0)
+	cur.Assign(nil, zpl.Mul(zpl.Index(1), zpl.Index(1)))
+	nxt.Assign(nil, zpl.Mul(zpl.Index(1), zpl.Index(1)))
+	if err := ctx.Eval(); err != nil {
+		b.Fatal(err)
+	}
+	sweep := func() {
+		nxt.Assign(inner, zpl.Mul(zpl.Const(0.25),
+			zpl.Add(zpl.Add(cur.At(-1, 0), cur.At(1, 0)),
+				zpl.Add(cur.At(0, -1), cur.At(0, 1)))))
+		res.MaxOf(inner, zpl.Abs(zpl.Sub(nxt, cur)))
+		cur, nxt = nxt, cur
+	}
+	sweep()
+	if err := ctx.Eval(); err != nil { // compile once, outside the timer
+		b.Fatal(err)
+	}
+	warm := ctx.CacheStats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sweep()
+		if err := ctx.Eval(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	d := ctx.CacheStats().Sub(warm)
+	if d.Misses != 0 {
+		b.Fatalf("steady state recompiled %d times", d.Misses)
+	}
+	b.ReportMetric(float64(d.Misses), "compilations")
+	b.ReportMetric(float64(d.Hits)/float64(b.N), "hit-rate")
 }

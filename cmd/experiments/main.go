@@ -18,7 +18,13 @@
 //	           every benchmark at the ladder ends; fails unless every
 //	           cell is bit-identical and ≥90% of sites are proven;
 //	           also writes prove.json under -out; skipped without a
-//	           go toolchain), or all (default all)
+//	           go toolchain), lazy (deferred-evaluation runtime study:
+//	           double-buffered Jacobi through the zpl library, cached
+//	           steady state vs compile-every-iteration on the VM and,
+//	           when a toolchain is present, the native backend, with
+//	           residual trajectories asserted identical across
+//	           backends; also writes lazy.json under -out), or all
+//	           (default all)
 //	-size f    problem-size factor for the runtime studies (default 1.0)
 //	-jobs n    measurements to run concurrently (default: all CPUs)
 //	-out dir   also write each table to dir/<id>.txt
@@ -192,6 +198,26 @@ func main() {
 			if min := harness.MinProvenRate(rows); min < 90 {
 				fatal(fmt.Errorf("prove study: only %.0f%% of sites proven in the worst cell (acceptance needs >= 90%%)", min))
 			}
+		}
+	}
+
+	if want("lazy") {
+		rows, err := harness.RunLazy(*size)
+		if err != nil {
+			fatal(err)
+		}
+		emit("lazy", harness.FormatLazy(rows))
+		if *out != "" {
+			buf, err := harness.LazyJSON(rows)
+			if err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(*out, "lazy.json"), buf, 0o644); err != nil {
+				fatal(err)
+			}
+		}
+		if !harness.LazyCachedEverywhere(rows) {
+			fatal(fmt.Errorf("lazy study: a cell recompiled in the steady state"))
 		}
 	}
 

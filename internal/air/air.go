@@ -546,6 +546,13 @@ type ArrayInfo struct {
 	Declared *sema.Region // declared (logical) region
 	Alloc    *sema.Region // allocation bounds including halo
 	Temp     bool         // compiler-introduced temporary
+	// Escapes marks an array whose final value is observable after the
+	// program ends — a programmatic caller (the lazy runtime) holds a
+	// handle to it and will read the storage back. Liveness must treat
+	// such an array as live at exit, so it is never a contraction
+	// candidate regardless of how its in-program references look.
+	// Source-text programs never set it.
+	Escapes bool
 	// Contracted is set by the fusion phase when the array was
 	// eliminated; scalarization then never allocates it.
 	Contracted bool

@@ -322,6 +322,23 @@ func (s *Store) BuildProgramBounds(ctx context.Context, p *lir.Program, bounds *
 	return art, goSrc, err
 }
 
+// BuildProgramState is BuildProgramBounds with gogen's state protocol
+// wired in: the emitted binary loads its initial array/scalar state
+// from the file named by gogen.StateInEnv and dumps its final state to
+// gogen.StateOutEnv (see RunEnv). The spec is folded into the emitted
+// source, so programs with different state layouts occupy different
+// store keys. This is the build path of the lazy runtime, whose cached
+// batches must inject handle state into — and read results back out
+// of — an otherwise self-contained binary.
+func (s *Store) BuildProgramState(ctx context.Context, p *lir.Program, bounds *absint.Result, spec *gogen.StateSpec) (*Artifact, string, error) {
+	goSrc, err := gogen.EmitState(p, bounds, spec)
+	if err != nil {
+		return nil, "", err
+	}
+	art, err := s.Build(ctx, goSrc)
+	return art, goSrc, err
+}
+
 // RunStats reports one native execution.
 type RunStats struct {
 	// Wall is the whole-process wall clock, startup included.
@@ -336,8 +353,16 @@ type RunStats struct {
 // binary always runs with the self-timing hook enabled; the timing
 // line is consumed from stderr, never mixed into out.
 func (a *Artifact) Run(ctx context.Context, out io.Writer) (*RunStats, error) {
+	return a.RunEnv(ctx, out, nil)
+}
+
+// RunEnv is Run with additional "KEY=value" environment entries for
+// the binary — the lazy runtime passes gogen.StateInEnv/StateOutEnv
+// pairs here to point a state-protocol artifact at its per-execution
+// state files.
+func (a *Artifact) RunEnv(ctx context.Context, out io.Writer, extraEnv []string) (*RunStats, error) {
 	cmd := exec.CommandContext(ctx, a.Bin)
-	cmd.Env = append(os.Environ(), gogen.TimeEnv+"=1")
+	cmd.Env = append(append(os.Environ(), gogen.TimeEnv+"=1"), extraEnv...)
 	var stderr bytes.Buffer
 	cmd.Stdout = out
 	cmd.Stderr = &stderr

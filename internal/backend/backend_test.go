@@ -3,7 +3,9 @@ package backend_test
 import (
 	"bytes"
 	"context"
+	"encoding/binary"
 	"errors"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -343,5 +345,116 @@ func TestSeedFaultCaught(t *testing.T) {
 	}
 	if want := vmOutput(t, c); out.String() == want {
 		t.Errorf("seeded miscompile produced VM-identical output %q — the harness would miss it", want)
+	}
+}
+
+// TestStateProtocolRoundTrip: a state-protocol artifact must dump its
+// final array/scalar state to the StateOutEnv file in spec order, and
+// a second run seeded from that file via StateInEnv must continue from
+// it — the mechanism that lets the lazy runtime reuse one cached
+// binary across the timesteps of an iterative solver.
+func TestStateProtocolRoundTrip(t *testing.T) {
+	requireToolchain(t)
+	const src = `
+program staterr;
+config n : integer = 8;
+region R = [1..n];
+var A : [R] double;
+var s : double;
+proc main()
+begin
+  [R] A := A + 1;
+  s := +<< [R] A;
+  writeln("s =", s);
+end;
+`
+	c, err := driver.Compile(src, driver.Options{Level: core.C2F3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var arr string
+	for n, a := range c.LIR.Source.Arrays {
+		if !a.Contracted && !a.Temp {
+			arr = n
+		}
+	}
+	var sc string
+	for n, si := range c.LIR.Source.Scalars {
+		if !si.Config && strings.HasSuffix(n, "s") {
+			sc = n
+		}
+	}
+	if arr == "" || sc == "" {
+		t.Fatalf("program shape changed: arr=%q sc=%q", arr, sc)
+	}
+	spec := &gogen.StateSpec{Arrays: []string{arr}, Scalars: []string{sc}}
+	art, _, err := store.BuildProgramState(context.Background(), c.LIR, c.Bounds, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	size := c.LIR.Source.Arrays[arr].Alloc.Size()
+	wantBytes := 8 * (size + 1)
+	dir := t.TempDir()
+	s1 := filepath.Join(dir, "s1.state")
+	s2 := filepath.Join(dir, "s2.state")
+
+	// First run: arrays start zeroed, A becomes all ones, s = 8.
+	var out bytes.Buffer
+	_, err = art.RunEnv(context.Background(), &out, []string{gogen.StateOutEnv + "=" + s1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.String(); got != "s = 8\n" {
+		t.Fatalf("first run output %q, want \"s = 8\\n\"", got)
+	}
+	data, err := os.ReadFile(s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != wantBytes {
+		t.Fatalf("state file is %d bytes, want %d", len(data), wantBytes)
+	}
+	at := func(i int) float64 {
+		return math.Float64frombits(binary.LittleEndian.Uint64(data[8*i:]))
+	}
+	for i := 0; i < size; i++ {
+		if at(i) != 1 {
+			t.Fatalf("A[%d] in state = %g, want 1", i, at(i))
+		}
+	}
+	if at(size) != 8 {
+		t.Fatalf("s in state = %g, want 8", at(size))
+	}
+
+	// Second run seeded from the first: A goes 1 -> 2, s = 16.
+	out.Reset()
+	_, err = art.RunEnv(context.Background(), &out, []string{
+		gogen.StateInEnv + "=" + s1, gogen.StateOutEnv + "=" + s2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.String(); got != "s = 16\n" {
+		t.Fatalf("seeded run output %q, want \"s = 16\\n\"", got)
+	}
+
+	// A truncated state file must be a trap-classified state error, and
+	// must not leave a (misleading) output state file behind.
+	if err := os.WriteFile(s1, data[:len(data)-8], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	bad := filepath.Join(dir, "bad.state")
+	_, err = art.RunEnv(context.Background(), &out, []string{
+		gogen.StateInEnv + "=" + s1, gogen.StateOutEnv + "=" + bad})
+	var re *backend.RunError
+	if !errors.As(err, &re) || !re.Trap {
+		t.Fatalf("truncated state: error %v, want *RunError trap", err)
+	}
+	if !strings.Contains(re.Stderr, "za state error") {
+		t.Errorf("stderr missing state error: %q", re.Stderr)
+	}
+	if _, err := os.Stat(bad); err == nil {
+		t.Error("faulted run left an output state file")
 	}
 }

@@ -56,6 +56,11 @@ const (
 	// ArtifactTune is a serialized tuning result (Entry.Aux) with no
 	// compilation attached.
 	ArtifactTune ArtifactKind = "tune"
+	// ArtifactLazy is a compilation of a canonicalized lazy-runtime
+	// batch (internal/lazy): the "source" under the key is the batch's
+	// canonical rendering, not ZA text, so the kind keeps lazy entries
+	// from ever aliasing a ZA program that happens to render the same.
+	ArtifactLazy ArtifactKind = "lazy"
 )
 
 // Fingerprint renders the semantically significant fields of
@@ -241,6 +246,24 @@ type Stats struct {
 	Bytes     int64 // resident artifact bytes
 	Entries   int64 // resident entry count
 	MaxBytes  int64 // configured budget
+}
+
+// Sub returns the counter deltas s − prev: the activity between two
+// snapshots. Steady-state assertions ("the second Eval recompiled
+// nothing") diff snapshots instead of assuming a fresh cache. The
+// gauge fields (Bytes, Entries, MaxBytes) are carried from s, not
+// differenced.
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		Hits:      s.Hits - prev.Hits,
+		Misses:    s.Misses - prev.Misses,
+		DedupHits: s.DedupHits - prev.DedupHits,
+		Evictions: s.Evictions - prev.Evictions,
+		TooLarge:  s.TooLarge - prev.TooLarge,
+		Bytes:     s.Bytes,
+		Entries:   s.Entries,
+		MaxBytes:  s.MaxBytes,
+	}
 }
 
 // HitRate is the fraction of lookups that did not run a compile.

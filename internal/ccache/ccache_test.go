@@ -262,6 +262,8 @@ func TestKeySensitivity(t *testing.T) {
 	// The artifact kind is a further dimension on top of the backend.
 	add("kind=native", KeyOfKind(src, native, ArtifactNative))
 	add("kind=tune", KeyOfKind(src, base, ArtifactTune))
+	add("kind=lazy", KeyOfKind(src, base, ArtifactLazy))
+	add("kind=lazy,backend=go", KeyOfKind(src, native, ArtifactLazy))
 	if KeyOfKind(src, base, ArtifactIR) != KeyOf(src, base) {
 		t.Error("ArtifactIR kind diverged from KeyOf")
 	}

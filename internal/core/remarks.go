@@ -243,6 +243,8 @@ func livenessReason(v liveness.Verdict) string {
 		return "a read is not covered by an earlier write in the block (the value flows in from outside)"
 	case liveness.ReasonCommunicated:
 		return "the array is communicated (distributed halo state)"
+	case liveness.ReasonEscapes:
+		return "the array escapes: a runtime handle observes its final value"
 	}
 	return v.Reason
 }

@@ -183,6 +183,32 @@ func CompileCtx(ctx context.Context, src string, opt Options) (*Compilation, err
 	if errs.HasErrors() {
 		return nil, errs.Err()
 	}
+	return finishAIR(ctx, airProg, info, opt)
+}
+
+// CompileAIR runs the pipeline tail — verification, communication
+// insertion, fusion/contraction planning, scalarization, and the
+// bounds prover — on an already-built AIR program, the programmatic
+// front door used by the lazy runtime (package zpl / internal/lazy).
+// There is no source text and no sema.Info: Compilation.Info is nil,
+// positions on diagnostics and remarks are the zero Pos (rendered
+// "-"), and Options.Configs is ignored (a programmatic program has
+// concrete regions already).
+//
+// The planner rewrites the program in place (temporary realignment,
+// contraction marks), so CompileAIR takes ownership of prog: build a
+// fresh instance per call and do not reuse it afterwards.
+func CompileAIR(ctx context.Context, prog *air.Program, opt Options) (*Compilation, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return finishAIR(ctx, prog, nil, opt)
+}
+
+// finishAIR is the shared pipeline tail following lowering (or a
+// programmatic AIR build): check → comm → plan → scalarize → prove.
+func finishAIR(ctx context.Context, airProg *air.Program, info *sema.Info, opt Options) (*Compilation, error) {
+	h := opt.Hooks
 	if opt.Check {
 		h.begin("check")
 		err := check.Err(check.AIRWellFormed(airProg))

@@ -59,6 +59,33 @@ const TimeEnv = "ZPL_TIME_NS"
 // TimeEnv.
 const ElapsedPrefix = "za_elapsed_ns "
 
+// StateInEnv and StateOutEnv name the binary state files a generated
+// program reads its initial array/scalar state from and dumps its
+// final state to. They only exist in binaries emitted with a non-nil
+// StateSpec (the lazy runtime's artifacts); either variable may be
+// empty or unset, in which case the corresponding half is skipped —
+// arrays start zeroed, nothing is written back. Keeping the state in
+// environment-named files rather than embedded constants is what makes
+// a lazy batch's generated source — and therefore its content-addressed
+// artifact — identical across timesteps of an iterative solver.
+const (
+	StateInEnv  = "ZPL_STATE_IN"
+	StateOutEnv = "ZPL_STATE_OUT"
+)
+
+// StateSpec declares, in order, which arrays and scalars participate in
+// the state files. Each array contributes Alloc.Size() float64s (the
+// full allocated slab including halo, row-major) and each scalar one
+// float64, all raw little-endian, concatenated with no header: the file
+// length is exactly 8*(sum of array sizes + len(Scalars)) bytes, and a
+// mismatch is a state error (exit code ExitTrap). The caller owns the
+// ordering; the emitter follows it verbatim, so the reader and writer
+// of the files agree by construction.
+type StateSpec struct {
+	Arrays  []string
+	Scalars []string
+}
+
 // Emit renders the program as a compilable Go main package with every
 // array access bounds-checked (Go's implicit slice check plus the
 // recover scaffold).
@@ -76,7 +103,19 @@ func Emit(p *lir.Program) (string, error) { return EmitBounds(p, nil) }
 // shift, wrapped into the storage, making the seeded wrong interval an
 // observable wrong answer. bounds == nil emits fully checked code.
 func EmitBounds(p *lir.Program, bounds *absint.Result) (string, error) {
-	g := &gen{p: p, bounds: bounds}
+	return EmitState(p, bounds, nil)
+}
+
+// EmitState renders the program like EmitBounds and, when spec is
+// non-nil, additionally wires in the state protocol: the binary loads
+// its initial array/scalar state from the file named by StateInEnv
+// before the timed region and dumps its final state to the file named
+// by StateOutEnv after it (both steps outside the TimeEnv-reported
+// window, so timings stay compute-only). spec == nil emits
+// byte-identical output to EmitBounds, so existing content-addressed
+// artifacts keep their keys.
+func EmitState(p *lir.Program, bounds *absint.Result, spec *StateSpec) (string, error) {
+	g := &gen{p: p, bounds: bounds, spec: spec}
 	var body strings.Builder
 	g.b = &body
 
@@ -92,6 +131,13 @@ func EmitBounds(p *lir.Program, bounds *absint.Result) (string, error) {
 	}
 	if g.err != nil {
 		return "", g.err
+	}
+
+	// State functions render before the import block is fixed (they
+	// need math and encoding/binary), like declarations below.
+	stateFns, err := g.stateFuncs()
+	if err != nil {
+		return "", err
 	}
 
 	// Declarations may themselves need math (an Inf/NaN initializer),
@@ -110,7 +156,15 @@ func EmitBounds(p *lir.Program, bounds *absint.Result) (string, error) {
 			out.WriteString("// all accesses proven: unchecked dispatch, no trap scaffold.\n")
 		}
 	}
-	out.WriteString("package main\n\nimport (\n\t\"fmt\"\n")
+	if g.spec != nil {
+		fmt.Fprintf(&out, "// state protocol: %s/%s name raw little-endian float64 state files.\n",
+			StateInEnv, StateOutEnv)
+	}
+	out.WriteString("package main\n\nimport (\n")
+	if g.useBinary {
+		out.WriteString("\t\"encoding/binary\"\n")
+	}
+	out.WriteString("\t\"fmt\"\n")
 	if g.useMath {
 		out.WriteString("\t\"math\"\n")
 	}
@@ -130,18 +184,84 @@ func EmitBounds(p *lir.Program, bounds *absint.Result) (string, error) {
 		out.WriteString(helperWrap)
 	}
 	out.WriteString(body.String())
-	if allProven {
+	out.WriteString(stateFns)
+	switch {
+	case g.spec != nil && allProven:
+		fmt.Fprintf(&out, mainScaffoldProvenState, TimeEnv, ElapsedPrefix)
+	case g.spec != nil:
+		fmt.Fprintf(&out, mainScaffoldState, ExitTrap, TimeEnv, ElapsedPrefix)
+	case allProven:
 		fmt.Fprintf(&out, mainScaffoldProven, TimeEnv, ElapsedPrefix)
-	} else {
+	default:
 		fmt.Fprintf(&out, mainScaffold, ExitTrap, TimeEnv, ElapsedPrefix)
 	}
 	return out.String(), nil
+}
+
+// stateFuncs renders za_load_state/za_dump_state (plus their shared
+// failure helper) for the generator's StateSpec; with no spec it
+// contributes nothing, keeping spec-less emission byte-identical to
+// the historical output. Load and dump walk the spec in its declared
+// order, so the file layout is fully determined by the caller.
+func (g *gen) stateFuncs() (string, error) {
+	if g.spec == nil {
+		return "", nil
+	}
+	total := 0
+	for _, n := range g.spec.Arrays {
+		a := g.p.Source.Arrays[n]
+		if a == nil {
+			return "", fmt.Errorf("gogen: state spec names unknown array %s", n)
+		}
+		if a.Contracted {
+			return "", fmt.Errorf("gogen: state spec names contracted array %s", n)
+		}
+		total += a.Alloc.Size()
+	}
+	for _, n := range g.spec.Scalars {
+		if g.p.Source.Scalars[n] == nil {
+			return "", fmt.Errorf("gogen: state spec names unknown scalar %s", n)
+		}
+		total++
+	}
+	g.useMath = true
+	g.useBinary = true
+	bytes := 8 * total
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "func za_state_fail(msg string) {\n\tfmt.Fprintln(os.Stderr, \"za state error:\", msg)\n\tos.Exit(%d)\n}\n\n", ExitTrap)
+
+	fmt.Fprintf(&b, "func za_load_state() {\n\tpath := os.Getenv(%q)\n\tif path == \"\" {\n\t\treturn\n\t}\n", StateInEnv)
+	b.WriteString("\tdata, err := os.ReadFile(path)\n\tif err != nil {\n\t\tza_state_fail(err.Error())\n\t}\n")
+	fmt.Fprintf(&b, "\tif len(data) != %d {\n\t\tza_state_fail(fmt.Sprintf(\"state file is %%d bytes, want %d\", len(data)))\n\t}\n", bytes, bytes)
+	b.WriteString("\toff := 0\n")
+	for _, n := range g.spec.Arrays {
+		v := goName(n)
+		fmt.Fprintf(&b, "\tfor i := range %s {\n\t\t%s[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))\n\t\toff += 8\n\t}\n", v, v)
+	}
+	for _, n := range g.spec.Scalars {
+		fmt.Fprintf(&b, "\t%s = math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))\n\toff += 8\n", goName(n))
+	}
+	b.WriteString("\t_ = off\n}\n\n")
+
+	fmt.Fprintf(&b, "func za_dump_state() {\n\tpath := os.Getenv(%q)\n\tif path == \"\" {\n\t\treturn\n\t}\n", StateOutEnv)
+	fmt.Fprintf(&b, "\tbuf := make([]byte, %d)\n\toff := 0\n", bytes)
+	for _, n := range g.spec.Arrays {
+		v := goName(n)
+		fmt.Fprintf(&b, "\tfor i := range %s {\n\t\tbinary.LittleEndian.PutUint64(buf[off:], math.Float64bits(%s[i]))\n\t\toff += 8\n\t}\n", v, v)
+	}
+	for _, n := range g.spec.Scalars {
+		fmt.Fprintf(&b, "\tbinary.LittleEndian.PutUint64(buf[off:], math.Float64bits(%s))\n\toff += 8\n", goName(n))
+	}
+	b.WriteString("\t_ = off\n\tif err := os.WriteFile(path, buf, 0o644); err != nil {\n\t\tza_state_fail(err.Error())\n\t}\n}\n\n")
+	return b.String(), nil
 }
 
 type gen struct {
 	p      *lir.Program
 	b      *strings.Builder
 	bounds *absint.Result
+	spec   *StateSpec
 	ind    int
 	err    error
 
@@ -151,6 +271,7 @@ type gen struct {
 	useB2F    bool
 	useUnsafe bool
 	useWrap   bool
+	useBinary bool
 
 	// basePtrs are the arrays with at least one unchecked access; each
 	// gets one package-level unsafe.Pointer to its backing store, so
@@ -320,6 +441,45 @@ func main() {
 	za_main()
 	if os.Getenv(%q) != "" {
 		fmt.Fprintf(os.Stderr, "%s%%d\n", time.Since(t0).Nanoseconds())
+	}
+}
+`
+
+// mainScaffoldState adds the state protocol around the checked
+// scaffold: load before the timed region, dump after it, so TimeEnv
+// timings stay compute-only. A trap skips the dump — a faulted run
+// leaves no state file for a caller to mistake for a result. Verbs:
+// ExitTrap, TimeEnv, ElapsedPrefix.
+const mainScaffoldState = `
+func main() {
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintln(os.Stderr, "za runtime error:", r)
+			os.Exit(%d)
+		}
+	}()
+	za_load_state()
+	t0 := time.Now()
+	za_main()
+	elapsed := time.Since(t0)
+	za_dump_state()
+	if os.Getenv(%q) != "" {
+		fmt.Fprintf(os.Stderr, "%s%%d\n", elapsed.Nanoseconds())
+	}
+}
+`
+
+// mainScaffoldProvenState is the state-protocol scaffold for a fully
+// proven program. Verbs: TimeEnv, ElapsedPrefix.
+const mainScaffoldProvenState = `
+func main() {
+	za_load_state()
+	t0 := time.Now()
+	za_main()
+	elapsed := time.Since(t0)
+	za_dump_state()
+	if os.Getenv(%q) != "" {
+		fmt.Fprintf(os.Stderr, "%s%%d\n", elapsed.Nanoseconds())
 	}
 }
 `

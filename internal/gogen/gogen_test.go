@@ -248,3 +248,79 @@ end;
 		t.Errorf("native %q, want %q", got, want)
 	}
 }
+
+// TestEmitStateNilSpecIdentical: a nil StateSpec must emit exactly the
+// historical output — the state protocol may not perturb the content
+// addresses of existing native artifacts.
+func TestEmitStateNilSpecIdentical(t *testing.T) {
+	src, err := os.ReadFile("../../testdata/quickstart.za")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lvl := range []core.Level{core.Baseline, core.C2F4S} {
+		c, err := driver.Compile(string(src), driver.Options{Level: lvl})
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, err := gogen.EmitBounds(c.LIR, c.Bounds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stated, err := gogen.EmitState(c.LIR, c.Bounds, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plain != stated {
+			t.Errorf("%s: EmitState(nil spec) diverged from EmitBounds", lvl)
+		}
+		if strings.Contains(plain, "za_load_state") {
+			t.Errorf("%s: spec-less emission contains state machinery", lvl)
+		}
+	}
+}
+
+// TestEmitStateSpecValidation: unknown or contracted names in the spec
+// must be emission errors, and a valid spec must produce the load/dump
+// pair wired into the scaffold.
+func TestEmitStateSpecValidation(t *testing.T) {
+	src, err := os.ReadFile("../../testdata/quickstart.za")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := driver.Compile(string(src), driver.Options{Level: core.C2F4S})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gogen.EmitState(c.LIR, c.Bounds, &gogen.StateSpec{Arrays: []string{"nope"}}); err == nil {
+		t.Error("unknown array accepted")
+	}
+	if _, err := gogen.EmitState(c.LIR, c.Bounds, &gogen.StateSpec{Scalars: []string{"nope"}}); err == nil {
+		t.Error("unknown scalar accepted")
+	}
+	var contracted string
+	var live []string
+	for n, a := range c.LIR.Source.Arrays {
+		if a.Contracted {
+			contracted = n
+		} else {
+			live = append(live, n)
+		}
+	}
+	if contracted != "" {
+		if _, err := gogen.EmitState(c.LIR, c.Bounds, &gogen.StateSpec{Arrays: []string{contracted}}); err == nil {
+			t.Error("contracted array accepted")
+		}
+	}
+	if len(live) == 0 {
+		t.Fatal("no live array to spec")
+	}
+	out, err := gogen.EmitState(c.LIR, c.Bounds, &gogen.StateSpec{Arrays: live[:1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"za_load_state", "za_dump_state", gogen.StateInEnv, gogen.StateOutEnv, "encoding/binary"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stateful emission missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,477 @@
+package lazy
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/air"
+	"repro/internal/ast"
+	"repro/internal/sema"
+)
+
+// canonBatch is one batch after canonicalization: a dependence-valid
+// statement order with every handle renamed to a canonical name. Two
+// batches with the same canonical text are the same program modulo
+// handle identity — the property that makes a double-buffer swap
+// (new := f(old) this step, old := f(new) the next) hit the same cache
+// entry with only the name binding flipped.
+type canonBatch struct {
+	order   []*op
+	aname   map[*Handle]string
+	sname   map[*ScalarHandle]string
+	handles []*Handle       // in canonical-name order: handles[i] is v<i>
+	scalars []*ScalarHandle // scalars[i] is s<i>
+	escapes map[*Handle]bool
+	text    string
+}
+
+// access is one op's read/write footprint.
+type access struct {
+	areads map[*Handle]bool
+	awrite *Handle
+	sreads map[*ScalarHandle]bool
+	swrite *ScalarHandle
+	io     bool
+}
+
+func accessOf(o *op) access {
+	a := access{areads: map[*Handle]bool{}, sreads: map[*ScalarHandle]bool{}}
+	if o.rhs != nil {
+		exprReads(o.rhs, a.areads, a.sreads)
+	}
+	for _, w := range o.wargs {
+		if !w.isStr {
+			exprReads(w.e, a.areads, a.sreads)
+		}
+	}
+	switch o.kind {
+	case opAssign:
+		a.awrite = o.target
+	case opReduce:
+		a.swrite = o.starget
+	case opWriteln:
+		a.io = true
+	}
+	return a
+}
+
+// conflicts reports whether the earlier op i and the later op j must
+// stay ordered: a RAW/WAR/WAW dependence through any array or scalar,
+// or both performing I/O (output order is part of the semantics).
+func conflicts(i, j access) bool {
+	if i.awrite != nil && (j.areads[i.awrite] || j.awrite == i.awrite) {
+		return true
+	}
+	if j.awrite != nil && i.areads[j.awrite] {
+		return true
+	}
+	if i.swrite != nil && (j.sreads[i.swrite] || j.swrite == i.swrite) {
+		return true
+	}
+	if j.swrite != nil && i.sreads[j.swrite] {
+		return true
+	}
+	return i.io && j.io
+}
+
+// canonicalize orders a batch's ops topologically over the dependence
+// DAG — tie-breaking by a structural key so the order is invariant
+// under reissuing independent ops in a different sequence — and
+// assigns canonical names by first appearance in the resulting
+// statement order (right-hand side in pre-order, then the left-hand
+// side). escapes lists the Temp handles later batches of the same Eval
+// read; they must survive this batch.
+func canonicalize(ops []*op, escapes map[*Handle]bool) (*canonBatch, error) {
+	n := len(ops)
+	acc := make([]access, n)
+	for i, o := range ops {
+		acc[i] = accessOf(o)
+	}
+
+	// srcA/srcS: the issue-order value source (last preceding writer)
+	// of every operand, or -1 for state flowing in from outside the
+	// batch. Dependence edges guarantee the source is scheduled before
+	// its reader becomes ready, so reader keys can fold in source keys.
+	srcA := make([]map[*Handle]int, n)
+	srcS := make([]map[*ScalarHandle]int, n)
+	lastA := map[*Handle]int{}
+	lastS := map[*ScalarHandle]int{}
+	for j := range ops {
+		srcA[j] = map[*Handle]int{}
+		srcS[j] = map[*ScalarHandle]int{}
+		for h := range acc[j].areads {
+			if w, ok := lastA[h]; ok {
+				srcA[j][h] = w
+			} else {
+				srcA[j][h] = -1
+			}
+		}
+		for s := range acc[j].sreads {
+			if w, ok := lastS[s]; ok {
+				srcS[j][s] = w
+			} else {
+				srcS[j][s] = -1
+			}
+		}
+		if acc[j].awrite != nil {
+			lastA[acc[j].awrite] = j
+		}
+		if acc[j].swrite != nil {
+			lastS[acc[j].swrite] = j
+		}
+	}
+
+	// Dependence edges (quadratic; batches are small).
+	adj := make([][]int, n)
+	indeg := make([]int, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if conflicts(acc[i], acc[j]) {
+				adj[i] = append(adj[i], j)
+				indeg[j]++
+			}
+		}
+	}
+
+	// Kahn's algorithm; among ready ops pick the smallest structural
+	// key, then the smallest issue index. The key folds in the keys of
+	// the op's value sources, so structurally distinct computations
+	// order deterministically no matter how they were issued; true
+	// structural ties (symmetric ops over external state) fall back to
+	// issue order, which still canonicalizes to the same text — only
+	// the name binding differs.
+	keys := make([]string, n)
+	var ready []int
+	push := func(j int) {
+		keys[j] = opKey(ops[j], srcA[j], srcS[j], keys)
+		ready = append(ready, j)
+	}
+	for j := 0; j < n; j++ {
+		if indeg[j] == 0 {
+			push(j)
+		}
+	}
+	cb := &canonBatch{
+		aname:   map[*Handle]string{},
+		sname:   map[*ScalarHandle]string{},
+		escapes: escapes,
+	}
+	for len(ready) > 0 {
+		best := 0
+		for k := 1; k < len(ready); k++ {
+			a, b := ready[k], ready[best]
+			if keys[a] < keys[b] || (keys[a] == keys[b] && ops[a].seq < ops[b].seq) {
+				best = k
+			}
+		}
+		j := ready[best]
+		ready = append(ready[:best], ready[best+1:]...)
+		cb.order = append(cb.order, ops[j])
+		for _, s := range adj[j] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				push(s)
+			}
+		}
+	}
+	if len(cb.order) != n {
+		return nil, fmt.Errorf("lazy: internal: dependence graph has a cycle")
+	}
+
+	cb.rename()
+	prog, err := cb.build()
+	if err != nil {
+		return nil, err
+	}
+	cb.text = renderProgram(prog)
+	return cb, nil
+}
+
+// opKey is the structural hash used for topological tie-breaking:
+// everything semantic about the op — kind, region, operator structure,
+// constants — with operand references replaced by the key of their
+// value source ("ext" for state entering the batch), never by handle
+// identity.
+func opKey(o *op, srcA map[*Handle]int, srcS map[*ScalarHandle]int, keys []string) string {
+	h := sha256.New()
+	put := func(parts ...string) {
+		for _, p := range parts {
+			h.Write([]byte(p))
+			h.Write([]byte{0})
+		}
+	}
+	refKey := func(x *Handle) string {
+		if w := srcA[x]; w >= 0 {
+			return keys[w]
+		}
+		return "ext:" + x.region.String() + ":" + strconv.FormatBool(x.temp)
+	}
+	srefKey := func(x *ScalarHandle) string {
+		if w := srcS[x]; w >= 0 {
+			return keys[w]
+		}
+		return "ext"
+	}
+	var putExpr func(e Expr)
+	putExpr = func(e Expr) {
+		switch x := e.(type) {
+		case *refExpr:
+			put("ref", fmt.Sprint(x.off), refKey(x.h))
+		case *Handle:
+			put("ref0", refKey(x))
+		case *ScalarHandle:
+			put("sref", srefKey(x))
+		case *constExpr:
+			put("const", strconv.FormatFloat(x.val, 'g', -1, 64))
+		case *indexExpr:
+			put("index", strconv.Itoa(x.dim))
+		case *binExpr:
+			put("bin", x.op.String())
+			putExpr(x.x)
+			putExpr(x.y)
+		case *unExpr:
+			put("un", x.op.String())
+			putExpr(x.x)
+		case *callExpr:
+			put("call", x.name)
+			for _, a := range x.args {
+				putExpr(a)
+			}
+		}
+	}
+	switch o.kind {
+	case opAssign:
+		put("assign", o.region.String(), "tgt:"+strconv.FormatBool(o.target.temp))
+		putExpr(o.rhs)
+	case opReduce:
+		put("reduce", o.rop.String(), o.region.String())
+		putExpr(o.rhs)
+	case opWriteln:
+		put("writeln")
+		for _, w := range o.wargs {
+			if w.isStr {
+				put("str", w.str)
+			} else {
+				put("expr")
+				putExpr(w.e)
+			}
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// rename assigns canonical names by first appearance in canonical
+// statement order: within each op the right-hand side in pre-order,
+// then the left-hand side.
+func (cb *canonBatch) rename() {
+	seeA := func(h *Handle) {
+		if _, ok := cb.aname[h]; !ok {
+			cb.aname[h] = "v" + strconv.Itoa(len(cb.handles))
+			cb.handles = append(cb.handles, h)
+		}
+	}
+	seeS := func(s *ScalarHandle) {
+		if _, ok := cb.sname[s]; !ok {
+			cb.sname[s] = "s" + strconv.Itoa(len(cb.scalars))
+			cb.scalars = append(cb.scalars, s)
+		}
+	}
+	seeExpr := func(e Expr) {
+		walkExpr(e, func(x Expr) {
+			switch n := x.(type) {
+			case *refExpr:
+				seeA(n.h)
+			case *Handle:
+				seeA(n)
+			case *ScalarHandle:
+				seeS(n)
+			}
+		})
+	}
+	for _, o := range cb.order {
+		if o.rhs != nil {
+			seeExpr(o.rhs)
+		}
+		for _, w := range o.wargs {
+			if !w.isStr {
+				seeExpr(w.e)
+			}
+		}
+		switch o.kind {
+		case opAssign:
+			seeA(o.target)
+		case opReduce:
+			seeS(o.starget)
+		}
+	}
+}
+
+// build constructs the canonical AIR program for the batch. Each call
+// returns a fresh instance: driver.CompileAIR rewrites the program in
+// place, so the cached compilation and the fingerprint text must never
+// share nodes.
+func (cb *canonBatch) build() (*air.Program, error) {
+	arrays := map[string]*air.ArrayInfo{}
+	for i, h := range cb.handles {
+		arrays["v"+strconv.Itoa(i)] = &air.ArrayInfo{
+			Name:     "v" + strconv.Itoa(i),
+			Elem:     ast.Double,
+			Declared: cloneRegion(h.region),
+			Alloc:    cloneRegion(h.region),
+			Temp:     h.temp,
+			Escapes:  !h.temp || cb.escapes[h],
+		}
+	}
+	scalars := map[string]*air.ScalarInfo{}
+	for i := range cb.scalars {
+		scalars["s"+strconv.Itoa(i)] = &air.ScalarInfo{
+			Name: "s" + strconv.Itoa(i),
+			Type: ast.Double,
+		}
+	}
+
+	aname := func(h *Handle) string { return cb.aname[h] }
+	sname := func(s *ScalarHandle) string { return cb.sname[s] }
+
+	var stmts []air.Stmt
+	id := 0
+	ntemp := 0
+	for _, o := range cb.order {
+		switch o.kind {
+		case opAssign:
+			rank := o.region.Rank()
+			rhs := airExpr(o.rhs, rank, aname, sname)
+			lhs := cb.aname[o.target]
+			readsLHS := false
+			for _, r := range air.Refs(rhs) {
+				if r.Array == lhs {
+					readsLHS = true
+					break
+				}
+			}
+			if readsLHS {
+				// Normalize: no array is both read and written in one
+				// statement. The temp carries the parallel-semantics
+				// snapshot, exactly as source lowering would insert it.
+				tmp := "_t" + strconv.Itoa(ntemp)
+				ntemp++
+				arrays[tmp] = &air.ArrayInfo{
+					Name:     tmp,
+					Elem:     ast.Double,
+					Declared: cloneRegion(o.region),
+					Alloc:    cloneRegion(o.region),
+					Temp:     true,
+				}
+				stmts = append(stmts,
+					&air.ArrayStmt{ID: id, Region: cloneRegion(o.region), LHS: tmp, RHS: rhs},
+					&air.ArrayStmt{ID: id + 1, Region: cloneRegion(o.region), LHS: lhs,
+						RHS: &air.RefExpr{Ref: air.Ref{Array: tmp, Off: air.Zero(rank)}}})
+				id += 2
+			} else {
+				stmts = append(stmts, &air.ArrayStmt{ID: id, Region: cloneRegion(o.region), LHS: lhs, RHS: rhs})
+				id++
+			}
+		case opReduce:
+			stmts = append(stmts, &air.ReduceStmt{
+				Target: cb.sname[o.starget],
+				Op:     o.rop,
+				Region: cloneRegion(o.region),
+				Body:   airExpr(o.rhs, o.region.Rank(), aname, sname),
+			})
+		case opWriteln:
+			args := make([]air.WriteArg, len(o.wargs))
+			for i, w := range o.wargs {
+				if w.isStr {
+					args[i] = air.WriteArg{Str: w.str}
+				} else {
+					args[i] = air.WriteArg{Expr: airExpr(w.e, 0, aname, sname)}
+				}
+			}
+			stmts = append(stmts, &air.WritelnStmt{Args: args})
+		default:
+			return nil, fmt.Errorf("lazy: internal: op kind %d in batch", o.kind)
+		}
+	}
+
+	// Widen allocations to cover every access: writes at the statement
+	// region, reads at the region shifted by their offset (same cover
+	// rule as source lowering).
+	widen := func(name string, r *sema.Region, off air.Offset) {
+		a := arrays[name]
+		for d := 0; d < r.Rank(); d++ {
+			o := 0
+			if off != nil {
+				o = off[d]
+			}
+			if lo := r.Lo[d] + o; lo < a.Alloc.Lo[d] {
+				a.Alloc.Lo[d] = lo
+			}
+			if hi := r.Hi[d] + o; hi > a.Alloc.Hi[d] {
+				a.Alloc.Hi[d] = hi
+			}
+		}
+	}
+	for _, s := range stmts {
+		switch x := s.(type) {
+		case *air.ArrayStmt:
+			widen(x.LHS, x.Region, nil)
+			for _, r := range x.Reads() {
+				widen(r.Array, x.Region, r.Off)
+			}
+		case *air.ReduceStmt:
+			for _, r := range air.Refs(x.Body) {
+				widen(r.Array, x.Region, r.Off)
+			}
+		}
+	}
+
+	main := &air.Proc{Name: "main", Body: []air.Node{&air.Block{ID: 0, Stmts: stmts}}}
+	return &air.Program{
+		Name:     "lazy",
+		Arrays:   arrays,
+		Scalars:  scalars,
+		Procs:    map[string]*air.Proc{"main": main},
+		Main:     main,
+		NumStmts: id,
+	}, nil
+}
+
+// renderProgram is the canonical text of a batch program: declarations
+// in name order, then the statements in canonical order. This string —
+// not any handle identity — is what the compilation cache addresses
+// (ccache.ArtifactLazy), together with the compilation options.
+func renderProgram(p *air.Program) string {
+	var b strings.Builder
+	b.WriteString("lazy batch v1\n")
+	names := make([]string, 0, len(p.Arrays))
+	for n := range p.Arrays {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		a := p.Arrays[n]
+		fmt.Fprintf(&b, "array %s %s temp=%t escapes=%t\n", a.Name, a.Declared, a.Temp, a.Escapes)
+	}
+	names = names[:0]
+	for n := range p.Scalars {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "scalar %s\n", n)
+	}
+	b.WriteString("begin\n")
+	for _, blk := range p.AllBlocks() {
+		for _, s := range blk.Stmts {
+			b.WriteString("  ")
+			b.WriteString(s.String())
+			b.WriteString("\n")
+		}
+	}
+	b.WriteString("end\n")
+	return b.String()
+}

@@ -25,6 +25,10 @@ const (
 	// ReasonCommunicated: the array is the subject of a communication
 	// statement; distributed halo state forbids contraction.
 	ReasonCommunicated = "communicated"
+	// ReasonEscapes: the array is marked as escaping (a programmatic
+	// caller holds a handle and reads the storage after the program
+	// ends), so it is live at exit no matter how it is referenced.
+	ReasonEscapes = "escapes"
 )
 
 // Verdict explains one array's candidacy decision.
@@ -120,6 +124,13 @@ func Explain(prog *air.Program) (map[*air.Block][]string, []Verdict) {
 	var verdicts []Verdict
 	for _, name := range order {
 		lst := refs[name]
+		if a := prog.Arrays[name]; a != nil && a.Escapes {
+			verdicts = append(verdicts, Verdict{Array: name, Reason: ReasonEscapes,
+				Block:  lst[0].block,
+				Pos:    lst[0].firstPos,
+				Detail: "final value observable through a runtime handle"})
+			continue
+		}
 		if len(lst) != 1 {
 			// Referenced in several blocks: live across boundaries.
 			v := Verdict{Array: name, Reason: ReasonMultiBlock,

@@ -284,3 +284,40 @@ func TestMultiBlockVerdictNamesFirstBlock(t *testing.T) {
 	}
 	t.Fatal("no verdict for X")
 }
+
+func TestEscapingArrayNeverCandidate(t *testing.T) {
+	// A perfectly confined array — first access a write, every read
+	// covered — is still excluded when Escapes is set: a runtime
+	// handle observes its final value, so it is live at program exit.
+	r := reg2(8)
+	b := &air.Block{ID: 0, Stmts: []air.Stmt{
+		arrStmt(r, "T", ref("A", 0, 0)),
+		arrStmt(r, "B", ref("T", 0, 0)),
+	}}
+	p := progOf(b)
+	p.Arrays["T"] = &air.ArrayInfo{Name: "T", Declared: r, Alloc: r}
+
+	cands, _ := Explain(p)
+	if !has(cands, b, "T") {
+		t.Fatal("confined non-escaping T should be a candidate (test setup)")
+	}
+
+	p2 := progOf(&air.Block{ID: 0, Stmts: []air.Stmt{
+		arrStmt(r, "T", ref("A", 0, 0)),
+		arrStmt(r, "B", ref("T", 0, 0)),
+	}})
+	p2.Arrays["T"] = &air.ArrayInfo{Name: "T", Declared: r, Alloc: r, Escapes: true}
+	cands2, verdicts := Explain(p2)
+	if has(cands2, p2.Main.Body[0].(*air.Block), "T") {
+		t.Fatal("escaping T must not be a contraction candidate")
+	}
+	for _, v := range verdicts {
+		if v.Array == "T" {
+			if v.Reason != ReasonEscapes {
+				t.Fatalf("reason = %q, want %q", v.Reason, ReasonEscapes)
+			}
+			return
+		}
+	}
+	t.Fatal("no verdict for T")
+}

@@ -276,6 +276,17 @@ func (m *Machine) Scalar(name string) (float64, bool) {
 	return 0, false
 }
 
+// SetScalar overwrites a scalar's slot before Run — the lazy runtime's
+// seeding path (it also overwrites config scalars, whose Init value
+// New already installed). Reports whether the scalar exists.
+func (m *Machine) SetScalar(name string, v float64) bool {
+	if i, ok := m.slotIdx[name]; ok {
+		m.slots[i] = v
+		return true
+	}
+	return false
+}
+
 // ArrayData exposes an array's backing storage for tests: data in
 // row-major order over the allocation bounds.
 func (m *Machine) ArrayData(name string) []float64 {

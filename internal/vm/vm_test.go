@@ -343,3 +343,42 @@ end;
 		t.Errorf("guarded fusion changed results: %q vs %q", base.String(), opt.String())
 	}
 }
+
+// TestSeedBeforeRun: copying into ArrayData and calling SetScalar
+// before Run must make the program observe the seeded state — the lazy
+// runtime's VM execution path.
+func TestSeedBeforeRun(t *testing.T) {
+	src := `
+program seed;
+region R = [1..4];
+var A : [R] double;
+var s, out : double;
+proc main()
+begin
+  [R] A := A + s;
+  out := +<< [R] A;
+  writeln(out);
+end;
+`
+	var buf bytes.Buffer
+	m, err := vm.New(compile(t, src, core.C2F3), vm.Options{Out: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(m.ArrayData("A"), []float64{1, 2, 3, 4})
+	if !m.SetScalar("s", 10) {
+		t.Fatal("SetScalar missed scalar s")
+	}
+	if m.SetScalar("nope", 1) {
+		t.Error("SetScalar accepted an unknown scalar")
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "50\n" {
+		t.Errorf("output %q, want \"50\\n\" (seeded state ignored)", got)
+	}
+	if v, _ := m.Scalar("out"); v != 50 {
+		t.Errorf("out = %g, want 50", v)
+	}
+}
