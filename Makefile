@@ -9,7 +9,7 @@ GOVULNCHECK_VERSION ?= v1.1.3
 
 .PHONY: all build test vet race check serve-test ci experiments \
 	lint-self staticcheck govulncheck audit tune-smoke backend-diff \
-	prove-fuzz prove-smoke lazy-smoke
+	prove-fuzz prove-smoke lazy-smoke race-smoke race-sweep
 
 all: build test
 
@@ -112,7 +112,33 @@ lazy-smoke: build
 	$(GO) build -o /dev/null ./examples/lazy
 	$(GO) test -race -count=1 -run 'TestLazyMatchesZA|TestSteadyStateZeroRecompile|TestQuickstart' -v ./internal/lazy ./zpl
 
-ci: vet test race serve-test check lint-self audit staticcheck govulncheck tune-smoke backend-diff prove-fuzz prove-smoke lazy-smoke
+# Race smoke: the concurrent subsystems under the race detector — the
+# distributed interpreter's engine protocol (watchdog abort, peer
+# unblocking, mid-exchange cancellation), the lazy engine hammered from
+# many goroutines, and the zpld request burst. Complements the static
+# analyzer below: this is the dynamic detector over our own runtime,
+# that is the happens-before proof over compiled schedules.
+race-smoke: build
+	$(GO) test -race -count=1 -run 'TestWatchdogTimeout|TestAbortUnblocksPeers|TestCancelMidExchange|TestDeadlineMidExchange|TestCancelBeforeRun' -v ./internal/distvm
+	$(GO) test -race -count=1 -run 'TestConcurrentEval' -v ./internal/lazy
+	$(GO) test -race -count=1 -run 'TestServe' -v .
+
+# Static race sweep: the happens-before analyzer re-verifies every
+# compiler-produced comm schedule — 6 benchmarks x 9 levels at p=4
+# (54 configurations) plus the ladder ends at p=2 and p=8 — and the
+# seeded-fault self-test proves the analyzer catches each planted
+# schedule bug (exit 1 is the expected "fault detected" status).
+race-sweep: build
+	$(GO) run ./cmd/zplcheck -bench all -O all -p 4 -pass race
+	$(GO) run ./cmd/zplcheck -bench all -O baseline,c2+f4s -p 2 -pass race
+	$(GO) run ./cmd/zplcheck -bench all -O baseline,c2+f4s -p 8 -pass race
+	@for k in barrier mispair stale; do \
+		$(GO) run ./cmd/zplc -O c2+f3 -p 4 -racefault $$k testdata/heat.za >/dev/null 2>&1; \
+		st=$$?; if [ $$st -ne 1 ]; then echo "racefault $$k: exit $$st, want 1"; exit 1; fi; \
+		echo "racefault $$k: caught (exit 1)"; \
+	done
+
+ci: vet test race serve-test check lint-self audit staticcheck govulncheck tune-smoke backend-diff prove-fuzz prove-smoke lazy-smoke race-smoke race-sweep
 
 experiments:
 	$(GO) run ./cmd/experiments

@@ -23,8 +23,12 @@
 //	           steady state vs compile-every-iteration on the VM and,
 //	           when a toolchain is present, the native backend, with
 //	           residual trajectories asserted identical across
-//	           backends; also writes lazy.json under -out), or all
-//	           (default all)
+//	           backends; also writes lazy.json under -out), race
+//	           (happens-before verdict census over every benchmark x
+//	           level x processor-count schedule plus the seeded-fault
+//	           differential; fails unless every conflicting pair is
+//	           proven ordered and every seeded fault is rejected; also
+//	           writes race.json under -out), or all (default all)
 //	-size f    problem-size factor for the runtime studies (default 1.0)
 //	-jobs n    measurements to run concurrently (default: all CPUs)
 //	-out dir   also write each table to dir/<id>.txt
@@ -198,6 +202,26 @@ func main() {
 			if min := harness.MinProvenRate(rows); min < 90 {
 				fatal(fmt.Errorf("prove study: only %.0f%% of sites proven in the worst cell (acceptance needs >= 90%%)", min))
 			}
+		}
+	}
+
+	if want("race") {
+		rows, err := harness.RunRace(32)
+		if err != nil {
+			fatal(err)
+		}
+		emit("race", harness.FormatRace(rows))
+		if *out != "" {
+			buf, err := harness.RaceJSON(rows)
+			if err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(*out, "race.json"), buf, 0o644); err != nil {
+				fatal(err)
+			}
+		}
+		if !harness.RaceCleanAll(rows) {
+			fatal(fmt.Errorf("race study: a schedule was not fully proven ordered or a seeded fault escaped"))
 		}
 	}
 

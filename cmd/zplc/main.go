@@ -34,6 +34,16 @@
 //	              fusion-legality, contraction-safety, comm-schedule),
 //	              and exit nonzero when — and only when — the pass
 //	              catches it
+//	-norace       skip the happens-before race & deadlock analyzer a
+//	              distributed compilation (-p > 1) runs by default
+//	-racefault k  race-analyzer self-test (with -p > 1): compile, seed
+//	              a schedule fault of kind k (barrier: drop a required
+//	              barrier; mispair: flip a send's direction; stale:
+//	              move a send before its producing write) into a copy
+//	              of the event schedule, and require the analyzer to
+//	              reject it with a positioned diagnostic naming both
+//	              events. Exit 1 when caught, 3 when missed (an
+//	              analyzer bug), 2 when the program offers no site
 package main
 
 import (
@@ -55,6 +65,7 @@ import (
 	"repro/internal/driver"
 	"repro/internal/gogen"
 	"repro/internal/lir"
+	"repro/internal/mhp"
 	"repro/internal/parser"
 	"repro/internal/source"
 )
@@ -90,6 +101,8 @@ func main() {
 	proveFault := flag.Int("provefault", 0, "seed an evidence fault into the n-th proven site; 0 disables")
 	remarks := flag.Bool("remarks", false, "print one optimization remark per fusion/contraction decision")
 	checkFault := flag.String("checkfault", "", "inject a seeded bug and require the named verifier pass to catch it")
+	noRace := flag.Bool("norace", false, "skip the happens-before race analyzer on distributed compilations")
+	raceFault := flag.String("racefault", "", "seed a schedule fault (barrier | mispair | stale) and require the race analyzer to catch it")
 	configs := configFlags{}
 	flag.Var(configs, "config", "override a config constant, key=value (repeatable)")
 	flag.Parse()
@@ -104,6 +117,12 @@ func main() {
 	}
 	if *noProve && *proveFault > 0 {
 		fatalUsage(fmt.Errorf("-provefault %d needs the prover that -noprove disables", *proveFault))
+	}
+	if *raceFault != "" && *noRace {
+		fatalUsage(fmt.Errorf("-racefault %s needs the analyzer that -norace disables", *raceFault))
+	}
+	if *raceFault != "" && *procs < 2 {
+		fatalUsage(fmt.Errorf("-racefault %s needs a distributed compilation (-p > 1)", *raceFault))
 	}
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
@@ -135,7 +154,7 @@ func main() {
 	}
 
 	opt := driver.Options{Level: lvl, Configs: configs, ScalarReplace: *scalarRep, Check: *runCheck, Backend: be,
-		NoProve: *noProve, ProveFault: *proveFault}
+		NoProve: *noProve, ProveFault: *proveFault, NoRace: *noRace}
 	if *planFile != "" {
 		data, err := os.ReadFile(*planFile)
 		if err != nil {
@@ -161,6 +180,10 @@ func main() {
 
 	if *checkFault != "" {
 		selfTest(c, *checkFault)
+		return
+	}
+	if *raceFault != "" {
+		raceSelfTest(c, *raceFault, *procs)
 		return
 	}
 
@@ -294,6 +317,31 @@ func selfTest(c *driver.Compilation, pass string) {
 	for _, r := range reps {
 		fmt.Fprintf(os.Stderr, "  %s\n", r)
 	}
+	os.Exit(1)
+}
+
+// raceSelfTest seeds one schedule fault of the given kind into a copy
+// of the compilation's distributed event schedule and requires the
+// happens-before analyzer to reject it. Exit 1 with the diagnostic
+// when the fault is caught (the expected outcome), exit 3 when the
+// analyzer missed it (an analyzer bug), exit 2 when the schedule
+// offers no site for the kind (or the kind is unknown).
+func raceSelfTest(c *driver.Compilation, kind string, procs int) {
+	sched := mhp.BuildSchedule(c.LIR, procs)
+	bad, err := mhp.Inject(sched, kind)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "zplc: -racefault %s: %v\n", kind, err)
+		os.Exit(2)
+	}
+	res := mhp.Analyze(bad)
+	err = res.Err()
+	if err == nil {
+		fmt.Fprintf(os.Stderr, "zplc: -racefault %s: seeded schedule fault was NOT detected (analyzer bug):\n  %s\n",
+			kind, strings.Join(bad.Faults, "\n  "))
+		os.Exit(3)
+	}
+	fmt.Fprintf(os.Stderr, "zplc: -racefault %s: fault detected:\n  seeded: %s\n  caught: %v\n",
+		kind, strings.Join(bad.Faults, "; "), err)
 	os.Exit(1)
 }
 

@@ -15,9 +15,14 @@
 //	-pass names   comma-separated verifier passes to run (default
 //	              "all"): air-wellformed, asdg-crosscheck,
 //	              fusion-legality, contraction-safety, comm-schedule,
-//	              bounds. The bounds pass re-derives every array
+//	              bounds, race. The bounds pass re-derives every array
 //	              access hull and cross-checks the abstract
-//	              interpreter's ProvenSafe evidence
+//	              interpreter's ProvenSafe evidence; the race pass
+//	              rebuilds the distributed event schedule and proves
+//	              every conflicting cross-processor access pair
+//	              happens-before ordered and the send/recv matching
+//	              deadlock-free (needs -p > 1 to have any schedule
+//	              to analyze)
 //	-p n          additionally verify a distributed compilation for
 //	              n processors (communication inserted)
 //	-config k=v   override a config constant (repeatable)
@@ -198,7 +203,11 @@ func verify(u unit, lvl core.Level, opt driver.Options, suffix string, verbose b
 		}
 		return 1
 	}
-	reps := runPasses(c, passes)
+	nprocs := 0
+	if opt.Comm != nil {
+		nprocs = opt.Comm.Procs
+	}
+	reps := runPasses(c, passes, nprocs)
 	if collect != nil {
 		*collect = append(*collect, lint.FromReports(label, reps)...)
 	}
@@ -225,6 +234,7 @@ var knownPasses = map[string]bool{
 	check.PassContraction: true,
 	check.PassComm:        true,
 	check.PassBounds:      true,
+	check.PassRace:        true,
 }
 
 // parsePasses turns the -pass flag into a selection set; nil means all.
@@ -236,9 +246,9 @@ func parsePasses(s string) (map[string]bool, error) {
 	for _, name := range strings.Split(s, ",") {
 		name = strings.TrimSpace(name)
 		if !knownPasses[name] {
-			return nil, fmt.Errorf("unknown verifier pass %q (want all, %s, %s, %s, %s, %s, or %s)",
+			return nil, fmt.Errorf("unknown verifier pass %q (want all, %s, %s, %s, %s, %s, %s, or %s)",
 				name, check.PassAIR, check.PassASDG, check.PassFusion,
-				check.PassContraction, check.PassComm, check.PassBounds)
+				check.PassContraction, check.PassComm, check.PassBounds, check.PassRace)
 		}
 		sel[name] = true
 	}
@@ -248,8 +258,9 @@ func parsePasses(s string) (map[string]bool, error) {
 // runPasses runs the selected verifier passes (nil = every pass) over
 // one compilation. The bounds pass cross-checks the abstract
 // interpreter's result, which the driver attaches to the compilation
-// by default.
-func runPasses(c *driver.Compilation, sel map[string]bool) []check.Report {
+// by default; the race pass rebuilds and re-analyzes the distributed
+// event schedule for nprocs processors (0 for a sequential unit).
+func runPasses(c *driver.Compilation, sel map[string]bool, nprocs int) []check.Report {
 	want := func(p string) bool { return sel == nil || sel[p] }
 	var out []check.Report
 	if want(check.PassAIR) {
@@ -272,6 +283,9 @@ func runPasses(c *driver.Compilation, sel map[string]bool) []check.Report {
 		}
 		if want(check.PassBounds) && c.Bounds != nil {
 			out = append(out, check.Bounds(c.LIR, c.Bounds)...)
+		}
+		if want(check.PassRace) {
+			out = append(out, check.Races(c.LIR, nprocs)...)
 		}
 	}
 	return out

@@ -26,6 +26,14 @@
 //	-remarks       include optimization remarks in the output
 //	-bounds        emit one proven-bounds note per array access the
 //	               abstract interpreter proves safe
+//	-p n           lint the distributed compilation for n processors:
+//	               communication is inserted and the happens-before
+//	               analyzer classifies every conflicting cross-
+//	               processor access pair (races and deadlocks are
+//	               errors, unproven orderings warn)
+//	-race          with -p > 1, emit one proven-ordered-comm note per
+//	               conflicting pair, carrying the happens-before chain
+//	               that orders it
 //	-strict        exit nonzero on warnings, not just errors
 //
 // Exit status: 0 clean (notes never fail a run), 1 on error-severity
@@ -81,6 +89,8 @@ func run(args []string) int {
 	strict := fs.Bool("strict", false, "exit nonzero on warnings too")
 	remarks := fs.Bool("remarks", false, "include optimization remarks in the output")
 	boundsNotes := fs.Bool("bounds", false, "emit one note per proven array access")
+	procs := fs.Int("p", 0, "lint the distributed compilation for n processors")
+	raceNotes := fs.Bool("race", false, "emit one note per proven-ordered conflicting pair (with -p > 1)")
 	configs := configFlags{}
 	fs.Var(configs, "config", "override a config constant, key=value (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -90,6 +100,10 @@ func run(args []string) int {
 	lvl, err := core.ParseLevel(*levelFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "zpllint:", err)
+		return 2
+	}
+	if *raceNotes && *procs < 2 {
+		fmt.Fprintln(os.Stderr, "zpllint: -race needs a distributed lint (-p > 1)")
 		return 2
 	}
 	switch *format {
@@ -131,7 +145,8 @@ func run(args []string) int {
 	var allRemarks []remark.Remark
 	compileFailed := false
 	for _, u := range units {
-		res, err := lint.Run(u.src, lint.Options{File: u.name, Level: lvl, Configs: configs, BoundsNotes: *boundsNotes})
+		res, err := lint.Run(u.src, lint.Options{File: u.name, Level: lvl, Configs: configs,
+			BoundsNotes: *boundsNotes, Procs: *procs, RaceNotes: *raceNotes})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "zpllint: %s: %v\n", u.name, err)
 			compileFailed = true

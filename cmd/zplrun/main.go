@@ -33,6 +33,8 @@
 //	              default; the flag exists to assert it explicitly —
 //	              combining it with -noprove is a usage error)
 //	-noprove      skip the prover: every array access stays checked
+//	-norace       skip the happens-before race & deadlock analyzer a
+//	              distributed compilation (-p > 1) runs by default
 //	-provefault n seed a one-element evidence fault into the n-th
 //	              proven site (soundness self-test; the differential
 //	              harness must observe the divergence)
@@ -114,6 +116,7 @@ func main() {
 	runCheck := flag.Bool("check", false, "run the static verifier between pipeline phases")
 	prove := flag.Bool("prove", false, "run the bounds prover and eliminate proven checks (the default; spell it to assert it)")
 	noProve := flag.Bool("noprove", false, "skip the bounds prover: every array access stays checked")
+	noRace := flag.Bool("norace", false, "skip the happens-before race analyzer on distributed compilations")
 	proveFault := flag.Int("provefault", 0, "seed an evidence fault into the n-th proven site (soundness self-test); 0 disables")
 	remarks := flag.Bool("remarks", false, "print optimization remarks to stderr before running")
 	timeout := flag.Duration("timeout", 0, "wall-clock deadline for compile+run; 0 disables")
@@ -187,7 +190,7 @@ func main() {
 	}
 
 	opt := driver.Options{Level: lvl, Configs: configs, Check: *runCheck, Backend: be,
-		NoProve: *noProve, ProveFault: *proveFault}
+		NoProve: *noProve, ProveFault: *proveFault, NoRace: *noRace}
 	if *planFile != "" {
 		data, err := os.ReadFile(*planFile)
 		if err != nil {

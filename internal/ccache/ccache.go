@@ -104,6 +104,12 @@ func Fingerprint(opt driver.Options) string {
 	if opt.ProveFault > 0 {
 		fmt.Fprintf(&b, ";provefault=%d", opt.ProveFault)
 	}
+	// Likewise the race analyzer: a cached entry carries the verdict
+	// census (Compilation.Races) that zpld replies and metrics consume,
+	// so an analyzer-off compilation must not alias the default one.
+	if opt.NoRace {
+		b.WriteString(";race=off")
+	}
 	if opt.Plan != nil {
 		// An externally supplied plan replaces the level as the
 		// artifact-shaping input; its content address stands in for it.

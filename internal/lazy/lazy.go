@@ -25,13 +25,21 @@
 // readback between Evals) and are therefore contraction candidates —
 // the whole point of issuing a multi-statement formula lazily.
 //
-// Engines are not safe for concurrent use; one goroutine per Engine.
+// Engines are safe for concurrent use: every public operation —
+// recording, sync points, read-backs — holds an engine-level mutex, so
+// concurrent operations are serialized atomically (a read-back observes
+// either all or none of another goroutine's pending recordings, and
+// exactly one of two racing Evals compiles the pending DAG). The
+// *order* in which unsynchronized goroutines record is, as always,
+// theirs to define; callers wanting a deterministic program order must
+// still coordinate who records first.
 package lazy
 
 import (
 	"context"
 	"fmt"
 	"io"
+	"sync"
 
 	"repro/internal/air"
 	"repro/internal/backend"
@@ -82,6 +90,9 @@ type Stats struct {
 // Engine owns handles, the pending operation list, the compilation
 // cache, and (for the native backend) the artifact store.
 type Engine struct {
+	// mu serializes every public operation; see the package comment.
+	mu sync.Mutex
+
 	opt   Options
 	out   io.Writer
 	cache *ccache.Cache
@@ -127,7 +138,11 @@ func (e *Engine) fail(err error) {
 
 // Err returns the engine's sticky deferred error, if any. Recording
 // after an error is a no-op; Eval and every read-back surface it.
-func (e *Engine) Err() error { return e.err }
+func (e *Engine) Err() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}
 
 // R builds an inline region literal from lo,hi bound pairs:
 // R(1, n) is [1..n], R(1, n, 1, m) is [1..n, 1..m]. It panics on a
@@ -188,6 +203,8 @@ type Handle struct {
 // array's final value is always observable through the handle, so it
 // is live at every Eval's exit and never a contraction candidate.
 func (e *Engine) Array(name string, r *sema.Region) *Handle {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	return e.newHandle(name, r, false)
 }
 
@@ -197,6 +214,8 @@ func (e *Engine) Array(name string, r *sema.Region) *Handle {
 // entirely. A Temp read before it is written within one Eval is a
 // deferred error — there is no prior value to read.
 func (e *Engine) Temp(name string, r *sema.Region) *Handle {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	return e.newHandle(name, r, true)
 }
 
@@ -254,6 +273,8 @@ type ScalarHandle struct {
 
 // Scalar allocates a scalar handle with an initial value.
 func (e *Engine) Scalar(name string, init float64) *ScalarHandle {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if name == "" {
 		name = fmt.Sprintf("x%d", e.nextScalar)
 	}
@@ -303,6 +324,8 @@ type op struct {
 // handle, so writing them would be silent data loss.
 func (h *Handle) Assign(r *sema.Region, rhs Expr) {
 	e := h.eng
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if e.err != nil {
 		return
 	}
@@ -325,6 +348,8 @@ func (h *Handle) Assign(r *sema.Region, rhs Expr) {
 // body over region r into the scalar.
 func (s *ScalarHandle) Reduce(rop air.ReduceOp, r *sema.Region, body Expr) {
 	e := s.eng
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if e.err != nil {
 		return
 	}
@@ -357,6 +382,8 @@ func (s *ScalarHandle) MinOf(r *sema.Region, body Expr) { s.Reduce(air.ReduceMin
 // backend. Accepted arguments: string, *ScalarHandle, Expr without
 // array reads, and numeric values (int, float64).
 func (e *Engine) Writeln(args ...interface{}) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if e.err != nil {
 		return
 	}
@@ -388,6 +415,8 @@ func (e *Engine) Writeln(args ...interface{}) {
 // program. Mostly useful for carving measurement windows; fusion
 // across the boundary is forgone.
 func (e *Engine) Barrier() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if e.err != nil {
 		return
 	}
@@ -415,6 +444,15 @@ func (e *Engine) Eval() error { return e.EvalCtx(context.Background()) }
 // EvalCtx is Eval with cancellation, consulted between pipeline phases
 // and during execution.
 func (e *Engine) EvalCtx(ctx context.Context) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.evalLocked(ctx)
+}
+
+// evalLocked is the sync-point body; callers hold e.mu. Read-backs
+// enter here directly so handle methods force pending work under the
+// same critical section that copies the values out.
+func (e *Engine) evalLocked(ctx context.Context) error {
 	if e.err != nil {
 		return e.err
 	}
@@ -538,7 +576,9 @@ func (h *Handle) Values() ([]float64, error) {
 	if h.temp {
 		return nil, fmt.Errorf("lazy: temp %s holds no value between evals", h.name)
 	}
-	if err := h.eng.Eval(); err != nil {
+	h.eng.mu.Lock()
+	defer h.eng.mu.Unlock()
+	if err := h.eng.evalLocked(context.Background()); err != nil {
 		return nil, err
 	}
 	out := make([]float64, h.region.Size())
@@ -557,7 +597,9 @@ func (h *Handle) SetValues(v []float64) error {
 		return fmt.Errorf("lazy: SetValues on %s: %d values, region %s holds %d",
 			h.name, len(v), h.region, h.region.Size())
 	}
-	if err := h.eng.Eval(); err != nil {
+	h.eng.mu.Lock()
+	defer h.eng.mu.Unlock()
+	if err := h.eng.evalLocked(context.Background()); err != nil {
 		return err
 	}
 	copy(h.hostData(), v)
@@ -580,7 +622,9 @@ func (h *Handle) Value(idx ...int) (float64, error) {
 		}
 		pos = pos*h.region.Extent(d) + (i - h.region.Lo[d])
 	}
-	if err := h.eng.Eval(); err != nil {
+	h.eng.mu.Lock()
+	defer h.eng.mu.Unlock()
+	if err := h.eng.evalLocked(context.Background()); err != nil {
 		return 0, err
 	}
 	return h.hostData()[pos], nil
@@ -588,7 +632,9 @@ func (h *Handle) Value(idx ...int) (float64, error) {
 
 // Value syncs and returns the scalar's current value.
 func (s *ScalarHandle) Value() (float64, error) {
-	if err := s.eng.Eval(); err != nil {
+	s.eng.mu.Lock()
+	defer s.eng.mu.Unlock()
+	if err := s.eng.evalLocked(context.Background()); err != nil {
 		return 0, err
 	}
 	return s.val, nil
@@ -597,7 +643,9 @@ func (s *ScalarHandle) Value() (float64, error) {
 // Set syncs pending work (which may still read the old value) and then
 // overwrites the scalar.
 func (s *ScalarHandle) Set(v float64) error {
-	if err := s.eng.Eval(); err != nil {
+	s.eng.mu.Lock()
+	defer s.eng.mu.Unlock()
+	if err := s.eng.evalLocked(context.Background()); err != nil {
 		return err
 	}
 	s.val = v
@@ -610,15 +658,25 @@ func (s *ScalarHandle) Set(v float64) error {
 // CacheStats snapshots the engine's compilation-cache counters; the
 // steady-state test asserts a second identical Eval adds hits and no
 // misses. ccache.Stats.Sub diffs two snapshots.
-func (e *Engine) CacheStats() ccache.Stats { return e.cache.Stats() }
+func (e *Engine) CacheStats() ccache.Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.cache.Stats()
+}
 
 // Stats snapshots the engine's activity counters.
-func (e *Engine) Stats() Stats { return e.stats }
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
 
 // Remarks returns the optimization remarks of the most recent Eval's
 // batches (fused/contracted and their negatives), in batch order.
 // Positions are the zero Pos — lazy programs have no source text.
 func (e *Engine) Remarks() []remark.Remark {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	out := make([]remark.Remark, len(e.remarks))
 	copy(out, e.remarks)
 	return out
@@ -628,6 +686,8 @@ func (e *Engine) Remarks() []remark.Remark {
 // backend, the store handle — artifacts on disk remain). The
 // fresh-compile-per-iteration experiment arm uses this.
 func (e *Engine) ClearCache() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	e.cache = ccache.New(e.opt.CacheBytes)
 }
 

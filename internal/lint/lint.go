@@ -18,8 +18,10 @@ import (
 	"repro/internal/absint"
 	"repro/internal/air"
 	"repro/internal/ast"
+	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/liveness"
+	"repro/internal/mhp"
 	"repro/internal/lower"
 	"repro/internal/parser"
 	"repro/internal/remark"
@@ -51,6 +53,10 @@ const (
 	RuleProvenBounds   = "proven-bounds"
 	RuleUnprovenBounds = "unproven-bounds"
 	RuleUnsafeBounds   = "unsafe-bounds"
+	RuleOrderedComm    = "proven-ordered-comm"
+	RuleUnprovenOrder  = "unproven-ordering"
+	RuleDataRace       = "data-race"
+	RuleCommDeadlock   = "comm-deadlock"
 )
 
 // Rules describes every rule for tool metadata (SARIF rule objects).
@@ -69,6 +75,10 @@ var Rules = []struct {
 	{RuleProvenBounds, "array access is proven in bounds; its runtime check is eliminated", SevNote},
 	{RuleUnprovenBounds, "array access cannot be proven in bounds; a runtime check remains", SevWarning},
 	{RuleUnsafeBounds, "array access is proven out-of-bounds for every execution", SevError},
+	{RuleOrderedComm, "conflicting cross-processor accesses are happens-before ordered", SevNote},
+	{RuleUnprovenOrder, "conflicting cross-processor accesses could not be proven ordered", SevWarning},
+	{RuleDataRace, "conflicting cross-processor accesses may happen in parallel", SevError},
+	{RuleCommDeadlock, "the communication schedule can block forever", SevError},
 }
 
 // Finding is one lint diagnostic.
@@ -104,6 +114,16 @@ type Options struct {
 	// proven-unsafe accesses are always reported; the proven notes are
 	// opt-in so clean programs stay finding-free by default.
 	BoundsNotes bool
+	// Procs, when > 1, lints the distributed compilation: communication
+	// is inserted for that many processors and the happens-before
+	// analyzer (internal/mhp) classifies every conflicting
+	// cross-processor access pair. Races and deadlocks are errors,
+	// unproven orderings warn.
+	Procs int
+	// RaceNotes emits one proven-ordered-comm note per conflicting pair
+	// the analyzer orders, carrying the happens-before chain as
+	// evidence (why each exchange is ordered). Opt-in like BoundsNotes.
+	RaceNotes bool
 }
 
 // Result is a lint run's output.
@@ -115,6 +135,9 @@ type Result struct {
 	// Bounds is the abstract interpreter's result at opt.Level, for
 	// callers that summarize the prover (proven/unknown/unsafe counts).
 	Bounds *absint.Result
+	// Races is the happens-before analysis of the distributed comm
+	// schedule; nil unless opt.Procs > 1.
+	Races *mhp.Result
 }
 
 // MaxSeverity returns the most severe finding level, or "" when clean.
@@ -148,14 +171,25 @@ func Run(src string, opt Options) (*Result, error) {
 	if errs.HasErrors() {
 		return nil, errs.Err()
 	}
-	plan := core.Apply(airProg, opt.Level)
+	var cfg core.Config
+	if opt.Procs > 1 {
+		comm.Insert(airProg, comm.DefaultOptions(opt.Procs))
+		// Distributed arrays cannot host realigned temporaries (mirrors
+		// the driver's distributed planning configuration).
+		cfg.DisableRealign = true
+	}
+	plan := core.ApplyEx(airProg, opt.Level, cfg)
 	lirProg, err := scalarize.Scalarize(airProg, plan)
 	if err != nil {
 		return nil, err
 	}
 	bounds := absint.Analyze(lirProg)
+	var races *mhp.Result
+	if opt.Procs > 1 {
+		races = mhp.Analyze(mhp.BuildSchedule(lirProg, opt.Procs))
+	}
 
-	res := &Result{Remarks: plan.Remarks, Bounds: bounds}
+	res := &Result{Remarks: plan.Remarks, Bounds: bounds, Races: races}
 	var fs []Finding
 	fs = append(fs, arrayUsage(info)...)
 	fs = append(fs, regionRules(info)...)
@@ -164,6 +198,7 @@ func Run(src string, opt Options) (*Result, error) {
 	fs = append(fs, deadStmts(airProg)...)
 	fs = append(fs, wouldContract(plan)...)
 	fs = append(fs, boundsFindings(bounds, opt.BoundsNotes)...)
+	fs = append(fs, raceFindings(races, opt.RaceNotes)...)
 	for i := range fs {
 		fs[i].File = opt.File
 	}
@@ -603,6 +638,38 @@ func boundsFindings(r *absint.Result, notes bool) []Finding {
 		case absint.ProvenUnsafe:
 			out = append(out, Finding{Rule: RuleUnsafeBounds, Severity: SevError, Pos: s.Pos,
 				Message: fmt.Sprintf("%s of %s is proven out-of-bounds: %s", rw, s.Array, s.Reason)})
+		}
+	}
+	return out
+}
+
+// raceFindings surfaces the happens-before analyzer's verdicts on a
+// distributed lint: a race or deadlock is an error, an unproven
+// ordering warns, and — when notes is set — each proven-ordered
+// conflicting pair carries a note with the happens-before chain that
+// orders it (the evidence for why the exchange is safe).
+func raceFindings(r *mhp.Result, notes bool) []Finding {
+	if r == nil {
+		return nil
+	}
+	var out []Finding
+	for _, d := range r.Deadlocks {
+		out = append(out, Finding{Rule: RuleCommDeadlock, Severity: SevError, Pos: d.Pos,
+			Message: fmt.Sprintf("deadlock: %s", d.Message)})
+	}
+	for _, p := range r.Pairs {
+		switch p.Verdict {
+		case mhp.ProvenOrdered:
+			if notes {
+				out = append(out, Finding{Rule: RuleOrderedComm, Severity: SevNote, Pos: p.Second.Pos,
+					Message: fmt.Sprintf("%s and %s are ordered: %s", p.First, p.Second, p.Evidence)})
+			}
+		case mhp.Unknown:
+			out = append(out, Finding{Rule: RuleUnprovenOrder, Severity: SevWarning, Pos: p.Second.Pos,
+				Message: fmt.Sprintf("cannot prove %s ordered against %s: %s", p.First, p.Second, p.Evidence)})
+		case mhp.Race:
+			out = append(out, Finding{Rule: RuleDataRace, Severity: SevError, Pos: p.Second.Pos,
+				Message: fmt.Sprintf("%s may happen in parallel with %s: %s", p.First, p.Second, p.Evidence)})
 		}
 	}
 	return out

@@ -10,6 +10,7 @@ import (
 	"repro/internal/absint"
 	"repro/internal/ccache"
 	"repro/internal/lint"
+	"repro/internal/mhp"
 	"repro/internal/phase"
 	"repro/internal/remark"
 )
@@ -32,6 +33,8 @@ type Metrics struct {
 	lints    map[string]int64 // lint findings per severity ("rule|severity")
 	remarks  map[string]int64 // optimization remarks per kind
 	bounds   map[string]int64 // prover sites per verdict (proven|unknown|unsafe)
+	races    map[string]int64 // race-analyzer pairs per verdict
+	deadlock int64            // race-analyzer deadlock findings
 
 	backendBuilds map[string]int64 // native artifact builds per outcome (hit|miss|error)
 	backendRuns   map[string]int64 // native executions ("backend|outcome")
@@ -47,6 +50,7 @@ func NewMetrics() *Metrics {
 		lints:         map[string]int64{},
 		remarks:       map[string]int64{},
 		bounds:        map[string]int64{},
+		races:         map[string]int64{},
 		backendBuilds: map[string]int64{},
 		backendRuns:   map[string]int64{},
 		Phases:        phase.NewCollector(),
@@ -108,6 +112,18 @@ func (m *Metrics) Bounds(r *absint.Result) {
 	m.bounds["proven"] += int64(r.NumProven)
 	m.bounds["unknown"] += int64(r.NumUnknown)
 	m.bounds["unsafe"] += int64(r.NumUnsafe)
+	m.mu.Unlock()
+}
+
+// Races counts one fresh distributed compilation's happens-before
+// pairs by verdict — zpld_race_pairs_total{verdict} — plus its
+// deadlock findings. Recorded only on cache misses, like Bounds.
+func (m *Metrics) Races(r *mhp.Result) {
+	m.mu.Lock()
+	m.races["proven-ordered"] += int64(r.NumOrdered)
+	m.races["race"] += int64(r.NumRace)
+	m.races["unknown"] += int64(r.NumUnknown)
+	m.deadlock += int64(len(r.Deadlocks))
 	m.mu.Unlock()
 }
 
@@ -201,6 +217,18 @@ func (m *Metrics) Render(cs, ts ccache.Stats) string {
 		for _, k := range bk {
 			fmt.Fprintf(&b, "zpld_bounds_sites_total{verdict=%q} %d\n", k, m.bounds[k])
 		}
+	}
+	if len(m.races) > 0 {
+		rk := make([]string, 0, len(m.races))
+		for k := range m.races {
+			rk = append(rk, k)
+		}
+		sort.Strings(rk)
+		b.WriteString("# TYPE zpld_race_pairs_total counter\n")
+		for _, k := range rk {
+			fmt.Fprintf(&b, "zpld_race_pairs_total{verdict=%q} %d\n", k, m.races[k])
+		}
+		fmt.Fprintf(&b, "# TYPE zpld_race_deadlocks_total counter\nzpld_race_deadlocks_total %d\n", m.deadlock)
 	}
 	if len(m.backendBuilds) > 0 {
 		bk := make([]string, 0, len(m.backendBuilds))

@@ -178,6 +178,12 @@ type CompileResponse struct {
 	// Bounds summarizes the abstract-interpretation bounds prover
 	// (absent when the request set noprove).
 	Bounds *BoundsSummary `json:"bounds,omitempty"`
+
+	// Races summarizes the happens-before race & deadlock analyzer
+	// (distributed compilations only). A successful compilation always
+	// has zero races and deadlocks — the analyzer is a compile gate —
+	// so the census reports what was proven, not what slipped through.
+	Races *RaceSummary `json:"races,omitempty"`
 }
 
 // BoundsSummary is the prover's verdict census for one compilation.
@@ -186,6 +192,16 @@ type BoundsSummary struct {
 	Proven  int `json:"proven"`
 	Unknown int `json:"unknown,omitempty"`
 	Unsafe  int `json:"unsafe,omitempty"`
+}
+
+// RaceSummary is the happens-before analyzer's verdict census for one
+// distributed compilation.
+type RaceSummary struct {
+	Pairs     int `json:"pairs"`   // conflicting cross-processor access pairs
+	Ordered   int `json:"ordered"` // proven happens-before ordered
+	Race      int `json:"race,omitempty"`
+	Unknown   int `json:"unknown,omitempty"`
+	Deadlocks int `json:"deadlocks,omitempty"`
 }
 
 // RunResponse is the JSON reply of /run.
@@ -456,6 +472,12 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request, run bool) {
 			Unknown: b.NumUnknown, Unsafe: b.NumUnsafe,
 		}
 	}
+	if rr := entry.Comp.Races; rr != nil {
+		cresp.Races = &RaceSummary{
+			Pairs: len(rr.Pairs), Ordered: rr.NumOrdered,
+			Race: rr.NumRace, Unknown: rr.NumUnknown, Deadlocks: len(rr.Deadlocks),
+		}
+	}
 	if req.EmitGo {
 		cresp.GoSource = entry.GoSrc
 	}
@@ -465,6 +487,9 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request, run bool) {
 		s.metrics.Remarks(remark.CountByKind(entry.Comp.Plan.Remarks))
 		if entry.Comp.Bounds != nil {
 			s.metrics.Bounds(entry.Comp.Bounds)
+		}
+		if entry.Comp.Races != nil {
+			s.metrics.Races(entry.Comp.Races)
 		}
 	}
 	if req.Remarks {

@@ -447,6 +447,31 @@ func TestDistributedRun(t *testing.T) {
 	if !transcriptsClose(seq.Output, dist.Output) {
 		t.Errorf("distributed output %q != sequential %q", dist.Output, seq.Output)
 	}
+
+	// The distributed reply carries the happens-before verdict census;
+	// the sequential one has no schedule to analyze.
+	if seq.Races != nil {
+		t.Errorf("sequential reply has a race summary: %+v", seq.Races)
+	}
+	switch {
+	case dist.Races == nil:
+		t.Errorf("distributed reply lacks the race summary")
+	case dist.Races.Ordered == 0 || dist.Races.Pairs == 0:
+		t.Errorf("race summary proved nothing: %+v", dist.Races)
+	case dist.Races.Race != 0 || dist.Races.Deadlocks != 0:
+		t.Errorf("a racy schedule compiled: %+v", dist.Races)
+	}
+
+	// The fresh distributed compile recorded the verdict census metric.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	mb, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(mb), `zpld_race_pairs_total{verdict="proven-ordered"}`) {
+		t.Errorf("metrics lack zpld_race_pairs_total:\n%s", mb)
+	}
 }
 
 // transcriptsClose mirrors the CLI test helper: token-wise comparison
