@@ -9,7 +9,7 @@ GOVULNCHECK_VERSION ?= v1.1.3
 
 .PHONY: all build test vet race check serve-test ci experiments \
 	lint-self staticcheck govulncheck audit tune-smoke backend-diff \
-	prove-fuzz prove-smoke lazy-smoke race-smoke race-sweep
+	prove-fuzz prove-smoke lazy-smoke race-smoke race-sweep cluster-smoke
 
 all: build test
 
@@ -138,7 +138,19 @@ race-sweep: build
 		echo "racefault $$k: caught (exit 1)"; \
 	done
 
-ci: vet test race serve-test check lint-self audit staticcheck govulncheck tune-smoke backend-diff prove-fuzz prove-smoke lazy-smoke race-smoke race-sweep
+# Cluster smoke: three zpld processes sharing one consistent-hash
+# ring, zplload driving the whole cluster round-robin, then the
+# acceptance properties — cross-node hit rate above 50%, bit-identical
+# responses from every node, disk rehydration across a restart with
+# zero recompiles, and continued service after a peer is killed. The
+# in-process tier suite (internal/store) and the multi-server svc
+# tests run under the race detector alongside.
+cluster-smoke: build
+	$(GO) test -race -count=1 ./internal/store
+	$(GO) test -race -count=1 -run 'TestCluster|TestDiskTier' -v ./internal/svc
+	$(GO) test -count=1 -run 'TestClusterEndToEnd' -v .
+
+ci: vet test race serve-test check lint-self audit staticcheck govulncheck tune-smoke backend-diff prove-fuzz prove-smoke lazy-smoke race-smoke race-sweep cluster-smoke
 
 experiments:
 	$(GO) run ./cmd/experiments

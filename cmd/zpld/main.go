@@ -26,6 +26,24 @@
 //	-drain d           graceful-shutdown grace period (default 10s)
 //	-quiet             suppress the JSON request log on stderr
 //
+// Cluster flags (see DESIGN.md §17):
+//
+//	-cache-dir d       disk tier: content-addressed artifact directory
+//	                   that survives restarts (default $ZPL_CACHE_DIR;
+//	                   "" disables the tier). Safe to share between the
+//	                   processes of one host.
+//	-self a            this node's address in the -peers list
+//	-peers a,b,c       static cluster member list (host:port each).
+//	                   Compilation keys are routed by consistent
+//	                   hashing: each key has one owner node, compiles
+//	                   once cluster-wide, and artifacts travel by
+//	                   content hash over /store/get and /store/put.
+//	-peer-timeout d    per-attempt peer call deadline (default 2s)
+//	-claim-ttl d       how long a compile claim shields a key (default 30s)
+//	-peer-wait d       cap on waiting for a peer's in-flight compile
+//	                   (default 10s)
+//	-max-peer-bytes n  largest artifact accepted from a peer (default 32 MiB)
+//
 // SIGINT/SIGTERM drain the server: the health check flips to 503, new
 // requests are refused, and in-flight work gets the -drain grace.
 package main
@@ -39,9 +57,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/store"
 	"repro/internal/svc"
 )
 
@@ -58,6 +78,13 @@ func main() {
 	artifactDir := flag.String("artifact-dir", "", "native-artifact store for backend \"go\" (\"\" = default location)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown grace period")
 	quiet := flag.Bool("quiet", false, "suppress the JSON request log")
+	cacheDir := flag.String("cache-dir", os.Getenv(store.DirEnv), "disk cache tier directory (\"\" disables)")
+	self := flag.String("self", "", "this node's address in the -peers list")
+	peers := flag.String("peers", "", "comma-separated cluster member list (host:port each)")
+	peerTimeout := flag.Duration("peer-timeout", 0, "per-attempt peer call deadline (0 = 2s)")
+	claimTTL := flag.Duration("claim-ttl", 0, "compile-claim lease duration (0 = 30s)")
+	peerWait := flag.Duration("peer-wait", 0, "cap on waiting for a peer's in-flight compile (0 = 10s)")
+	maxPeerBytes := flag.Int64("max-peer-bytes", 0, "largest artifact accepted from a peer (0 = 32 MiB)")
 	flag.Parse()
 
 	cfg := svc.Config{
@@ -71,6 +98,17 @@ func main() {
 		MaxSteps:       *maxSteps,
 		ArtifactDir:    *artifactDir,
 		DrainTimeout:   *drain,
+		CacheDir:       *cacheDir,
+		Self:           *self,
+		PeerTimeout:    *peerTimeout,
+		ClaimTTL:       *claimTTL,
+		PeerWait:       *peerWait,
+		MaxPeerBytes:   *maxPeerBytes,
+	}
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			cfg.Peers = append(cfg.Peers, p)
+		}
 	}
 	if !*quiet {
 		cfg.Logs = os.Stderr
@@ -78,6 +116,12 @@ func main() {
 	s := svc.New(cfg)
 	if !s.NativeAvailable() {
 		fmt.Fprintln(os.Stderr, "zpld: native backend unavailable (no go toolchain); backend \"go\" requests will be refused")
+	}
+	for _, w := range s.Warnings() {
+		fmt.Fprintln(os.Stderr, "zpld: warning:", w)
+	}
+	if s.Clustered() {
+		fmt.Fprintf(os.Stderr, "zpld: cluster self=%s members=%d\n", *self, len(cfg.Peers))
 	}
 
 	l, err := net.Listen("tcp", *addr)

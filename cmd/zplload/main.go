@@ -9,6 +9,12 @@
 //	zplload [flags]
 //
 //	-addr url      zpld base URL (default http://127.0.0.1:8348)
+//	-targets u,v   cluster mode: comma-separated zpld base URLs;
+//	               requests round-robin across them and the report adds
+//	               per-node cache behavior plus the cluster's cross-node
+//	               hit rate (the fraction of the nodes x variants
+//	               compiles that isolated nodes would have run but the
+//	               cluster avoided by sharing artifacts)
 //	-n count       total requests (default 200)
 //	-c n           concurrent clients (default 16)
 //	-duration d    run for a duration instead of a fixed count
@@ -86,6 +92,7 @@ type result struct {
 
 func main() {
 	addr := flag.String("addr", "http://127.0.0.1:8348", "zpld base URL")
+	targetsFlag := flag.String("targets", "", "cluster mode: comma-separated zpld base URLs (overrides -addr)")
 	n := flag.Int("n", 200, "total requests")
 	conc := flag.Int("c", 16, "concurrent clients")
 	duration := flag.Duration("duration", 0, "run for a duration instead of a fixed count")
@@ -104,7 +111,19 @@ func main() {
 	if *distinct < 1 {
 		*distinct = 1
 	}
-	url := strings.TrimSuffix(*addr, "/") + "/" + *endpoint
+	targets := []string{strings.TrimSuffix(*addr, "/")}
+	if *targetsFlag != "" {
+		targets = targets[:0]
+		for _, tg := range strings.Split(*targetsFlag, ",") {
+			if tg = strings.TrimSpace(tg); tg != "" {
+				targets = append(targets, strings.TrimSuffix(tg, "/"))
+			}
+		}
+		if len(targets) == 0 {
+			fmt.Fprintln(os.Stderr, "zplload: -targets is empty")
+			os.Exit(2)
+		}
+	}
 
 	// Pre-marshal every variant body: variant 0 is the hot key, the
 	// others shift the problem size (a different content address).
@@ -122,7 +141,10 @@ func main() {
 		bodies[v] = b
 	}
 
-	before := scrapeCache(*addr)
+	before := make([]map[string]float64, len(targets))
+	for i, tg := range targets {
+		before[i] = scrapeCache(tg)
+	}
 
 	client := &http.Client{Timeout: 2 * time.Minute}
 	var issued atomic.Int64
@@ -157,6 +179,9 @@ func main() {
 				if float64(i%100) >= *hot*100 {
 					variant = 1 + int(i)%*distinct
 				}
+				// Round-robin across the cluster: every node sees every
+				// variant, so cross-node sharing is actually exercised.
+				url := targets[int(i)%len(targets)] + "/" + *endpoint
 				rt0 := time.Now()
 				resp, err := client.Post(url, "application/json", bytes.NewReader(bodies[variant]))
 				r := result{dur: time.Since(rt0), err: err}
@@ -222,17 +247,46 @@ func main() {
 			q(0.99).Round(time.Microsecond), durs[total-1].Round(time.Microsecond))
 	}
 
-	if after := scrapeCache(*addr); after != nil && before != nil {
-		hits := after["zpld_cache_hits_total"] - before["zpld_cache_hits_total"]
-		misses := after["zpld_cache_misses_total"] - before["zpld_cache_misses_total"]
-		dedup := after["zpld_cache_dedup_hits_total"] - before["zpld_cache_dedup_hits_total"]
+	var sumPeer, sumMisses float64
+	for i, tg := range targets {
+		after := scrapeCache(tg)
+		if after == nil || before[i] == nil {
+			continue
+		}
+		d := func(name string) float64 { return after[name] - before[i][name] }
+		hits := d("zpld_cache_hits_total")
+		misses := d("zpld_cache_misses_total")
+		dedup := d("zpld_cache_dedup_hits_total")
 		den := hits + misses + dedup
 		rate := 0.0
 		if den > 0 {
-			rate = float64(hits+dedup) / float64(den) * 100
+			rate = (hits + dedup) / den * 100
 		}
-		fmt.Printf("zplload: cache: %.0f hits, %.0f misses, %.0f dedup (hit rate %.1f%%)\n",
-			hits, misses, dedup, rate)
+		if len(targets) == 1 {
+			fmt.Printf("zplload: cache: %.0f hits, %.0f misses, %.0f dedup (hit rate %.1f%%)\n",
+				hits, misses, dedup, rate)
+			break
+		}
+		mem := d(`zpld_store_tier_hits_total{store="compile",tier="mem"}`)
+		disk := d(`zpld_store_tier_hits_total{store="compile",tier="disk"}`)
+		peer := d(`zpld_store_tier_hits_total{store="compile",tier="peer"}`)
+		fmt.Printf("zplload: node %s: %.0f hits (%.0f mem, %.0f disk, %.0f peer), %.0f misses, %.0f dedup (hit rate %.1f%%)\n",
+			tg, hits, mem, disk, peer, misses, dedup, rate)
+		sumPeer += peer
+		sumMisses += misses
+	}
+	if len(targets) > 1 {
+		// Cross-node hit rate: isolated nodes would each compile every
+		// variant themselves (nodes × variants compiles — the in-memory
+		// cache already absorbs repeats); the rate is the fraction of
+		// those compiles the cluster avoided by sharing artifacts.
+		expected := float64(len(targets) * (*distinct + 1))
+		cross := (1 - sumMisses/expected) * 100
+		if cross < 0 {
+			cross = 0
+		}
+		fmt.Printf("zplload: cluster: %d variants x %d nodes -> %.0f compiles, %.0f peer fetches (cross-node hit rate %.1f%%)\n",
+			*distinct+1, len(targets), sumMisses, sumPeer, cross)
 	}
 
 	if failures > 0 {
@@ -240,7 +294,10 @@ func main() {
 	}
 }
 
-// scrapeCache fetches /metrics and extracts the unlabeled counters.
+// scrapeCache fetches /metrics and extracts the counters, keyed by
+// the full exposition name — labels included verbatim, so cluster
+// tier counters are addressable as e.g.
+// zpld_store_tier_hits_total{store="compile",tier="peer"}.
 func scrapeCache(addr string) map[string]float64 {
 	resp, err := http.Get(strings.TrimSuffix(addr, "/") + "/metrics")
 	if err != nil {
@@ -256,10 +313,11 @@ func scrapeCache(addr string) map[string]float64 {
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
-		name, val, ok := strings.Cut(line, " ")
-		if !ok || strings.Contains(name, "{") {
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
 			continue
 		}
+		name, val := line[:i], line[i+1:]
 		f, err := strconv.ParseFloat(val, 64)
 		if err == nil {
 			out[name] = f

@@ -144,8 +144,17 @@ func KeyOfKind(source string, opt driver.Options, kind ArtifactKind) Key {
 // the /tune endpoint folds its search bounds and cost-model choice
 // in, so differently-bounded searches of one source cache separately.
 func KeyOfExtra(source string, opt driver.Options, extra string) Key {
+	return KeyOfParts(Fingerprint(opt), extra, source)
+}
+
+// KeyOfParts derives a content address from an already-rendered
+// options fingerprint, the extra dimension, and the source text. It is
+// the hash KeyOfExtra computes, split out so tools that already hold a
+// rendered fingerprint (internal/store, offline cache inspection) can
+// derive keys without reconstructing a driver.Options value.
+func KeyOfParts(fingerprint, extra, source string) Key {
 	h := sha256.New()
-	h.Write([]byte(Fingerprint(opt)))
+	h.Write([]byte(fingerprint))
 	if extra != "" {
 		h.Write([]byte{1})
 		h.Write([]byte(extra))
@@ -157,6 +166,39 @@ func KeyOfExtra(source string, opt driver.Options, extra string) Key {
 	return k
 }
 
+// Meta is the serializable response metadata of one artifact: the
+// counts and verdict censuses a service reports about a compilation.
+// It is derived once, at compile time, from the full Compilation —
+// and because it is plain data it travels with the entry through the
+// disk and peer tiers of internal/store, where the deep IR structures
+// (AIR, plan, sema info) do not. An entry rehydrated from another
+// process carries Comp.LIR (enough to execute) plus Meta (enough to
+// answer); consumers must read these fields rather than reaching into
+// Comp.AIR or Comp.Plan, which are nil on rehydrated entries.
+type Meta struct {
+	NestCount  int // loop nests after fusion
+	Arrays     int // static arrays before contraction
+	Contracted int // arrays eliminated (compiler + user)
+
+	Bounds *BoundsMeta // bounds-prover census; nil when the prover was off
+	Races  *RaceMeta   // race-analyzer census; nil for sequential programs
+
+	// RemarksJSON is the serialized []remark.Remark of the plan, kept
+	// in wire form so rehydrated entries can answer remark requests
+	// without carrying the plan object graph.
+	RemarksJSON []byte
+}
+
+// BoundsMeta is the bounds prover's verdict census.
+type BoundsMeta struct {
+	Sites, Proven, Unknown, Unsafe int
+}
+
+// RaceMeta is the happens-before analyzer's verdict census.
+type RaceMeta struct {
+	Pairs, Ordered, Race, Unknown, Deadlocks int
+}
+
 // Entry is one cached compilation artifact: the compiled program
 // (AIR/LIR), the generated Go source, and the experiment-ready plan
 // metadata the service reports without re-deriving.
@@ -165,6 +207,7 @@ type Entry struct {
 	Kind   ArtifactKind // what the entry holds; "" means ArtifactIR
 	Source string
 	Comp   *driver.Compilation
+	Meta   *Meta  // serializable response metadata (see Meta)
 	GoSrc  string // generated Go program ("" when emission was not requested)
 	Plan   string // plan summary: contraction counts, nests, comm stats
 	// Bin is the path of the built native binary in the backend's
@@ -187,6 +230,9 @@ type Entry struct {
 // generous so the byte bound errs toward evicting early).
 func SizeOf(e *Entry) int64 {
 	n := int64(len(e.Source) + len(e.GoSrc) + len(e.Plan) + len(e.Aux) + len(e.Bin) + len(e.BinKey))
+	if e.Meta != nil {
+		n += int64(len(e.Meta.RemarksJSON)) + 128
+	}
 	if e.Comp != nil && e.Comp.LIR != nil {
 		n += 128 * countNodes(e.Comp.LIR)
 	}
@@ -361,6 +407,31 @@ func (c *Cache) Get(k Key) (*Entry, bool) {
 	c.ll.MoveToFront(el)
 	c.hits++
 	return el.Value.(*Entry), true
+}
+
+// Peek returns the entry for k without touching counters or recency —
+// the read used when this cache is one tier of a larger store and the
+// store keeps its own accounting (a peer serving an artifact out of
+// its memory tier must not inflate that node's request hit rate).
+func (c *Cache) Peek(k Key) (*Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[k]
+	if !ok {
+		return nil, false
+	}
+	return el.Value.(*Entry), true
+}
+
+// Put inserts an entry computed (or fetched) outside GetOrCompute —
+// the promotion path of the tiered store, which runs its own
+// singleflight across all tiers and uses this cache purely as the
+// memory tier. Eviction and the byte bound apply as for computed
+// entries; inserting an already-resident key refreshes its recency.
+func (c *Cache) Put(k Key, e *Entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.insertLocked(k, e)
 }
 
 func (c *Cache) insertLocked(k Key, e *Entry) {

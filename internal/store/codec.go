@@ -1,0 +1,169 @@
+// codec.go encodes cache entries into the portable envelope that
+// travels through the disk and peer tiers: a magic header, a SHA-256
+// payload checksum, and a gob-encoded body carrying the entry's
+// serializable artifact — the canonical source, the executable LIR
+// (the VM's program form), the generated Go source, the plan summary,
+// and the response metadata (ccache.Meta).
+//
+// What deliberately does NOT travel:
+//
+//   - Comp.AIR / Comp.Plan / Comp.Info — the deep planning structures
+//     a response never needs once Meta is precomputed;
+//   - Entry.Bin — the native binary's path is local to one machine's
+//     artifact store; the Go *source* travels, and each node rebuilds
+//     through its own content-addressed backend store (normally a
+//     build-cache hit after the first run).
+//
+// The gob encoding flattens pointers, so shared *sema.Region values
+// decode as copies. That is sound here because the executors compare
+// regions by value and never mutate a compiled program (the invariant
+// ccache already relies on to share entries by reference); the codec
+// differential test re-proves it by running an encode/decode round
+// trip against the original on the VM and requiring byte-identical
+// output.
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/gob"
+	"fmt"
+
+	"repro/internal/air"
+	"repro/internal/ccache"
+	"repro/internal/driver"
+	"repro/internal/lir"
+)
+
+// envelope layout: magic | 32-byte SHA-256(payload) | payload.
+const envMagic = "ZPLSTORE1\n"
+
+// portable is the gob body of an envelope.
+type portable struct {
+	// Key is the entry's content address, carried so a receiving node
+	// can check that the sender routed the artifact to the key it
+	// claims (a sender-side routing bug, not a tamper defense — the
+	// cluster trusts its static members).
+	Key    ccache.Key
+	Kind   string
+	Source string
+	Plan   string
+	GoSrc  string
+	BinKey string
+	Aux    []byte
+	Meta   *ccache.Meta
+	// LIR is the executable program; nil for payload-only entries
+	// (ArtifactTune results live entirely in Aux).
+	LIR *lir.Program
+}
+
+func init() {
+	// Every concrete type reachable through an interface field of the
+	// LIR graph must be registered for gob: lir.Node, air.Node,
+	// air.Stmt, and air.Expr implementations.
+	gob.Register(&lir.Nest{})
+	gob.Register(&lir.ScalarAssign{})
+	gob.Register(&lir.PartialReduce{})
+	gob.Register(&lir.Loop{})
+	gob.Register(&lir.While{})
+	gob.Register(&lir.If{})
+	gob.Register(&lir.Comm{})
+	gob.Register(&lir.Call{})
+	gob.Register(&lir.Return{})
+	gob.Register(&lir.Writeln{})
+
+	gob.Register(&air.Block{})
+	gob.Register(&air.Loop{})
+	gob.Register(&air.While{})
+	gob.Register(&air.If{})
+
+	gob.Register(&air.ArrayStmt{})
+	gob.Register(&air.ScalarStmt{})
+	gob.Register(&air.ReduceStmt{})
+	gob.Register(&air.PartialReduceStmt{})
+	gob.Register(&air.CommStmt{})
+	gob.Register(&air.WritelnStmt{})
+	gob.Register(&air.CallStmt{})
+	gob.Register(&air.ReturnStmt{})
+
+	gob.Register(&air.RefExpr{})
+	gob.Register(&air.ScalarExpr{})
+	gob.Register(&air.IndexExpr{})
+	gob.Register(&air.ConstExpr{})
+	gob.Register(&air.BinExpr{})
+	gob.Register(&air.UnExpr{})
+	gob.Register(&air.CallExpr{})
+}
+
+// Encode renders an entry as a self-checking envelope.
+func Encode(e *ccache.Entry) ([]byte, error) {
+	p := portable{
+		Key:    e.Key,
+		Kind:   string(e.Kind),
+		Source: e.Source,
+		Plan:   e.Plan,
+		GoSrc:  e.GoSrc,
+		BinKey: e.BinKey,
+		Aux:    e.Aux,
+		Meta:   e.Meta,
+	}
+	if e.Comp != nil {
+		p.LIR = e.Comp.LIR
+	}
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(&p); err != nil {
+		return nil, fmt.Errorf("store: encode: %w", err)
+	}
+	sum := sha256.Sum256(body.Bytes())
+	out := make([]byte, 0, len(envMagic)+len(sum)+body.Len())
+	out = append(out, envMagic...)
+	out = append(out, sum[:]...)
+	out = append(out, body.Bytes()...)
+	return out, nil
+}
+
+// Verify checks an envelope's framing and payload checksum without
+// decoding the body — the cheap integrity gate used before relaying
+// disk bytes to a peer.
+func Verify(raw []byte) error {
+	if len(raw) < len(envMagic)+sha256.Size {
+		return fmt.Errorf("store: envelope truncated (%d bytes)", len(raw))
+	}
+	if string(raw[:len(envMagic)]) != envMagic {
+		return fmt.Errorf("store: bad envelope magic")
+	}
+	sum := raw[len(envMagic) : len(envMagic)+sha256.Size]
+	if got := sha256.Sum256(raw[len(envMagic)+sha256.Size:]); !bytes.Equal(got[:], sum) {
+		return fmt.Errorf("store: envelope checksum mismatch")
+	}
+	return nil
+}
+
+// Decode parses an envelope back into an entry. Any corruption — a
+// truncated file, a bad checksum, an undecodable body — returns an
+// error; tiers treat that as a miss (and the disk tier deletes the
+// offender so the next compute repairs it).
+func Decode(raw []byte) (*ccache.Entry, error) {
+	if err := Verify(raw); err != nil {
+		return nil, err
+	}
+	body := raw[len(envMagic)+sha256.Size:]
+	var p portable
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&p); err != nil {
+		return nil, fmt.Errorf("store: decode: %w", err)
+	}
+	e := &ccache.Entry{
+		Key:    p.Key,
+		Kind:   ccache.ArtifactKind(p.Kind),
+		Source: p.Source,
+		Plan:   p.Plan,
+		GoSrc:  p.GoSrc,
+		BinKey: p.BinKey,
+		Aux:    p.Aux,
+		Meta:   p.Meta,
+	}
+	if p.LIR != nil {
+		e.Comp = &driver.Compilation{LIR: p.LIR}
+	}
+	return e, nil
+}

@@ -1,0 +1,81 @@
+// ring.go places keys on cluster members by consistent hashing. Each
+// member contributes a fixed number of virtual points on a ring of
+// uint64 positions; a key is owned by the member whose point is the
+// first at or clockwise after the key's position. Virtual points keep
+// the key space spread roughly evenly across a small static member
+// list, and adding or removing one member moves only the keys in the
+// arcs it owned — other members' artifacts stay put.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/ccache"
+)
+
+// vnodesPerMember is the number of ring points each member gets. 128
+// keeps the worst member's share within a few percent of uniform for
+// the small (3–16 node) static clusters this store targets.
+const vnodesPerMember = 128
+
+type ringPoint struct {
+	pos    uint64
+	member string
+}
+
+// Ring is an immutable consistent-hash ring over a static member list.
+type Ring struct {
+	points  []ringPoint
+	members []string
+}
+
+// NewRing builds a ring from the member list (duplicates are dropped,
+// order is irrelevant). An empty list yields a ring whose Owner is
+// always "", meaning "no owner: handle everything locally".
+func NewRing(members []string) *Ring {
+	seen := map[string]bool{}
+	r := &Ring{}
+	for _, m := range members {
+		if m == "" || seen[m] {
+			continue
+		}
+		seen[m] = true
+		r.members = append(r.members, m)
+		for i := 0; i < vnodesPerMember; i++ {
+			sum := sha256.Sum256([]byte(fmt.Sprintf("%s#%d", m, i)))
+			r.points = append(r.points, ringPoint{
+				pos:    binary.BigEndian.Uint64(sum[:8]),
+				member: m,
+			})
+		}
+	}
+	sort.Strings(r.members)
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].pos != r.points[j].pos {
+			return r.points[i].pos < r.points[j].pos
+		}
+		// Tie-break on member name so ring order is deterministic
+		// across nodes even in the astronomically unlikely collision.
+		return r.points[i].member < r.points[j].member
+	})
+	return r
+}
+
+// Members returns the sorted member list.
+func (r *Ring) Members() []string { return r.members }
+
+// Owner returns the member owning key k, or "" for an empty ring.
+func (r *Ring) Owner(k ccache.Key) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	pos := binary.BigEndian.Uint64(k[:8])
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].pos >= pos })
+	if i == len(r.points) {
+		i = 0 // wrap around
+	}
+	return r.points[i].member
+}

@@ -1,0 +1,338 @@
+// Package store is zpld's tiered content-addressed artifact store:
+// the sharding and persistence layer that turns N daemons with
+// private in-memory caches into one logical cluster cache.
+//
+// A lookup falls through three tiers:
+//
+//	mem   — the process-local byte-bounded LRU (internal/ccache),
+//	        unchanged: the hot tier, holding decoded entries.
+//	disk  — a content-addressed directory of encoded entries that
+//	        survives restarts (disk.go); every artifact this node
+//	        sees is written through, so a restarted node rehydrates
+//	        without recompiling.
+//	peer  — the other members of a static cluster, addressed by
+//	        consistent hashing (ring.go): each key has one owner
+//	        node, and non-owners fetch from / publish to it over the
+//	        /store/get+/store/put protocol (peer.go, node.go).
+//
+// Singleflight holds across all tiers: in-process callers join one
+// flight; across the cluster, a compile claim on the key's owner
+// (node.go) makes a thundering herd on one cold key compile exactly
+// once — every other node blocks briefly on the owner and receives
+// the artifact by content hash.
+//
+// Failure semantics: the peer tier is an optimization, never a
+// dependency. A dead owner, a timeout, a checksum mismatch, an
+// oversized artifact — each degrades to the local path (disk, then
+// compile). Store lookups return errors only from the compute
+// function itself.
+package store
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/ccache"
+)
+
+// Tier names as reported in Result and metrics.
+const (
+	TierMem  = "mem"
+	TierDisk = "disk"
+	TierPeer = "peer"
+)
+
+// Result says how a lookup was served: the classic cache outcome plus
+// which tier produced the entry ("" for a miss that ran the compute).
+type Result struct {
+	Outcome ccache.Outcome
+	Tier    string
+}
+
+// Store is the lookup interface the service compiles through. The
+// contract matches ccache.Cache.GetOrCompute with a context threaded
+// in (peer fetches must respect the request deadline) and the serving
+// tier reported alongside the outcome.
+type Store interface {
+	GetOrCompute(ctx context.Context, k ccache.Key, compute func() (*ccache.Entry, error)) (*ccache.Entry, Result, error)
+	// Stats aggregates across tiers into the classic counter shape:
+	// Hits counts lookups served from any tier, Misses counts lookups
+	// that ran the compute, DedupHits counts lookups that joined
+	// another caller's work (in-process flights and cluster claims).
+	Stats() ccache.Stats
+	TierStats() TierStats
+}
+
+// TierStats breaks a store's activity down by tier.
+type TierStats struct {
+	MemHits  int64
+	DiskHits int64
+	PeerHits int64
+	Misses   int64 // lookups that ran the compute
+	Dedups   int64 // in-process flight joins + cluster claim waits
+
+	Mem   ccache.Stats
+	Disk  DiskStats            // zero when no disk tier is configured
+	Peers map[string]PeerStats // nil when unclustered
+}
+
+type tflight struct {
+	done chan struct{}
+	e    *ccache.Entry
+	res  Result
+	err  error
+}
+
+// Tiered is the Store implementation. disk and node are optional: a
+// nil disk drops the persistence tier, a nil node drops the peer tier
+// (and with both nil, Tiered is the memory LRU plus singleflight —
+// the pre-cluster behavior, re-expressed).
+type Tiered struct {
+	mem  *ccache.Cache
+	disk *Disk
+	node *Node
+
+	mu       sync.Mutex
+	inflight map[ccache.Key]*tflight
+
+	memHits, diskHits, peerHits, misses, dedups int64
+}
+
+// NewTiered assembles a store from its tiers.
+func NewTiered(mem *ccache.Cache, disk *Disk, node *Node) *Tiered {
+	return &Tiered{mem: mem, disk: disk, node: node, inflight: map[ccache.Key]*tflight{}}
+}
+
+// Mem exposes the memory tier (the service registers it with the
+// cluster node so peers can be served out of hot entries).
+func (t *Tiered) Mem() *ccache.Cache { return t.mem }
+
+// GetOrCompute implements Store.
+func (t *Tiered) GetOrCompute(ctx context.Context, k ccache.Key, compute func() (*ccache.Entry, error)) (*ccache.Entry, Result, error) {
+	// Hot tier first: no flight, no lock ordering, just the LRU.
+	if e, ok := t.mem.Get(k); ok {
+		t.mu.Lock()
+		t.memHits++
+		t.mu.Unlock()
+		return e, Result{ccache.Hit, TierMem}, nil
+	}
+
+	// In-process singleflight across ALL lower tiers: one goroutine
+	// probes disk/peers/compute per key; the rest join its result.
+	t.mu.Lock()
+	if fl, ok := t.inflight[k]; ok {
+		t.dedups++
+		t.mu.Unlock()
+		select {
+		case <-fl.done:
+			res := fl.res
+			res.Outcome = ccache.Dedup
+			return fl.e, res, fl.err
+		case <-ctx.Done():
+			return nil, Result{}, ctx.Err()
+		}
+	}
+	fl := &tflight{done: make(chan struct{})}
+	t.inflight[k] = fl
+	t.mu.Unlock()
+
+	fl.e, fl.res, fl.err = t.fill(ctx, k, compute)
+	if fl.err == nil && fl.e != nil {
+		// Promote into the hot tier before releasing joiners, so a
+		// joiner's next same-key request is a mem hit.
+		t.mem.Put(k, fl.e)
+	}
+
+	t.mu.Lock()
+	delete(t.inflight, k)
+	switch {
+	case fl.err != nil:
+		t.misses++
+	case fl.res.Tier == TierDisk:
+		t.diskHits++
+	case fl.res.Tier == TierPeer && fl.res.Outcome == ccache.Dedup:
+		t.dedups++
+	case fl.res.Tier == TierPeer:
+		t.peerHits++
+	default:
+		t.misses++
+	}
+	t.mu.Unlock()
+	close(fl.done)
+	return fl.e, fl.res, fl.err
+}
+
+// fill serves a mem-missed key from the lower tiers, computing as the
+// last resort. It reports the serving tier; the caller does counters
+// and mem promotion.
+func (t *Tiered) fill(ctx context.Context, k ccache.Key, compute func() (*ccache.Entry, error)) (*ccache.Entry, Result, error) {
+	// Disk tier: this node has seen the key in a previous life.
+	if t.disk != nil {
+		if e, ok := t.disk.Get(k); ok {
+			return e, Result{ccache.Hit, TierDisk}, nil
+		}
+	}
+
+	owner := ""
+	if t.node != nil {
+		owner = t.node.Owner(k)
+	}
+	if owner != "" && !t.node.IsSelf(owner) {
+		return t.fillRemote(ctx, k, owner, compute)
+	}
+	return t.fillLocal(ctx, k, compute)
+}
+
+// fillRemote handles a key owned by another node: fetch from the
+// owner; on a cold key, claim the compile there so the whole cluster
+// runs it once; always degrade to a local compile when the owner is
+// unreachable or slow.
+func (t *Tiered) fillRemote(ctx context.Context, k ccache.Key, owner string, compute func() (*ccache.Entry, error)) (*ccache.Entry, Result, error) {
+	peers := t.node.Clients()
+	if raw, ok := peers.Get(ctx, owner, k, 0); ok {
+		if e, err := Decode(raw); err == nil {
+			t.writeDisk(k, raw) // replicate for this node's restarts
+			return e, Result{ccache.Hit, TierPeer}, nil
+		}
+	}
+
+	granted := false
+	if state, ok := peers.Claim(ctx, owner, k); ok {
+		switch state {
+		case ClaimPresent:
+			// The artifact landed between get and claim.
+			if raw, ok := peers.Get(ctx, owner, k, 0); ok {
+				if e, err := Decode(raw); err == nil {
+					t.writeDisk(k, raw)
+					return e, Result{ccache.Hit, TierPeer}, nil
+				}
+			}
+		case ClaimBusy:
+			// Another node is compiling this key right now; wait for
+			// its result on the owner instead of duplicating the work.
+			if raw, ok := peers.Get(ctx, owner, k, t.node.WaitCap()); ok {
+				if e, err := Decode(raw); err == nil {
+					t.writeDisk(k, raw)
+					return e, Result{ccache.Dedup, TierPeer}, nil
+				}
+			}
+		case ClaimGranted:
+			granted = true
+		}
+	}
+
+	// Local compile: we hold the cluster claim, or the owner is
+	// degraded and we eat the duplicate work rather than fail.
+	e, err := compute()
+	if err != nil {
+		if granted {
+			peers.Abandon(ctx, owner, k)
+		}
+		return nil, Result{ccache.Miss, ""}, err
+	}
+	e.Key = k
+	if raw, encErr := Encode(e); encErr == nil {
+		t.writeDisk(k, raw)
+		// Publish to the owner (resolving our claim there); best
+		// effort — a failed put costs the cluster a recompile later,
+		// never this request.
+		if !peers.Put(ctx, owner, k, raw) && granted {
+			peers.Abandon(ctx, owner, k)
+		}
+	} else if granted {
+		peers.Abandon(ctx, owner, k)
+	}
+	return e, Result{ccache.Miss, ""}, nil
+}
+
+// fillLocal handles a key this node owns (or an unclustered store):
+// take the node-level claim so remote waiters block on us, compute,
+// and write disk before resolving so woken waiters find the artifact.
+func (t *Tiered) fillLocal(ctx context.Context, k ccache.Key, compute func() (*ccache.Entry, error)) (*ccache.Entry, Result, error) {
+	claimed := false
+	if t.node != nil {
+		state, done := t.node.tryClaim(k)
+		if state == ClaimBusy {
+			// A remote node holds the compile claim on our key. Wait
+			// like any other cluster member, then re-check the tiers.
+			wait := t.node.WaitCap()
+			select {
+			case <-done:
+			case <-clockAfter(wait):
+			case <-ctx.Done():
+				return nil, Result{}, ctx.Err()
+			}
+			if e, ok := t.mem.Peek(k); ok {
+				return e, Result{ccache.Dedup, TierMem}, nil
+			}
+			if t.disk != nil {
+				if e, ok := t.disk.Get(k); ok {
+					return e, Result{ccache.Dedup, TierDisk}, nil
+				}
+			}
+			// Claimant died or failed: fall through and compute
+			// without a claim — correctness over exactly-once.
+		} else {
+			claimed = true
+		}
+	}
+
+	e, err := compute()
+	if err != nil {
+		if claimed {
+			t.node.abandonClaim(k)
+		}
+		return nil, Result{ccache.Miss, ""}, err
+	}
+	e.Key = k
+	if raw, encErr := Encode(e); encErr == nil {
+		t.writeDisk(k, raw)
+	}
+	if claimed {
+		// Waiters woken here re-read mem/disk; the disk write above
+		// (and the caller's mem promotion for in-process joiners)
+		// already happened.
+		t.node.resolveClaim(k)
+	}
+	return e, Result{ccache.Miss, ""}, nil
+}
+
+func (t *Tiered) writeDisk(k ccache.Key, raw []byte) {
+	if t.disk != nil {
+		t.disk.PutRaw(k, raw)
+	}
+}
+
+// Stats implements Store: gauges from the memory tier, flow counters
+// from the store's own cross-tier accounting.
+func (t *Tiered) Stats() ccache.Stats {
+	ms := t.mem.Stats()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return ccache.Stats{
+		Hits:      t.memHits + t.diskHits + t.peerHits,
+		Misses:    t.misses,
+		DedupHits: t.dedups,
+		Evictions: ms.Evictions,
+		TooLarge:  ms.TooLarge,
+		Bytes:     ms.Bytes,
+		Entries:   ms.Entries,
+		MaxBytes:  ms.MaxBytes,
+	}
+}
+
+// TierStats implements Store.
+func (t *Tiered) TierStats() TierStats {
+	ts := TierStats{Mem: t.mem.Stats()}
+	if t.disk != nil {
+		ts.Disk = t.disk.Stats()
+	}
+	if t.node != nil {
+		ts.Peers = t.node.Clients().Stats()
+	}
+	t.mu.Lock()
+	ts.MemHits, ts.DiskHits, ts.PeerHits = t.memHits, t.diskHits, t.peerHits
+	ts.Misses, ts.Dedups = t.misses, t.dedups
+	t.mu.Unlock()
+	return ts
+}

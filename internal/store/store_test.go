@@ -1,0 +1,697 @@
+package store
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/ccache"
+	"repro/internal/core"
+	"repro/internal/driver"
+	"repro/internal/vm"
+)
+
+func heatSource(t *testing.T) string {
+	t.Helper()
+	data, err := os.ReadFile("../../testdata/heat.za")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// compileEntry builds a real cache entry the way the service does:
+// compile, then keep the LIR plus serializable metadata.
+func compileEntry(t *testing.T, src string, opt driver.Options, kind ccache.ArtifactKind) *ccache.Entry {
+	t.Helper()
+	comp, err := driver.Compile(src, opt)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return &ccache.Entry{
+		Kind:   kind,
+		Source: src,
+		Comp:   comp,
+		Meta: &ccache.Meta{
+			NestCount:   len(comp.LIR.Main.Body),
+			RemarksJSON: []byte(`[{"kind":"test"}]`),
+		},
+		Plan: "plan summary",
+	}
+}
+
+func runVM(t *testing.T, e *ccache.Entry) string {
+	t.Helper()
+	var out bytes.Buffer
+	if _, _, err := vm.Run(e.Comp.LIR, vm.Options{Out: &out}); err != nil {
+		t.Fatalf("vm run: %v", err)
+	}
+	return out.String()
+}
+
+// TestCodecRoundTripDifferential proves the envelope preserves
+// executability: the decoded LIR must produce byte-identical VM
+// output, and the serializable fields must survive untouched.
+func TestCodecRoundTripDifferential(t *testing.T) {
+	src := heatSource(t)
+	opt := driver.Options{Level: core.C2F3}
+	e := compileEntry(t, src, opt, ccache.ArtifactIR)
+	e.Key = ccache.KeyOf(src, opt)
+	e.GoSrc = "package main"
+	e.BinKey = "abc123"
+	e.Aux = []byte("aux-bytes")
+	want := runVM(t, e)
+
+	raw, err := Encode(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Key != e.Key || got.Kind != e.Kind || got.Source != src ||
+		got.Plan != e.Plan || got.GoSrc != e.GoSrc || got.BinKey != e.BinKey ||
+		string(got.Aux) != "aux-bytes" {
+		t.Errorf("fields did not survive round trip: %+v", got)
+	}
+	if got.Meta == nil || got.Meta.NestCount != e.Meta.NestCount ||
+		string(got.Meta.RemarksJSON) != string(e.Meta.RemarksJSON) {
+		t.Errorf("meta did not survive round trip: %+v", got.Meta)
+	}
+	if out := runVM(t, got); out != want {
+		t.Errorf("decoded program output differs:\nwant %q\ngot  %q", want, out)
+	}
+}
+
+func TestCodecRejectsCorruption(t *testing.T) {
+	e := compileEntry(t, heatSource(t), driver.Options{}, ccache.ArtifactIR)
+	raw, err := Encode(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"truncated":    raw[:len(raw)/2],
+		"empty":        {},
+		"bad magic":    append([]byte("NOTMAGIC"), raw[8:]...),
+		"flipped body": flipByte(raw, len(raw)-1),
+		"flipped sum":  flipByte(raw, len(envMagic)+3),
+	}
+	for name, bad := range cases {
+		if _, err := Decode(bad); err == nil {
+			t.Errorf("%s: Decode accepted corrupt envelope", name)
+		}
+		if err := Verify(bad); err == nil {
+			t.Errorf("%s: Verify accepted corrupt envelope", name)
+		}
+	}
+}
+
+func flipByte(raw []byte, i int) []byte {
+	out := append([]byte(nil), raw...)
+	out[i] ^= 0xff
+	return out
+}
+
+func TestRingDeterministicAndBalanced(t *testing.T) {
+	members := []string{"a:1", "b:2", "c:3"}
+	r1 := NewRing(members)
+	r2 := NewRing([]string{"c:3", "a:1", "b:2", "b:2"}) // shuffled + dup
+
+	counts := map[string]int{}
+	const n = 4096
+	for i := 0; i < n; i++ {
+		k := ccache.Key(sha256.Sum256([]byte(fmt.Sprintf("key-%d", i))))
+		o := r1.Owner(k)
+		if o2 := r2.Owner(k); o2 != o {
+			t.Fatalf("owner differs across equivalent rings: %s vs %s", o, o2)
+		}
+		counts[o]++
+	}
+	for _, m := range members {
+		if frac := float64(counts[m]) / n; frac < 0.15 {
+			t.Errorf("member %s owns only %.1f%% of keys: %v", m, frac*100, counts)
+		}
+	}
+	if len(counts) != 3 {
+		t.Errorf("expected 3 owners, got %v", counts)
+	}
+
+	if o := NewRing(nil).Owner(ccache.Key{}); o != "" {
+		t.Errorf("empty ring owner = %q, want \"\"", o)
+	}
+}
+
+func TestDiskWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	src := heatSource(t)
+	opt := driver.Options{Level: core.C1}
+	k := ccache.KeyOf(src, opt)
+	e := compileEntry(t, src, opt, ccache.ArtifactIR)
+	e.Key = k
+	want := runVM(t, e)
+
+	d1, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d1.Put(k, e); err != nil {
+		t.Fatal(err)
+	}
+
+	// A new process opens the same directory: the entry must be there,
+	// fully executable, and the gauges must reflect it.
+	d2, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := d2.Get(k)
+	if !ok {
+		t.Fatal("entry lost across restart")
+	}
+	if out := runVM(t, got); out != want {
+		t.Errorf("restart-rehydrated output differs:\nwant %q\ngot  %q", want, out)
+	}
+	st := d2.Stats()
+	if st.Entries != 1 || st.Bytes == 0 || st.Hits != 1 {
+		t.Errorf("restart stats off: %+v", st)
+	}
+}
+
+func TestDiskCorruptionIsMissAndRepaired(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := heatSource(t)
+	opt := driver.Options{}
+	k := ccache.KeyOf(src, opt)
+	e := compileEntry(t, src, opt, ccache.ArtifactIR)
+	if err := d.Put(k, e); err != nil {
+		t.Fatal(err)
+	}
+
+	// Bit-flip the file on disk.
+	path := filepath.Join(dir, k.String()[:2], k.String()+diskExt)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok := d.Get(k); ok {
+		t.Fatal("corrupt entry served as a hit")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("corrupt file not deleted")
+	}
+	if st := d.Stats(); st.Corrupt != 1 {
+		t.Errorf("corrupt counter = %d, want 1", st.Corrupt)
+	}
+
+	// The next put repairs the slot.
+	if err := d.Put(k, e); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.Get(k); !ok {
+		t.Error("repaired entry not served")
+	}
+}
+
+// failCompute is a compute fn that must not run.
+func failCompute(t *testing.T) func() (*ccache.Entry, error) {
+	return func() (*ccache.Entry, error) {
+		t.Error("compute ran; expected a tier hit")
+		return nil, fmt.Errorf("unexpected compute")
+	}
+}
+
+func TestTierPromotionOnDiskHit(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := heatSource(t)
+	opt := driver.Options{}
+	k := ccache.KeyOf(src, opt)
+	e := compileEntry(t, src, opt, ccache.ArtifactIR)
+	if err := d.Put(k, e); err != nil {
+		t.Fatal(err)
+	}
+
+	ts := NewTiered(ccache.New(0), d, nil)
+	ctx := context.Background()
+
+	got, res, err := ts.GetOrCompute(ctx, k, failCompute(t))
+	if err != nil || got == nil {
+		t.Fatalf("disk-tier lookup failed: %v", err)
+	}
+	if res.Outcome != ccache.Hit || res.Tier != TierDisk {
+		t.Errorf("first lookup = %v/%s, want hit/disk", res.Outcome, res.Tier)
+	}
+
+	// The hit must have promoted into the memory tier.
+	_, res, err = ts.GetOrCompute(ctx, k, failCompute(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != ccache.Hit || res.Tier != TierMem {
+		t.Errorf("second lookup = %v/%s, want hit/mem", res.Outcome, res.Tier)
+	}
+
+	tier := ts.TierStats()
+	if tier.DiskHits != 1 || tier.MemHits != 1 || tier.Misses != 0 {
+		t.Errorf("tier stats off: %+v", tier)
+	}
+	if st := ts.Stats(); st.Hits != 2 || st.Misses != 0 {
+		t.Errorf("aggregate stats off: %+v", st)
+	}
+}
+
+func TestLRUEvictionNeverTouchesDiskTier(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := heatSource(t)
+	// A memory tier too small for two entries forces eviction.
+	e0 := compileEntry(t, src, driver.Options{}, ccache.ArtifactIR)
+	mem := ccache.New(ccache.SizeOf(e0) + 1024)
+	ts := NewTiered(mem, d, nil)
+	ctx := context.Background()
+
+	opts := []driver.Options{{Level: core.Baseline}, {Level: core.C2F3}}
+	keys := make([]ccache.Key, len(opts))
+	for i, opt := range opts {
+		opt := opt
+		keys[i] = ccache.KeyOf(src, opt)
+		_, res, err := ts.GetOrCompute(ctx, keys[i], func() (*ccache.Entry, error) {
+			return compileEntry(t, src, opt, ccache.ArtifactIR), nil
+		})
+		if err != nil || res.Outcome != ccache.Miss {
+			t.Fatalf("seed %d: %v %v", i, res, err)
+		}
+	}
+
+	if mem.Stats().Evictions == 0 {
+		t.Fatal("memory tier did not evict; shrink the budget")
+	}
+	// Both entries must still be on disk — eviction is a memory-tier
+	// affair — so re-requesting the evicted key is a disk hit, not a
+	// recompile.
+	if st := d.Stats(); st.Entries != 2 {
+		t.Fatalf("disk entries = %d, want 2", st.Entries)
+	}
+	for i, k := range keys {
+		_, res, err := ts.GetOrCompute(ctx, k, failCompute(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Outcome != ccache.Hit {
+			t.Errorf("key %d after eviction: outcome %v, want hit", i, res.Outcome)
+		}
+	}
+}
+
+func TestKeySensitivityAcrossArtifactKinds(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := NewTiered(ccache.New(0), d, nil)
+	ctx := context.Background()
+	src := heatSource(t)
+	opt := driver.Options{}
+
+	kinds := []ccache.ArtifactKind{
+		ccache.ArtifactIR, ccache.ArtifactNative, ccache.ArtifactTune, ccache.ArtifactLazy,
+	}
+	seen := map[ccache.Key]ccache.ArtifactKind{}
+	for _, kind := range kinds {
+		kind := kind
+		k := ccache.KeyOfKind(src, opt, kind)
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("kinds %s and %s share a key", prev, kind)
+		}
+		seen[k] = kind
+		var e *ccache.Entry
+		if kind == ccache.ArtifactTune {
+			e = &ccache.Entry{Kind: kind, Source: src, Aux: []byte("tune-payload")}
+		} else {
+			e = compileEntry(t, src, opt, kind)
+		}
+		_, res, err := ts.GetOrCompute(ctx, k, func() (*ccache.Entry, error) { return e, nil })
+		if err != nil || res.Outcome != ccache.Miss {
+			t.Fatalf("%s: %v %v", kind, res, err)
+		}
+	}
+	// Each kind resolves to its own artifact, from disk after a
+	// restart-like fresh store over the same directory.
+	d2, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := NewTiered(ccache.New(0), d2, nil)
+	for _, kind := range kinds {
+		k := ccache.KeyOfKind(src, opt, kind)
+		e, res, err := ts2.GetOrCompute(ctx, k, failCompute(t))
+		if err != nil || res.Tier != TierDisk {
+			t.Fatalf("%s: %v %v", kind, res, err)
+		}
+		if e.Kind != kind {
+			t.Errorf("key for %s returned entry of kind %s", kind, e.Kind)
+		}
+		if kind == ccache.ArtifactTune && string(e.Aux) != "tune-payload" {
+			t.Errorf("tune payload lost: %q", e.Aux)
+		}
+	}
+}
+
+func TestSingleflightAcrossTiers(t *testing.T) {
+	ts := NewTiered(ccache.New(0), nil, nil)
+	src := heatSource(t)
+	k := ccache.KeyOf(src, driver.Options{})
+	var computes atomic.Int64
+	release := make(chan struct{})
+
+	const callers = 20
+	var wg sync.WaitGroup
+	outcomes := make([]ccache.Outcome, callers)
+	for i := 0; i < callers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, res, err := ts.GetOrCompute(context.Background(), k, func() (*ccache.Entry, error) {
+				computes.Add(1)
+				<-release // hold the flight open until all callers queue
+				return compileEntry(t, src, driver.Options{}, ccache.ArtifactIR), nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			outcomes[i] = res.Outcome
+		}()
+	}
+	// Wait for every caller to either own or join the flight, then
+	// release the compute.
+	deadline := time.After(5 * time.Second)
+	for {
+		ts.mu.Lock()
+		fl, ok := ts.inflight[k]
+		joined := int64(0)
+		if ok {
+			joined = ts.dedups
+		}
+		ts.mu.Unlock()
+		if ok && joined == callers-1 {
+			_ = fl
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("callers did not converge on one flight")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	close(release)
+	wg.Wait()
+
+	if n := computes.Load(); n != 1 {
+		t.Errorf("computes = %d, want 1", n)
+	}
+	var miss, dedup int
+	for _, o := range outcomes {
+		switch o {
+		case ccache.Miss:
+			miss++
+		case ccache.Dedup:
+			dedup++
+		}
+	}
+	if miss != 1 || dedup != callers-1 {
+		t.Errorf("outcomes: %d miss, %d dedup; want 1/%d", miss, dedup, callers-1)
+	}
+	st := ts.Stats()
+	if st.Misses != 1 || st.DedupHits != callers-1 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+// testCluster wires n in-process nodes with real HTTP between them.
+type testCluster struct {
+	addrs  []string
+	nodes  []*Node
+	stores []*Tiered
+}
+
+func newTestCluster(t *testing.T, n int, waitCap time.Duration) *testCluster {
+	t.Helper()
+	c := &testCluster{}
+	// Late-bound handlers: the servers must exist (to learn addresses)
+	// before the nodes (which need the address list).
+	handlers := make([]*http.ServeMux, n)
+	for i := 0; i < n; i++ {
+		mux := http.NewServeMux()
+		handlers[i] = mux
+		srv := httptest.NewServer(mux)
+		t.Cleanup(srv.Close)
+		c.addrs = append(c.addrs, strings.TrimPrefix(srv.URL, "http://"))
+	}
+	for i := 0; i < n; i++ {
+		disk, err := OpenDisk(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		node := NewNode(NodeConfig{
+			Self:    c.addrs[i],
+			Peers:   c.addrs,
+			Disk:    disk,
+			Timeout: 2 * time.Second,
+			WaitCap: waitCap,
+		})
+		mem := ccache.New(0)
+		node.RegisterLocal("compile", mem, nil)
+		st := NewTiered(mem, disk, node)
+		handlers[i].HandleFunc("/store/get", node.ServeGet)
+		handlers[i].HandleFunc("/store/put", node.ServePut)
+		handlers[i].HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprintln(w, "ok")
+		})
+		c.nodes = append(c.nodes, node)
+		c.stores = append(c.stores, st)
+	}
+	return c
+}
+
+// TestClusterSingleflightExactlyOnce is the cross-node thundering
+// herd: every node asks for the same cold key at once; the claim
+// protocol must make the whole cluster compile it exactly once, and
+// every node must end up with an executable, identical artifact.
+func TestClusterSingleflightExactlyOnce(t *testing.T) {
+	c := newTestCluster(t, 3, 10*time.Second)
+	src := heatSource(t)
+	opt := driver.Options{Level: core.C2}
+	k := ccache.KeyOf(src, opt)
+
+	var computes atomic.Int64
+	outputs := make([]string, len(c.stores))
+	var wg sync.WaitGroup
+	for i, st := range c.stores {
+		i, st := i, st
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e, _, err := st.GetOrCompute(context.Background(), k, func() (*ccache.Entry, error) {
+				computes.Add(1)
+				time.Sleep(100 * time.Millisecond) // widen the herd window
+				return compileEntry(t, src, opt, ccache.ArtifactIR), nil
+			})
+			if err != nil {
+				t.Errorf("node %d: %v", i, err)
+				return
+			}
+			outputs[i] = runVM(t, e)
+		}()
+	}
+	wg.Wait()
+
+	if n := computes.Load(); n != 1 {
+		t.Errorf("cluster computes = %d, want exactly 1", n)
+	}
+	for i := 1; i < len(outputs); i++ {
+		if outputs[i] != outputs[0] {
+			t.Errorf("node %d output differs from node 0", i)
+		}
+	}
+}
+
+// TestClusterPeerHitAndWriteThrough: a key computed on its owner is a
+// peer-tier hit from any other node, and the fetching node replicates
+// it to its own disk for restart rehydration.
+func TestClusterPeerHitAndWriteThrough(t *testing.T) {
+	c := newTestCluster(t, 3, time.Second)
+	src := heatSource(t)
+	opt := driver.Options{Level: core.F1}
+	k := ccache.KeyOf(src, opt)
+
+	owner := c.nodes[0].Owner(k)
+	ownerIdx, otherIdx := -1, -1
+	for i, a := range c.addrs {
+		if a == owner {
+			ownerIdx = i
+		} else if otherIdx < 0 {
+			otherIdx = i
+		}
+	}
+	if ownerIdx < 0 || otherIdx < 0 {
+		t.Fatalf("degenerate ring: owner %q addrs %v", owner, c.addrs)
+	}
+
+	ctx := context.Background()
+	if _, res, err := c.stores[ownerIdx].GetOrCompute(ctx, k, func() (*ccache.Entry, error) {
+		return compileEntry(t, src, opt, ccache.ArtifactIR), nil
+	}); err != nil || res.Outcome != ccache.Miss {
+		t.Fatalf("owner seed: %v %v", res, err)
+	}
+
+	e, res, err := c.stores[otherIdx].GetOrCompute(ctx, k, failCompute(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != ccache.Hit || res.Tier != TierPeer {
+		t.Errorf("non-owner lookup = %v/%s, want hit/peer", res.Outcome, res.Tier)
+	}
+	if e.Comp == nil || e.Comp.LIR == nil {
+		t.Fatal("peer-fetched entry not executable")
+	}
+	// Write-through: the non-owner's own disk now holds the entry.
+	if _, ok := c.stores[otherIdx].disk.Get(k); !ok {
+		t.Error("peer fetch did not write through to local disk")
+	}
+	ps := c.nodes[otherIdx].Clients().Stats()
+	if ps[owner].GetHits == 0 {
+		t.Errorf("peer client stats recorded no hit: %+v", ps)
+	}
+	if ns := c.nodes[ownerIdx].Stats(); ns.ServedHits == 0 {
+		t.Errorf("owner served no hits: %+v", ns)
+	}
+}
+
+// TestDeadPeerDegradesToLocalCompile: a key owned by an unreachable
+// member must still be served — by compiling locally — and must not
+// error or hang.
+func TestDeadPeerDegradesToLocalCompile(t *testing.T) {
+	// A listener opened and closed yields an address that refuses
+	// connections.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := l.Addr().String()
+	l.Close()
+
+	disk, err := OpenDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := NewNode(NodeConfig{
+		Self:    "127.0.0.1:1", // never dialed: only remote owners are
+		Peers:   []string{deadAddr},
+		Disk:    disk,
+		Timeout: 200 * time.Millisecond,
+		WaitCap: 200 * time.Millisecond,
+	})
+	mem := ccache.New(0)
+	node.RegisterLocal("compile", mem, nil)
+	ts := NewTiered(mem, disk, node)
+
+	// Find a source variant whose key the dead peer owns.
+	src := heatSource(t)
+	opt := driver.Options{}
+	var k ccache.Key
+	owned := ""
+	for i := 0; i < 64; i++ {
+		variant := src + strings.Repeat("\n", i+1)
+		k = ccache.KeyOf(variant, opt)
+		if node.Owner(k) == deadAddr {
+			owned = variant
+			break
+		}
+	}
+	if owned == "" {
+		t.Fatal("no key routed to the dead peer in 64 tries")
+	}
+
+	start := time.Now()
+	e, res, err := ts.GetOrCompute(context.Background(), k, func() (*ccache.Entry, error) {
+		return compileEntry(t, owned, opt, ccache.ArtifactIR), nil
+	})
+	if err != nil || e == nil {
+		t.Fatalf("dead peer produced a request error: %v", err)
+	}
+	if res.Outcome != ccache.Miss {
+		t.Errorf("outcome = %v, want miss (local compile)", res.Outcome)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("degradation took %v; timeouts not bounding", elapsed)
+	}
+	ps := node.Clients().Stats()[deadAddr]
+	if ps.GetErrors+ps.GetTimeouts == 0 && ps.PutErrors == 0 {
+		t.Errorf("no failures recorded against dead peer: %+v", ps)
+	}
+
+	// Repeated failures trip the breaker; later calls skip the peer
+	// and degrade immediately.
+	for i := 0; i < breakerThreshold; i++ {
+		node.Clients().Get(context.Background(), deadAddr, k, 0)
+	}
+	st := node.Clients().Stats()[deadAddr]
+	if st.Tripped == 0 {
+		t.Errorf("breaker never tripped: %+v", st)
+	}
+}
+
+func TestClaimExpiry(t *testing.T) {
+	node := NewNode(NodeConfig{Self: "a:1", ClaimTTL: time.Minute})
+	now := time.Now()
+	node.now = func() time.Time { return now }
+
+	k := ccache.Key(sha256.Sum256([]byte("x")))
+	if state, _ := node.tryClaim(k); state != ClaimGranted {
+		t.Fatalf("first claim: %s", state)
+	}
+	if state, _ := node.tryClaim(k); state != ClaimBusy {
+		t.Fatalf("second claim while live: %s", state)
+	}
+	// After the TTL, the dead claimant stops shielding the key.
+	now = now.Add(2 * time.Minute)
+	state, done := node.tryClaim(k)
+	if state != ClaimGranted {
+		t.Fatalf("claim after expiry: %s", state)
+	}
+	node.resolveClaim(k)
+	select {
+	case <-done:
+	default:
+		t.Error("resolve did not wake waiters")
+	}
+}

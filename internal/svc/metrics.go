@@ -13,6 +13,7 @@ import (
 	"repro/internal/mhp"
 	"repro/internal/phase"
 	"repro/internal/remark"
+	"repro/internal/store"
 )
 
 // Metrics aggregates the service's counters and latency histograms and
@@ -273,6 +274,85 @@ func (m *Metrics) Render(cs, ts ccache.Stats) string {
 
 	renderHistograms(&b, "zpld_phase_seconds", "phase", m.Phases)
 	renderHistograms(&b, "zpld_request_seconds", "endpoint", m.byRoute)
+	return b.String()
+}
+
+// RenderStoreMetrics emits the tiered-store families: per-tier hits
+// and residency for the compilation store (cs) and the tuned-plan
+// store (ts), plus the peer-protocol counters when clustered. It is
+// rendered after Render in /metrics; the classic zpld_cache_* families
+// above stay aggregate for dashboard continuity.
+func RenderStoreMetrics(cs, ts store.TierStats, node *store.Node) string {
+	var b strings.Builder
+
+	b.WriteString("# TYPE zpld_store_tier_hits_total counter\n")
+	for _, t := range []struct {
+		tier string
+		c, t int64
+	}{
+		{store.TierMem, cs.MemHits, ts.MemHits},
+		{store.TierDisk, cs.DiskHits, ts.DiskHits},
+		{store.TierPeer, cs.PeerHits, ts.PeerHits},
+	} {
+		fmt.Fprintf(&b, "zpld_store_tier_hits_total{store=\"compile\",tier=%q} %d\n", t.tier, t.c)
+		fmt.Fprintf(&b, "zpld_store_tier_hits_total{store=\"tune\",tier=%q} %d\n", t.tier, t.t)
+	}
+
+	// The disk tier is shared between the two stores; report it once
+	// under the compile store's snapshot.
+	b.WriteString("# TYPE zpld_store_tier_entries gauge\n")
+	fmt.Fprintf(&b, "zpld_store_tier_entries{store=\"compile\",tier=\"mem\"} %d\n", cs.Mem.Entries)
+	fmt.Fprintf(&b, "zpld_store_tier_entries{store=\"tune\",tier=\"mem\"} %d\n", ts.Mem.Entries)
+	fmt.Fprintf(&b, "zpld_store_tier_entries{store=\"shared\",tier=\"disk\"} %d\n", cs.Disk.Entries)
+	b.WriteString("# TYPE zpld_store_tier_bytes gauge\n")
+	fmt.Fprintf(&b, "zpld_store_tier_bytes{store=\"compile\",tier=\"mem\"} %d\n", cs.Mem.Bytes)
+	fmt.Fprintf(&b, "zpld_store_tier_bytes{store=\"tune\",tier=\"mem\"} %d\n", ts.Mem.Bytes)
+	fmt.Fprintf(&b, "zpld_store_tier_bytes{store=\"shared\",tier=\"disk\"} %d\n", cs.Disk.Bytes)
+	fmt.Fprintf(&b, "# TYPE zpld_store_disk_corrupt_total counter\nzpld_store_disk_corrupt_total %d\n", cs.Disk.Corrupt)
+	fmt.Fprintf(&b, "# TYPE zpld_store_disk_errors_total counter\nzpld_store_disk_errors_total %d\n", cs.Disk.Errors)
+
+	if node == nil {
+		return b.String()
+	}
+
+	// Peer-protocol counters: the client side per peer, then the
+	// served (server) side in aggregate.
+	peers := node.Clients().Stats()
+	names := make([]string, 0, len(peers))
+	for n := range peers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if len(names) > 0 {
+		b.WriteString("# TYPE zpld_peer_gets_total counter\n")
+		for _, n := range names {
+			p := peers[n]
+			fmt.Fprintf(&b, "zpld_peer_gets_total{peer=%q,outcome=\"hit\"} %d\n", n, p.GetHits)
+			fmt.Fprintf(&b, "zpld_peer_gets_total{peer=%q,outcome=\"miss\"} %d\n", n, p.GetMisses)
+			fmt.Fprintf(&b, "zpld_peer_gets_total{peer=%q,outcome=\"timeout\"} %d\n", n, p.GetTimeouts)
+			fmt.Fprintf(&b, "zpld_peer_gets_total{peer=%q,outcome=\"error\"} %d\n", n, p.GetErrors)
+		}
+		b.WriteString("# TYPE zpld_peer_puts_total counter\n")
+		for _, n := range names {
+			p := peers[n]
+			fmt.Fprintf(&b, "zpld_peer_puts_total{peer=%q,outcome=\"ok\"} %d\n", n, p.Puts)
+			fmt.Fprintf(&b, "zpld_peer_puts_total{peer=%q,outcome=\"error\"} %d\n", n, p.PutErrors)
+		}
+		b.WriteString("# TYPE zpld_peer_claims_total counter\n")
+		for _, n := range names {
+			fmt.Fprintf(&b, "zpld_peer_claims_total{peer=%q} %d\n", n, peers[n].Claims)
+		}
+		b.WriteString("# TYPE zpld_peer_breaker_trips_total counter\n")
+		for _, n := range names {
+			fmt.Fprintf(&b, "zpld_peer_breaker_trips_total{peer=%q} %d\n", n, peers[n].Tripped)
+		}
+	}
+	ns := node.Stats()
+	fmt.Fprintf(&b, "# TYPE zpld_peer_served_gets_total counter\n")
+	fmt.Fprintf(&b, "zpld_peer_served_gets_total{outcome=\"hit\"} %d\n", ns.ServedHits)
+	fmt.Fprintf(&b, "zpld_peer_served_gets_total{outcome=\"miss\"} %d\n", ns.ServedMisses)
+	fmt.Fprintf(&b, "# TYPE zpld_peer_served_puts_total counter\nzpld_peer_served_puts_total %d\n", ns.ServedPuts)
+	fmt.Fprintf(&b, "# TYPE zpld_peer_served_claims_total counter\nzpld_peer_served_claims_total %d\n", ns.ServedClaims)
 	return b.String()
 }
 

@@ -58,6 +58,7 @@ import (
 	"repro/internal/lint"
 	"repro/internal/programs"
 	"repro/internal/remark"
+	"repro/internal/store"
 	"repro/internal/vm"
 )
 
@@ -74,6 +75,27 @@ type Config struct {
 	DrainTimeout   time.Duration // graceful-shutdown grace; default 10s
 	Logs           io.Writer     // JSON-lines request log; nil disables
 	ArtifactDir    string        // native-artifact store; "" = backend.DefaultDir
+
+	// CacheDir enables the disk tier of the compilation cache: a
+	// content-addressed directory of encoded artifacts that survives
+	// restarts (internal/store). "" disables the tier.
+	CacheDir string
+	// Self and Peers enable the cluster (peer) tier: Peers is the
+	// static member list (host:port each), Self this node's own entry
+	// in it. With a member list, compilation keys are routed by
+	// consistent hashing — each key has one owner node that compiles
+	// it once for the whole cluster; artifacts travel by content hash
+	// over /store/get and /store/put.
+	Self  string
+	Peers []string
+	// PeerTimeout bounds one peer HTTP attempt; ClaimTTL bounds how
+	// long a compile claim shields a key; PeerWait bounds blocking on
+	// another node's in-flight compile; MaxPeerBytes caps one
+	// transferred artifact. Zero values take internal/store defaults.
+	PeerTimeout  time.Duration
+	ClaimTTL     time.Duration
+	PeerWait     time.Duration
+	MaxPeerBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -157,10 +179,14 @@ type Request struct {
 // CompileResponse is the JSON reply of /compile (and embedded in
 // RunResponse).
 type CompileResponse struct {
-	Key        string `json:"key"`    // content address (hex SHA-256)
-	Cached     bool   `json:"cached"` // served from the cache
-	Dedup      bool   `json:"dedup"`  // joined an in-flight identical compile
-	Plan       string `json:"plan"`   // fusion/contraction summary
+	Key    string `json:"key"`    // content address (hex SHA-256)
+	Cached bool   `json:"cached"` // served from the cache
+	Dedup  bool   `json:"dedup"`  // joined an in-flight identical compile
+	// Tier names the cache tier that served the artifact: "mem",
+	// "disk" (rehydrated across a restart), "peer" (fetched from the
+	// key's owner node), or "" for a fresh compile.
+	Tier       string `json:"tier,omitempty"`
+	Plan       string `json:"plan"` // fusion/contraction summary
 	NestCount  int    `json:"nest_count"`
 	Arrays     int    `json:"arrays"`
 	Contracted int    `json:"contracted"`
@@ -231,14 +257,17 @@ type ErrorResponse struct {
 // Server is one service instance.
 type Server struct {
 	cfg      Config
-	cache    *ccache.Cache
-	tcache   *ccache.Cache  // tuned-plan results (Entry.Aux payloads)
-	store    *backend.Store // native-artifact store; nil when no toolchain
+	cache    store.Store    // tiered compilation cache (mem + disk + peers)
+	tcache   store.Store    // tiered tuned-plan cache (Entry.Aux payloads)
+	node     *store.Node    // cluster membership; nil when unclustered
+	disk     *store.Disk    // disk tier; nil when CacheDir is unset
+	bstore   *backend.Store // native-artifact store; nil when no toolchain
 	metrics  *Metrics
 	sem      chan struct{} // worker-pool slots
 	queue    chan struct{} // admission tickets (workers + waiting)
 	draining atomic.Bool
 	logMu    chan struct{} // serializes log lines (n=1 semaphore)
+	warns    []string      // startup degradations (for logs and /cluster)
 }
 
 // New builds a server from cfg (zero value is fully usable).
@@ -246,8 +275,6 @@ func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:     cfg,
-		cache:   ccache.New(cfg.CacheBytes),
-		tcache:  ccache.New(cfg.TuneCacheBytes),
 		metrics: NewMetrics(),
 		sem:     make(chan struct{}, cfg.Workers),
 		queue:   make(chan struct{}, cfg.Workers+cfg.QueueDepth),
@@ -258,20 +285,64 @@ func New(cfg Config) *Server {
 		// the native backend unavailable rather than killing the whole
 		// service; VM and dist runs are unaffected.
 		if st, err := backend.Open(cfg.ArtifactDir); err == nil {
-			s.store = st
+			s.bstore = st
 		}
 	}
+
+	// Assemble the tiered compilation store. Every tier degrades
+	// independently: a disk that fails to open or a missing member
+	// list just drops that tier, never the service.
+	if cfg.CacheDir != "" {
+		d, err := store.OpenDisk(cfg.CacheDir)
+		if err != nil {
+			s.warns = append(s.warns, fmt.Sprintf("disk tier disabled: %v", err))
+		} else {
+			s.disk = d
+		}
+	}
+	if len(cfg.Peers) > 0 {
+		if cfg.Self == "" {
+			s.warns = append(s.warns, "peer tier disabled: peers configured without self address")
+		} else {
+			s.node = store.NewNode(store.NodeConfig{
+				Self:     cfg.Self,
+				Peers:    cfg.Peers,
+				Disk:     s.disk,
+				Timeout:  cfg.PeerTimeout,
+				ClaimTTL: cfg.ClaimTTL,
+				WaitCap:  cfg.PeerWait,
+				MaxBytes: cfg.MaxPeerBytes,
+			})
+		}
+	}
+	cmem := ccache.New(cfg.CacheBytes)
+	tmem := ccache.New(cfg.TuneCacheBytes)
+	if s.node != nil {
+		// Peers are served out of the hot tiers too; the kind filter
+		// routes incoming puts to the right cache.
+		s.node.RegisterLocal("compile", cmem, func(k ccache.ArtifactKind) bool { return k != ccache.ArtifactTune })
+		s.node.RegisterLocal("tune", tmem, func(k ccache.ArtifactKind) bool { return k == ccache.ArtifactTune })
+	}
+	s.cache = store.NewTiered(cmem, s.disk, s.node)
+	s.tcache = store.NewTiered(tmem, s.disk, s.node)
 	return s
 }
 
 // NativeAvailable reports whether this server can serve backend "go"
 // requests (toolchain present and the artifact store opened).
-func (s *Server) NativeAvailable() bool { return s.store != nil }
+func (s *Server) NativeAvailable() bool { return s.bstore != nil }
+
+// Clustered reports whether the peer tier is active.
+func (s *Server) Clustered() bool { return s.node != nil }
+
+// Warnings lists startup degradations (disabled tiers).
+func (s *Server) Warnings() []string { return append([]string(nil), s.warns...) }
 
 // Metrics exposes the registry (for embedding and tests).
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
-// CacheStats exposes the compilation cache counters.
+// CacheStats exposes the compilation cache counters, aggregated
+// across tiers (Hits = any tier, Misses = compiles run here).
 func (s *Server) CacheStats() ccache.Stats { return s.cache.Stats() }
 
 // TuneCacheStats exposes the tuned-plan cache counters.
@@ -289,12 +360,18 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/tune", s.handleTune)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/cluster", s.handleCluster)
+	if s.node != nil {
+		mux.HandleFunc("/store/get", s.node.ServeGet)
+		mux.HandleFunc("/store/put", s.node.ServePut)
+	}
 	return mux
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	io.WriteString(w, s.metrics.Render(s.cache.Stats(), s.tcache.Stats()))
+	io.WriteString(w, RenderStoreMetrics(s.cache.TierStats(), s.tcache.TierStats(), s.node))
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -303,6 +380,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	io.WriteString(w, "ok\n")
+	// One compact cluster line for passive probes; /cluster has the
+	// full JSON picture.
+	if s.node != nil {
+		fmt.Fprintf(w, "cluster self=%s members=%d\n", s.node.Self(), len(s.node.Members()))
+	}
+	ts := s.cache.TierStats()
+	fmt.Fprintf(w, "store mem=%d disk=%d\n", ts.Mem.Entries, ts.Disk.Entries)
 }
 
 // fail writes the error reply and records it.
@@ -401,7 +485,7 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request, run bool) {
 		akind = ccache.ArtifactNative
 	}
 	key := ccache.KeyOfKind(src, opt, akind)
-	entry, lookup, err := s.cache.GetOrCompute(key, func() (*ccache.Entry, error) {
+	entry, res, err := s.cache.GetOrCompute(ctx, key, func() (*ccache.Entry, error) {
 		hooked := opt
 		start, end := s.metrics.Phases.StartEnd()
 		hooked.Hooks = driver.Hooks{PhaseStart: start, PhaseEnd: end}
@@ -409,7 +493,7 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request, run bool) {
 		if err != nil {
 			return nil, err
 		}
-		e := &ccache.Entry{Kind: akind, Source: src, Comp: c, Plan: planSummary(c)}
+		e := &ccache.Entry{Kind: akind, Source: src, Comp: c, Plan: planSummary(c), Meta: metaOf(c)}
 		// The generated Go rides in the artifact so emit_go requests
 		// hit too; gogen cannot emit distributed programs.
 		if opt.Comm == nil {
@@ -426,7 +510,7 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request, run bool) {
 		}
 		if opt.Backend.Native() {
 			start("backend_build")
-			art, berr := s.store.Build(ctx, e.GoSrc)
+			art, berr := s.bstore.Build(ctx, e.GoSrc)
 			end("backend_build")
 			if berr != nil {
 				// *backend.BuildError flows to the compile_error reply
@@ -443,6 +527,7 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request, run bool) {
 		}
 		return e, nil
 	})
+	lookup := res.Outcome
 	if err != nil {
 		if ctxErr := ctx.Err(); ctxErr != nil || errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 			status, kind = statusForCtx(err)
@@ -459,31 +544,37 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request, run bool) {
 		Key:      entry.Key.String(),
 		Cached:   lookup == ccache.Hit,
 		Dedup:    lookup == ccache.Dedup,
+		Tier:     res.Tier,
 		Plan:     entry.Plan,
 		Artifact: entry.BinKey,
 	}
-	counts := core.CountStaticArrays(entry.Comp.AIR, entry.Comp.Plan)
-	cresp.NestCount = entry.Comp.LIR.CountNests()
-	cresp.Arrays = counts.Before()
-	cresp.Contracted = counts.ContractedCompiler + counts.ContractedUser
-	if b := entry.Comp.Bounds; b != nil {
-		cresp.Bounds = &BoundsSummary{
-			Sites: len(b.Sites), Proven: b.NumProven,
-			Unknown: b.NumUnknown, Unsafe: b.NumUnsafe,
+	// The response metadata comes from the serializable Meta, never
+	// from Comp.AIR/Comp.Plan: an entry rehydrated from the disk or
+	// peer tier carries only the executable LIR plus Meta.
+	if m := entry.Meta; m != nil {
+		cresp.NestCount = m.NestCount
+		cresp.Arrays = m.Arrays
+		cresp.Contracted = m.Contracted
+		if b := m.Bounds; b != nil {
+			cresp.Bounds = &BoundsSummary{
+				Sites: b.Sites, Proven: b.Proven,
+				Unknown: b.Unknown, Unsafe: b.Unsafe,
+			}
 		}
-	}
-	if rr := entry.Comp.Races; rr != nil {
-		cresp.Races = &RaceSummary{
-			Pairs: len(rr.Pairs), Ordered: rr.NumOrdered,
-			Race: rr.NumRace, Unknown: rr.NumUnknown, Deadlocks: len(rr.Deadlocks),
+		if rr := m.Races; rr != nil {
+			cresp.Races = &RaceSummary{
+				Pairs: rr.Pairs, Ordered: rr.Ordered,
+				Race: rr.Race, Unknown: rr.Unknown, Deadlocks: rr.Deadlocks,
+			}
 		}
 	}
 	if req.EmitGo {
 		cresp.GoSource = entry.GoSrc
 	}
-	if lookup == ccache.Miss {
+	if lookup == ccache.Miss && entry.Comp.Plan != nil {
 		// Count each plan's remarks once, at compile time; cache hits
-		// would multiply them by request rate.
+		// would multiply them by request rate. A miss always compiled
+		// locally, so the full Compilation is present.
 		s.metrics.Remarks(remark.CountByKind(entry.Comp.Plan.Remarks))
 		if entry.Comp.Bounds != nil {
 			s.metrics.Bounds(entry.Comp.Bounds)
@@ -492,8 +583,10 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request, run bool) {
 			s.metrics.Races(entry.Comp.Races)
 		}
 	}
-	if req.Remarks {
-		cresp.Remarks = entry.Comp.Plan.Remarks
+	if req.Remarks && entry.Meta != nil {
+		if uerr := json.Unmarshal(entry.Meta.RemarksJSON, &cresp.Remarks); uerr != nil {
+			cresp.Remarks = nil
+		}
 	}
 	if req.Lint {
 		name := "source"
@@ -581,12 +674,12 @@ func (s *Server) execute(ctx context.Context, entry *ccache.Entry, req *Request)
 // was wiped underneath a live ccache entry) and executed. A runtime
 // trap in the binary maps to 500 runtime_error; a deadline to 504.
 func (s *Server) executeNative(ctx context.Context, entry *ccache.Entry) (*RunResponse, int, string, error) {
-	if s.store == nil {
+	if s.bstore == nil {
 		// Unreachable after resolve, but a nil store must not panic.
 		return nil, http.StatusBadRequest, "bad_request", fmt.Errorf("native backend unavailable")
 	}
 	t0 := time.Now()
-	art, err := s.store.Build(ctx, entry.GoSrc)
+	art, err := s.bstore.Build(ctx, entry.GoSrc)
 	buildD := time.Since(t0)
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
@@ -676,7 +769,7 @@ func (s *Server) resolve(req *Request, run bool) (string, driver.Options, error)
 		case req.MaxSteps > 0:
 			return "", opt, fmt.Errorf("backend %q does not support max_steps (step budgets are an interpreter feature)", req.Backend)
 		}
-		if s.store == nil {
+		if s.bstore == nil {
 			return "", opt, fmt.Errorf("native backend unavailable: no go toolchain on this host")
 		}
 	}
@@ -706,6 +799,34 @@ func (s *Server) resolve(req *Request, run bool) (string, driver.Options, error)
 		return "", opt, fmt.Errorf("emit_go applies to sequential compilations only")
 	}
 	return src, opt, nil
+}
+
+// metaOf derives the serializable response metadata from a fresh
+// compilation — the projection that travels with the entry through
+// the disk and peer tiers, where the deep IR structures do not.
+func metaOf(c *driver.Compilation) *ccache.Meta {
+	counts := core.CountStaticArrays(c.AIR, c.Plan)
+	m := &ccache.Meta{
+		NestCount:  c.LIR.CountNests(),
+		Arrays:     counts.Before(),
+		Contracted: counts.ContractedCompiler + counts.ContractedUser,
+	}
+	if b := c.Bounds; b != nil {
+		m.Bounds = &ccache.BoundsMeta{
+			Sites: len(b.Sites), Proven: b.NumProven,
+			Unknown: b.NumUnknown, Unsafe: b.NumUnsafe,
+		}
+	}
+	if rr := c.Races; rr != nil {
+		m.Races = &ccache.RaceMeta{
+			Pairs: len(rr.Pairs), Ordered: rr.NumOrdered,
+			Race: rr.NumRace, Unknown: rr.NumUnknown, Deadlocks: len(rr.Deadlocks),
+		}
+	}
+	if buf, err := json.Marshal(c.Plan.Remarks); err == nil {
+		m.RemarksJSON = buf
+	}
+	return m
 }
 
 // planSummary renders the experiment-ready plan metadata stored with

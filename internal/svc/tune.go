@@ -50,9 +50,10 @@ type TuneRequest struct {
 // tune.Result — spec, scores per ladder rung, per-block search stats,
 // and (in measured mode) wall-clock times.
 type TuneResponse struct {
-	Key    string          `json:"key"`    // content address (hex SHA-256)
-	Cached bool            `json:"cached"` // served from the tuned-plan cache
-	Dedup  bool            `json:"dedup"`  // joined an in-flight identical search
+	Key    string          `json:"key"`            // content address (hex SHA-256)
+	Cached bool            `json:"cached"`         // served from the tuned-plan cache
+	Dedup  bool            `json:"dedup"`          // joined an in-flight identical search
+	Tier   string          `json:"tier,omitempty"` // serving tier (mem|disk|peer)
 	Result json.RawMessage `json:"result"`
 }
 
@@ -232,7 +233,7 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 	defer s.metrics.DecInflight()
 
 	key := ccache.KeyOfExtra(src, dopt, extra)
-	entry, lookup, err := s.tcache.GetOrCompute(key, func() (*ccache.Entry, error) {
+	entry, res, err := s.tcache.GetOrCompute(ctx, key, func() (*ccache.Entry, error) {
 		start := time.Now()
 		res, terr := tune.Tune(ctx, src, topt)
 		s.metrics.Phases.Observe("tune", time.Since(start))
@@ -243,8 +244,11 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 		if merr != nil {
 			return nil, merr
 		}
-		return &ccache.Entry{Source: src, Aux: buf}, nil
+		// The kind routes cluster puts into the tune cache rather than
+		// the compilation cache (see Server.New's RegisterLocal calls).
+		return &ccache.Entry{Kind: ccache.ArtifactTune, Source: src, Aux: buf}, nil
 	})
+	lookup := res.Outcome
 	if err != nil {
 		var ce *tune.CompileError
 		switch {
@@ -267,6 +271,7 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 		Key:    entry.Key.String(),
 		Cached: lookup == ccache.Hit,
 		Dedup:  lookup == ccache.Dedup,
+		Tier:   res.Tier,
 		Result: json.RawMessage(entry.Aux),
 	})
 }
